@@ -1,0 +1,33 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports.  The heavyweight drivers
+run a single measured round (their cost is dominated by deterministic
+linear algebra / simulation, so repetition adds time without precision).
+
+Scales: the downtown studies (221/198 segments, one week) run at the
+paper's full size; the Table 1 metropolitan simulation defaults to the
+paper's full 5,812-segment network — set REPRO_BENCH_SCALE=0.1 in the
+environment for a proportionally scaled quick pass.
+"""
+
+import os
+
+import pytest
+
+FULL_DAYS = 7.0
+
+
+def bench_scale() -> float:
+    """Scale factor for the metropolitan (Table 1) simulation."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

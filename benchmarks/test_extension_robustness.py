@@ -1,0 +1,44 @@
+"""Robustness extension: structured missingness, GPS noise, GPS bias.
+
+Stresses the algorithms beyond the paper's uniform random-discard
+protocol.  Expected shapes: the CS algorithm stays best under every
+condition; structured (heavy-tailed per-segment) missingness is harder
+than uniform at equal integrity; additive noise and systematic bias
+raise everyone's floor.
+"""
+
+from repro.experiments.robustness import RobustnessConfig, run_robustness
+
+
+def test_extension_robustness(once):
+    result = once(
+        lambda: run_robustness(
+            RobustnessConfig(
+                days=3.0,
+                noise_levels_kmh=(0.0, 2.0, 5.0),
+                bias_levels_kmh=(0.0, -3.0),
+                seed=0,
+            )
+        )
+    )
+    print()
+    print(result.render())
+
+    for label, cell in result.errors.items():
+        best = min(cell.values())
+        # Under structured missingness whole segments go dark and no
+        # algorithm can recover them; CS ties with the field there, and
+        # must remain within a small margin of the best everywhere.
+        assert cell["compressive"] <= best * 1.05, (
+            f"CS must stay within 5% of the best under '{label}': {cell}"
+        )
+    uniform = result.errors["uniform mask"]
+    assert uniform["compressive"] == min(uniform.values())
+    assert (
+        result.errors["structured mask"]["compressive"]
+        >= result.errors["uniform mask"]["compressive"]
+    )
+    assert (
+        result.errors["noise 5 km/h"]["compressive"]
+        > result.errors["noise 2 km/h"]["compressive"]
+    )

@@ -1,0 +1,56 @@
+"""Application-level ablation: route travel-time error by algorithm.
+
+Cell-level NMAE is the paper's metric; the motivating consumer is trip
+planning.  This bench asks whether the CS advantage survives when
+estimates are consumed as *route travel times* (per-link errors
+partially cancel along a route).  Expected shape: CS still best; every
+algorithm's route error is comparable to or below its cell error.
+"""
+
+import numpy as np
+
+from repro.core.tcm import TimeGrid, TrafficConditionMatrix
+from repro.datasets.masks import random_integrity_mask
+from repro.experiments.config import default_algorithms
+from repro.metrics.errors import estimate_error
+from repro.metrics.route_errors import route_travel_time_errors
+from repro.roadnet.generators import grid_city
+from repro.traffic.groundtruth import GroundTruthTraffic
+
+
+def test_extension_route_errors(once):
+    network = grid_city(8, 8, seed=0)
+    grid = TimeGrid.over_days(3.0, 1800.0)
+    truth_gt = GroundTruthTraffic.synthesize(network, grid, seed=0)
+    truth = truth_gt.tcm
+    mask = random_integrity_mask(truth.shape, 0.2, seed=1)
+    measured = np.where(mask, truth.values, 0.0)
+
+    def run():
+        rows = {}
+        for spec in default_algorithms(seed=0, include_mssa=True):
+            est_values = np.clip(spec.complete(measured, mask), 3.0, None)
+            estimate = TrafficConditionMatrix(
+                est_values, grid=truth.grid, segment_ids=truth.segment_ids
+            )
+            summary = route_travel_time_errors(
+                network, truth, estimate, num_routes=40, seed=2
+            )
+            rows[spec.name] = (
+                estimate_error(truth.values, est_values, mask),
+                summary.mean_relative_error,
+            )
+        return rows
+
+    rows = once(run)
+    print()
+    print("Route-level ablation (20% integrity, 30-min, 40 routes)")
+    print(f"{'algorithm':18s} {'cell NMAE':>10} {'route rel. err':>15}")
+    for name, (cell, route) in rows.items():
+        print(f"{name:18s} {cell:>10.4f} {route:>15.4f}")
+
+    route_errs = {name: route for name, (_, route) in rows.items()}
+    assert route_errs["compressive"] == min(route_errs.values())
+    # Route errors benefit from per-link cancellation.
+    for name, (cell, route) in rows.items():
+        assert route < cell * 1.2

@@ -1,0 +1,42 @@
+"""Sampling-process impact study (the paper's third future-work item).
+
+Sweeps probe fleet size and reporting interval through the full
+pipeline (fleet simulation -> aggregation -> completion) and reports
+integrity, measurement error, and end-to-end estimate error.
+"""
+
+from repro.experiments.sampling_study import (
+    SamplingStudyConfig,
+    run_sampling_study,
+)
+
+
+def test_extension_sampling_study(once):
+    result = once(
+        lambda: run_sampling_study(
+            SamplingStudyConfig(
+                days=1.0,
+                fleet_sizes=(100, 250, 500),
+                reporting_intervals_s=(60.0, 300.0),
+                seed=0,
+            )
+        )
+    )
+    print()
+    print(result.render())
+
+    # Integrity grows with fleet size at each reporting interval.
+    for interval in result.config.reporting_intervals_s:
+        points = sorted(
+            (p for p in result.points if p.interval_s == interval),
+            key=lambda p: p.fleet_size,
+        )
+        integrities = [p.integrity for p in points]
+        assert integrities == sorted(integrities)
+
+    # Denser sampling (shorter interval) covers at least as much.
+    by_key = {(p.fleet_size, p.interval_s): p for p in result.points}
+    for fleet in result.config.fleet_sizes:
+        assert (
+            by_key[(fleet, 60.0)].integrity >= by_key[(fleet, 300.0)].integrity
+        )

@@ -1,0 +1,26 @@
+"""Streaming-vs-batch extension study.
+
+Expected shapes: live (past-only, warm-started) estimates are close to
+but not better than the offline batch completion, and warm starting is
+meaningfully cheaper than cold restarts at equal estimates.
+"""
+
+from repro.experiments.streaming_study import (
+    StreamingStudyConfig,
+    run_streaming_study,
+)
+
+
+def test_extension_streaming_study(once):
+    result = once(
+        lambda: run_streaming_study(
+            StreamingStudyConfig(days=1.0, num_vehicles=150, seed=0)
+        )
+    )
+    print()
+    print(result.render())
+
+    assert result.num_slots == 96
+    assert result.warm_seconds < result.cold_seconds
+    # Live estimates must stay within 2x of the hindsight batch error.
+    assert result.streaming_nmae < 2.0 * max(result.batch_nmae, 1e-9)

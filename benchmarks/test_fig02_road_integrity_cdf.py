@@ -1,0 +1,33 @@
+"""Figure 2: CDF of per-road integrity by fleet size.
+
+Paper checkpoints (15-minute granularity): with 500 probe vehicles
+~95 % of roads have integrity below 60 % and nearly half the roads sit
+near zero; with 2,000 vehicles ~80 % of roads are still below 60 %.
+"""
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.integrity_study import (
+    IntegrityStudyConfig,
+    run_integrity_study,
+)
+
+
+def test_fig02_road_integrity_cdf(once):
+    result = once(
+        lambda: run_integrity_study(
+            IntegrityStudyConfig(scale=bench_scale(), duration_days=1.0, seed=0)
+        )
+    )
+    print()
+    print(result.render_road_cdf())
+
+    gran = min(result.config.granularities_s)
+    sizes = sorted(result.config.fleet_sizes)
+    small = result.reports[(gran, sizes[0])]
+    large = result.reports[(gran, sizes[-1])]
+    # Most roads stay poorly covered even with the small fleet...
+    assert small.roads_below(0.6) > 0.8
+    # ...a sizeable share is never observed at all...
+    assert small.roads_near_zero(0.02) > 0.2
+    # ...and larger fleets shift the CDF right (better coverage).
+    assert large.roads_below(0.6) < small.roads_below(0.6)

@@ -1,0 +1,25 @@
+"""Figure 4: singular value magnitudes of the downtown TCM.
+
+Paper checkpoint: a sharp knee — most of the energy is contributed by
+the first few principal components, evidencing the low effective rank
+compressive sensing exploits.
+"""
+
+from benchmarks.conftest import FULL_DAYS
+from repro.experiments.structure_study import (
+    StructureStudyConfig,
+    run_structure_study,
+)
+
+
+def test_fig04_singular_values(once):
+    result = once(
+        lambda: run_structure_study(StructureStudyConfig(days=FULL_DAYS, seed=0))
+    )
+    print()
+    print(result.render_spectrum())
+
+    mags = result.spectrum.magnitudes
+    assert mags[0] == 1.0
+    assert mags[5] < 0.15, "sharp knee: sixth component is marginal"
+    assert result.spectrum.knee_sharpness(5) > 0.95

@@ -1,0 +1,55 @@
+"""Figure 11: estimate error vs integrity, Shanghai, 4 algorithms.
+
+Paper checkpoints (221 downtown segments, one week, r and lambda from
+Algorithm 2, KNN K=4, MSSA M=24):
+
+* the compressive-sensing algorithm is the best at every granularity
+  and integrity; naive KNN is the worst;
+* CS degrades only mildly as integrity drops ("relatively insensitive")
+  — error stays around 20 % even at 20 % integrity at the 60-minute
+  granularity;
+* coarser granularity lowers the error of every algorithm.
+"""
+
+from benchmarks.conftest import FULL_DAYS
+from repro.experiments.error_vs_integrity import (
+    ErrorVsIntegrityConfig,
+    run_error_vs_integrity,
+)
+
+
+def test_fig11_error_vs_integrity_shanghai(once):
+    result = once(
+        lambda: run_error_vs_integrity(
+            ErrorVsIntegrityConfig(city="shanghai", days=FULL_DAYS, seed=0)
+        )
+    )
+    print()
+    print(result.render())
+
+    config = result.config
+    for gran in config.granularities_s:
+        for integ in config.integrities:
+            cell = result.errors[(gran, integ)]
+            assert cell["compressive"] == min(cell.values()), (
+                f"CS must win at gran={gran}, integrity={integ}: {cell}"
+            )
+
+    # Naive KNN worst at low integrity.
+    low = result.errors[(1800.0, 0.1)]
+    assert low["naive-knn"] == max(low.values())
+
+    # CS "relatively insensitive" to integrity.
+    for gran in config.granularities_s:
+        series = result.series_for(gran)["compressive"]
+        assert max(series) < 2.0 * min(series)
+
+    # Headline: <= ~20 % error at 20 % integrity, 60-minute granularity.
+    assert result.errors[(3600.0, 0.2)]["compressive"] < 0.20
+
+    # Coarser granularity -> lower CS error at fixed integrity.
+    cs_by_gran = [
+        result.errors[(g, 0.2)]["compressive"]
+        for g in sorted(config.granularities_s)
+    ]
+    assert cs_by_gran == sorted(cs_by_gran, reverse=True)

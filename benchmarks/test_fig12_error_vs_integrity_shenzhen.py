@@ -1,0 +1,29 @@
+"""Figure 12: estimate error vs integrity, Shenzhen, MSSA excluded.
+
+Paper: same qualitative results as Figure 11 on the 198-segment
+Shenzhen subnetwork; MSSA is dropped ("runs very slowly"); errors run
+somewhat higher than Shanghai because the probe fleet over the studied
+subnetwork is effectively sparser.
+"""
+
+from benchmarks.conftest import FULL_DAYS
+from repro.experiments.error_vs_integrity import (
+    ErrorVsIntegrityConfig,
+    run_error_vs_integrity,
+)
+
+
+def test_fig12_error_vs_integrity_shenzhen(once):
+    result = once(
+        lambda: run_error_vs_integrity(
+            ErrorVsIntegrityConfig(city="shenzhen", days=FULL_DAYS, seed=0)
+        )
+    )
+    print()
+    print(result.render())
+
+    assert "mssa" not in result.algorithm_names()
+    for gran in result.config.granularities_s:
+        for integ in result.config.integrities:
+            cell = result.errors[(gran, integ)]
+            assert cell["compressive"] == min(cell.values())

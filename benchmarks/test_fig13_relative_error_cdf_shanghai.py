@@ -1,0 +1,29 @@
+"""Figure 13: CDFs of relative errors at 20 % integrity, Shanghai.
+
+Paper checkpoints: ~80 % of estimated elements have relative error
+below 0.25 at the 60-minute granularity; below ~0.38 even at 15
+minutes; coarser granularity dominates finer everywhere.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FULL_DAYS
+from repro.experiments.error_cdf import ErrorCdfConfig, run_error_cdf
+
+
+def test_fig13_relative_error_cdf_shanghai(once):
+    result = once(
+        lambda: run_error_cdf(
+            ErrorCdfConfig(city="shanghai", days=FULL_DAYS, integrity=0.2, seed=0)
+        )
+    )
+    print()
+    print(result.render())
+
+    assert result.cdf_at(3600.0, [0.25])[0] > 0.8
+    assert result.cdf_at(900.0, [0.38])[0] > 0.8
+    # Coarser granularity dominates finer at every threshold.
+    thresholds = [0.1, 0.2, 0.3, 0.5]
+    fine = result.cdf_at(900.0, thresholds)
+    coarse = result.cdf_at(3600.0, thresholds)
+    assert np.all(coarse >= fine - 0.02)

@@ -1,0 +1,25 @@
+"""Figure 14: CDFs of relative errors at 20 % integrity, Shenzhen.
+
+Paper: "consistent results" with Figure 13 on the Shenzhen subnetwork.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FULL_DAYS
+from repro.experiments.error_cdf import ErrorCdfConfig, run_error_cdf
+
+
+def test_fig14_relative_error_cdf_shenzhen(once):
+    result = once(
+        lambda: run_error_cdf(
+            ErrorCdfConfig(city="shenzhen", days=FULL_DAYS, integrity=0.2, seed=0)
+        )
+    )
+    print()
+    print(result.render())
+
+    # Same qualitative shape as Figure 13.
+    assert result.cdf_at(3600.0, [0.25])[0] > 0.7
+    for gran in result.config.granularities_s:
+        values = result.cdf_at(gran, [0.1, 0.3, 0.6, 1.0])
+        assert np.all(np.diff(values) >= 0)

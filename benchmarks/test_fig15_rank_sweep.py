@@ -1,0 +1,27 @@
+"""Figure 15: estimate error vs rank bound r (lambda=1, 30-minute).
+
+Paper checkpoint: the error is lowest at a small rank (the paper's
+optimum is r=2) and grows as larger ranks chase measurement noise.
+"""
+
+from benchmarks.conftest import FULL_DAYS
+from repro.experiments.param_sensitivity import (
+    ParamSensitivityConfig,
+    run_param_sensitivity,
+)
+
+
+def test_fig15_rank_sweep(once):
+    result = once(
+        lambda: run_param_sensitivity(
+            ParamSensitivityConfig(days=FULL_DAYS, seed=0)
+        )
+    )
+    print()
+    print(result.render_rank())
+    print(f"best rank: {result.best_rank} (paper: 2)")
+
+    assert result.best_rank <= 4
+    # Large ranks clearly overfit at lambda = 1.
+    assert result.rank_errors[32] > 1.5 * result.rank_errors[result.best_rank]
+    assert result.rank_errors[16] > result.rank_errors[2]

@@ -1,0 +1,30 @@
+"""Figure 16: estimate error vs tradeoff coefficient lambda (r=32).
+
+Paper checkpoint: error varies strongly over lambda in [0.001, 2000]
+with a U-shape; the optimum sits around 100 when the rank bound is 32
+(too small a lambda overfits, too large over-regularizes).
+"""
+
+from benchmarks.conftest import FULL_DAYS
+from repro.experiments.param_sensitivity import (
+    ParamSensitivityConfig,
+    run_param_sensitivity,
+)
+
+
+def test_fig16_lambda_sweep(once):
+    result = once(
+        lambda: run_param_sensitivity(
+            ParamSensitivityConfig(days=FULL_DAYS, seed=0)
+        )
+    )
+    print()
+    print(result.render_lambda())
+    print(f"best lambda: {result.best_lambda} (paper: ~100)")
+
+    errs = result.lambda_errors
+    assert 1.0 <= result.best_lambda <= 500.0
+    # U-shape: both extremes are much worse than the optimum.
+    best = errs[result.best_lambda]
+    assert errs[0.001] > 2.0 * best
+    assert errs[2000.0] > 2.0 * best

@@ -1,0 +1,39 @@
+"""Figure 17: matrix construction study at 20 % integrity (30-minute).
+
+Paper checkpoints: with small fixed-size segment sets the choice of
+segments makes little difference and the CS advantage is modest; as the
+matrix grows (Set 2's two-block neighbourhood, Set 3's 45 random
+segments) the CS algorithm benefits from the richer hidden structure.
+
+Reproduction note (documented in EXPERIMENTS.md): on the synthetic
+data, CS on the tiny 7-column sets is noise-limited — each row factor
+is estimated from ~1.4 observations — so unlike the paper's bars it can
+trail KNN there; its error still drops sharply as the set grows, which
+is the paper's operative claim.
+"""
+
+from benchmarks.conftest import FULL_DAYS
+from repro.experiments.matrix_selection_study import (
+    MatrixSelectionConfig,
+    run_matrix_selection,
+)
+
+
+def test_fig17_matrix_selection_20(once):
+    result = once(
+        lambda: run_matrix_selection(
+            MatrixSelectionConfig(days=FULL_DAYS, integrity=0.2, seed=0)
+        )
+    )
+    print()
+    print(result.render())
+
+    cs = {name: cell["compressive"] for name, cell in result.errors.items()}
+    # Composition-controlled size comparisons: the larger matrix beats
+    # its own small subsample (Set 2 vs Set 4, Set 3 vs Set 5).
+    assert cs["set2-two-blocks"] < cs["set4-sub-two-blocks"]
+    assert cs["set3-random-remote"] < cs["set5-sub-remote"]
+    # Small same-size sets perform comparably regardless of which
+    # segments were chosen (within 2x of each other).
+    small = [cs["set1-connected"], cs["set4-sub-two-blocks"], cs["set5-sub-remote"]]
+    assert max(small) < 2.0 * min(small)

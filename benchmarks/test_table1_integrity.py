@@ -1,0 +1,35 @@
+"""Table 1: integrity vs time granularity vs fleet size.
+
+Paper values (Shanghai inner region, 5,812 segments, Feb 18 2007):
+
+    Time gran. | N=500  | N=1,000 | N=2,000
+    15 min     | 12.22% | 18.28%  | 24.80%
+    30 min     | 18.57% | 25.18%  | 31.61%
+    60 min     | 25.53% | 31.98%  | 37.64%
+
+The simulation reproduces both magnitudes and monotonic trends.
+"""
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.integrity_study import (
+    IntegrityStudyConfig,
+    run_integrity_study,
+)
+
+
+def test_table1_integrity(once):
+    result = once(
+        lambda: run_integrity_study(
+            IntegrityStudyConfig(scale=bench_scale(), duration_days=1.0, seed=0)
+        )
+    )
+    print()
+    print(result.render_table1())
+
+    sizes = result.config.fleet_sizes
+    for gran in result.config.granularities_s:
+        row = [result.table1[(gran, s)] for s in sizes]
+        assert row == sorted(row), "integrity must grow with fleet size"
+    for size in sizes:
+        col = [result.table1[(g, size)] for g in sorted(result.config.granularities_s)]
+        assert col == sorted(col), "integrity must grow with slot length"

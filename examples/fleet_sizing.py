@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Fleet sizing: how many probe taxis does a city need?
+
+Recreates the paper's Section 2.3 analysis on a mid-size synthetic
+city: for increasing fleet sizes, how complete is the measurement
+matrix (Definition 4's integrity), how many roads stay near-invisible —
+and how good is the compressive-sensing estimate anyway?
+
+The punchline matches the paper: raw coverage saturates slowly with
+fleet size, but the completion algorithm delivers usable city-wide
+estimates long before coverage is anywhere near complete.
+
+Run:  python examples/fleet_sizing.py
+"""
+
+import numpy as np
+
+from repro.core import CompressiveSensingCompleter, TimeGrid
+from repro.metrics import estimate_error
+from repro.mobility import FleetConfig, FleetSimulator
+from repro.probes import aggregate_reports, integrity_summary
+from repro.roadnet import grid_city
+from repro.traffic import GroundTruthTraffic
+
+
+def main() -> None:
+    network = grid_city(10, 10, block_m=250.0, seed=0)
+    grid = TimeGrid.over_days(1.0, 1800.0)
+    truth = GroundTruthTraffic.synthesize(network, grid, seed=0)
+    print(f"city: {network.num_segments} segments; window: 24 h at 30 min\n")
+
+    header = (f"{'fleet':>6} | {'integrity':>9} | {'roads <20% cov':>14} | "
+              f"{'est. NMAE':>9}")
+    print(header)
+    print("-" * len(header))
+
+    for fleet_size in (25, 50, 100, 200, 400):
+        # Simulate the fleet and aggregate its reports.
+        sim = FleetSimulator(truth, FleetConfig(num_vehicles=fleet_size), seed=1)
+        reports = sim.run()
+        measured = aggregate_reports(reports, grid, network.segment_ids)
+        summary = integrity_summary(measured)
+
+        # Complete and score over the unobserved cells.
+        if 0 < measured.integrity < 1:
+            completer = CompressiveSensingCompleter(
+                rank=2, lam=10.0, iterations=60, clip_min=0.0, center=True, seed=0
+            )
+            estimate = completer.complete(measured).estimate
+            err = estimate_error(truth.tcm.values, estimate, measured.mask)
+        else:
+            err = float("nan")
+
+        print(f"{fleet_size:>6} | {summary.overall:>8.1%} | "
+              f"{summary.roads_below(0.2):>13.1%} | {err:>8.1%}")
+
+    print("\nraw coverage grows slowly with fleet size; the completion")
+    print("algorithm turns even ~20-30% coverage into usable city-wide")
+    print("estimates — the missing-data algorithm does the heavy lifting.")
+
+
+if __name__ == "__main__":
+    main()

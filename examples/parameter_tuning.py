@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Parameter tuning with Algorithm 2 (the genetic search).
+
+The completion algorithm has two knobs — rank bound ``r`` and tradeoff
+coefficient ``lambda`` — whose optimum depends on the data (Figures
+15/16).  The paper tunes them with a genetic algorithm whose fitness is
+the estimate error; this example runs that tuner on a synthetic
+downtown matrix and compares tuned vs untuned estimates.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+import numpy as np
+
+from repro.core import CompressiveSensingCompleter, GeneticTuner, TimeGrid
+from repro.datasets import random_integrity_mask
+from repro.metrics import estimate_error
+from repro.roadnet import shanghai_downtown_like
+from repro.traffic import GroundTruthTraffic
+
+
+def main() -> None:
+    print("building the downtown ground truth (221 segments, 3 days)...")
+    network = shanghai_downtown_like(seed=0)
+    grid = TimeGrid.over_days(3.0, 1800.0)
+    truth = GroundTruthTraffic.synthesize(network, grid, seed=0).tcm
+
+    mask = random_integrity_mask(truth.shape, 0.2, seed=1)
+    measured = np.where(mask, truth.values, 0.0)
+    print(f"measurement matrix: {truth.shape}, integrity 20%\n")
+
+    print("running Algorithm 2 (genetic search over r and lambda)...")
+    tuner = GeneticTuner(
+        rank_bounds=(1, 16),
+        lam_bounds=(1e-3, 2e3),
+        population_size=10,
+        generations=5,
+        completer_iterations=25,
+        seed=0,
+    )
+    tuned = tuner.tune(measured, mask)
+    print(f"  selected r={tuned.rank}, lambda={tuned.lam:.2f} "
+          f"(validation NMAE {tuned.fitness:.3f}, "
+          f"{tuned.generations_run} generations)")
+    print(f"  fitness trajectory: "
+          f"{[f'{v:.3f}' for v in tuned.history]}")
+
+    print("\ncomparing against fixed parameter choices:")
+    candidates = [
+        ("tuned", tuned.rank, tuned.lam),
+        ("paper default (r=2, lam=100)", 2, 100.0),
+        ("overfit (r=32, lam=0.01)", 32, 0.01),
+        ("over-regularized (r=2, lam=2000)", 2, 2000.0),
+    ]
+    for name, rank, lam in candidates:
+        completer = CompressiveSensingCompleter(
+            rank=rank, lam=lam, iterations=80, clip_min=0.0, seed=0
+        )
+        estimate = completer.complete(measured, mask).estimate
+        err = estimate_error(truth.values, estimate, mask)
+        print(f"  {name:34s} NMAE = {err:.1%}")
+
+    print("\nthe GA lands in the good region without any analytical model")
+    print("of the error surface — exactly the paper's motivation.")
+
+
+if __name__ == "__main__":
+    main()

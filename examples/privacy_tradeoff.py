@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Privacy/utility trade-off with virtual trip lines.
+
+The paper points to virtual trip lines (Hoh et al.) for privacy: probes
+report only when crossing instrumented locations, so sensitive places
+never appear in the stream, and rotating pseudonyms break trajectory
+linkage.  This example measures what those mechanisms cost the traffic
+estimates.
+
+Run:  python examples/privacy_tradeoff.py
+"""
+
+from repro.core import TimeGrid
+from repro.mobility import FleetConfig, FleetSimulator
+from repro.probes import PseudonymRotator, fleet_quality, privacy_impact
+from repro.roadnet import grid_city
+from repro.traffic import GroundTruthTraffic
+
+
+def main() -> None:
+    print("simulating a day of probe traffic (8x8 city, 250 taxis)...")
+    network = grid_city(8, 8, seed=0)
+    grid = TimeGrid.over_days(1.0, 1800.0)
+    truth = GroundTruthTraffic.synthesize(network, grid, seed=0)
+    reports = FleetSimulator(
+        truth, FleetConfig(num_vehicles=250), seed=1
+    ).run()
+    print(f"  {len(reports)} raw reports\n")
+
+    print("1) pseudonym rotation (identity privacy):")
+    rotator = PseudonymRotator(rotation_s=1800.0, seed=0)
+    anonymous = rotator.anonymize(reports)
+    raw_q = fleet_quality(reports)
+    anon_q = fleet_quality(anonymous)
+    print(f"   raw stream:        {raw_q.num_vehicles} linkable identities, "
+          f"{raw_q.num_trajectories} trajectories")
+    print(f"   rotated pseudonyms: {anon_q.num_vehicles} apparent identities "
+          f"(no trajectory outlives {rotator.rotation_s / 60:.0f} min)")
+    print("   TCM aggregation uses only (segment, slot, speed): estimation "
+          "quality is untouched.\n")
+
+    print("2) virtual trip lines (location privacy):")
+    results = privacy_impact(
+        truth, reports, fractions=(1.0, 0.75, 0.5, 0.25), seed=0
+    )
+    print(f"   {'deployed':>9} | {'reports kept':>12} | "
+          f"{'integrity':>9} | {'est. NMAE':>9}")
+    for p in results:
+        print(f"   {p.deployment_fraction:>8.0%} | {p.reports_kept:>11.1%} | "
+              f"{p.integrity:>8.1%} | {p.estimate_nmae:>9.4f}")
+
+    full, quarter = results[0], results[-1]
+    print(f"\ninstrumenting only 25% of segments keeps estimation alive "
+          f"(NMAE {quarter.estimate_nmae:.2f} vs {full.estimate_nmae:.2f}):")
+    print("the completion algorithm absorbs much of the privacy-induced")
+    print("sparsity — the same property that absorbs natural sparsity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Online traffic estimation from a live probe stream.
+
+The paper's first future-work item: extend the offline algorithm "to
+support processing of online streaming probe data".  This example feeds
+a simulated day of probe reports to the :class:`StreamingEstimator`
+one report at a time, as a monitoring center would receive them, and
+prints the live city-wide estimate published as each slot closes.
+
+Run:  python examples/streaming_estimation.py
+"""
+
+import numpy as np
+
+from repro.core import StreamingEstimator, TimeGrid
+from repro.metrics import nmae
+from repro.mobility import FleetConfig, FleetSimulator
+from repro.roadnet import grid_city
+from repro.traffic import GroundTruthTraffic
+
+
+def main() -> None:
+    network = grid_city(6, 6, block_m=250.0, seed=0)
+    grid = TimeGrid.over_days(1.0, 900.0)
+    truth = GroundTruthTraffic.synthesize(network, grid, seed=0)
+    print(f"simulating one day of probe data "
+          f"({network.num_segments} segments, 120 taxis)...")
+    reports = FleetSimulator(
+        truth, FleetConfig(num_vehicles=120), seed=1
+    ).run()
+    print(f"  {len(reports)} reports\n")
+
+    streamer = StreamingEstimator(
+        segment_ids=network.segment_ids,
+        slot_s=grid.slot_s,
+        window_slots=24,  # six-hour sliding window
+        rank=2,
+        lam=10.0,
+        seed=0,
+    )
+
+    print("streaming reports into the estimator...")
+    print(f"{'slot end':>9} | {'observed':>8} | {'mean est. (km/h)':>16} | "
+          f"{'slot NMAE':>9}")
+    shown = 0
+    for report in reports:
+        for estimate in streamer.ingest(report):
+            slot_idx = len(streamer.estimates) - 1
+            truth_row = truth.tcm.values[slot_idx]
+            err = nmae(truth_row[None], estimate.speeds_kmh[None])
+            if slot_idx % 8 == 0:  # print every 2 hours
+                hours = (estimate.slot_start_s + grid.slot_s) / 3600.0
+                print(f"{hours:>8.1f}h | {estimate.observed_fraction:>7.1%} | "
+                      f"{estimate.speeds_kmh.mean():>16.1f} | {err:>8.1%}")
+                shown += 1
+    streamer.flush()
+
+    errs = [
+        nmae(truth.tcm.values[i][None], e.speeds_kmh[None])
+        for i, e in enumerate(streamer.estimates)
+    ]
+    print(f"\nprocessed {len(streamer.estimates)} slots; "
+          f"median live-slot NMAE {np.median(errs):.1%}")
+    print("warm-started sliding-window completion keeps each update cheap.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Downstream applications of the traffic estimates.
+
+The paper's introduction motivates traffic estimation with "trip
+planning, traffic management, road engineering and infrastructure
+planning".  This package builds those consumers on top of a completed
+traffic condition matrix:
+
+* :mod:`repro.apps.travel_time` — per-link and per-route travel times
+  from estimated speeds.
+* :mod:`repro.apps.trip_planner` — time-dependent fastest routes over
+  the estimated network state.
+* :mod:`repro.apps.congestion` — congestion indices, rankings, and
+  hotspot extraction for traffic management.
+"""
+
+from repro.apps.travel_time import TravelTimeService
+from repro.apps.trip_planner import TripPlan, TripPlannerService
+from repro.apps.congestion import CongestionMonitor, CongestionRanking
+
+__all__ = [
+    "TravelTimeService",
+    "TripPlan",
+    "TripPlannerService",
+    "CongestionMonitor",
+    "CongestionRanking",
+]

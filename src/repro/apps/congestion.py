@@ -1,0 +1,147 @@
+"""Congestion monitoring for traffic management.
+
+Turns estimated speeds into management-grade indicators: a per-cell
+congestion index relative to free-flow speed, per-segment and per-slot
+rankings, and spatial hotspot extraction (connected clusters of
+congested segments) — the "traffic management" and "road engineering"
+consumers the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.tcm import TrafficConditionMatrix
+from repro.roadnet.network import RoadNetwork
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class CongestionRanking:
+    """Segments ranked by a congestion statistic (worst first)."""
+
+    segment_ids: List[int]
+    scores: List[float]
+
+    def top(self, k: int) -> List[Tuple[int, float]]:
+        """The ``k`` most congested segments with their scores."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return list(zip(self.segment_ids[:k], self.scores[:k]))
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """A connected cluster of congested segments in one slot."""
+
+    slot: int
+    segment_ids: List[int]
+    mean_congestion: float
+
+
+class CongestionMonitor:
+    """Congestion analytics over a completed TCM.
+
+    The congestion index of a cell is ``1 - speed / free_flow`` clamped
+    to [0, 1]: 0 = free flow, 1 = standstill.
+
+    Parameters
+    ----------
+    network:
+        Provides free-flow speeds and adjacency (for hotspots).
+    tcm:
+        Complete (estimated) TCM.
+    """
+
+    def __init__(self, network: RoadNetwork, tcm: TrafficConditionMatrix):
+        if not tcm.is_complete:
+            raise ValueError("congestion analytics need a complete TCM")
+        self.network = network
+        self.tcm = tcm
+        free_flow = np.array(
+            [network.segment(sid).free_flow_kmh for sid in tcm.segment_ids]
+        )
+        self._congestion = np.clip(1.0 - tcm.values / free_flow[None, :], 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    @property
+    def congestion_index(self) -> np.ndarray:
+        """The (slots x segments) congestion index matrix."""
+        return self._congestion.copy()
+
+    def network_congestion_series(self) -> np.ndarray:
+        """City-wide mean congestion per slot (the management dashboard)."""
+        return self._congestion.mean(axis=1)
+
+    def segment_ranking(
+        self, slot_range: Optional[Tuple[int, int]] = None
+    ) -> CongestionRanking:
+        """Segments ranked by mean congestion over a slot range."""
+        lo, hi = slot_range if slot_range else (0, self.tcm.num_slots)
+        if not 0 <= lo < hi <= self.tcm.num_slots:
+            raise ValueError(f"invalid slot range ({lo}, {hi})")
+        means = self._congestion[lo:hi].mean(axis=0)
+        order = np.argsort(means)[::-1]
+        return CongestionRanking(
+            segment_ids=[self.tcm.segment_ids[i] for i in order],
+            scores=[float(means[i]) for i in order],
+        )
+
+    def peak_slot(self) -> int:
+        """The slot with the highest city-wide congestion."""
+        return int(np.argmax(self.network_congestion_series()))
+
+    def congested_fraction(self, threshold: float = 0.5) -> np.ndarray:
+        """Per-slot fraction of segments above a congestion threshold."""
+        check_fraction(threshold, "threshold")
+        return (self._congestion >= threshold).mean(axis=1)
+
+    # ------------------------------------------------------------------
+    def hotspots(
+        self, slot: int, threshold: float = 0.5, min_size: int = 2
+    ) -> List[Hotspot]:
+        """Connected clusters of congested segments in one slot.
+
+        Two congested segments belong to the same hotspot when they are
+        adjacent in the road graph.  Clusters smaller than ``min_size``
+        are dropped (isolated noisy cells).
+        """
+        check_fraction(threshold, "threshold")
+        if not 0 <= slot < self.tcm.num_slots:
+            raise IndexError(f"slot {slot} outside TCM")
+        if min_size < 1:
+            raise ValueError(f"min_size must be >= 1, got {min_size}")
+
+        row = self._congestion[slot]
+        congested: Set[int] = {
+            self.tcm.segment_ids[j] for j in np.flatnonzero(row >= threshold)
+        }
+        col_of = {sid: j for j, sid in enumerate(self.tcm.segment_ids)}
+
+        hotspots: List[Hotspot] = []
+        unvisited = set(congested)
+        while unvisited:
+            seed = unvisited.pop()
+            cluster = {seed}
+            frontier = [seed]
+            while frontier:
+                sid = frontier.pop()
+                for neighbour in self.network.adjacent_segments(sid):
+                    if neighbour in unvisited:
+                        unvisited.discard(neighbour)
+                        cluster.add(neighbour)
+                        frontier.append(neighbour)
+            if len(cluster) >= min_size:
+                mean_c = float(np.mean([row[col_of[s]] for s in cluster]))
+                hotspots.append(
+                    Hotspot(
+                        slot=slot,
+                        segment_ids=sorted(cluster),
+                        mean_congestion=mean_c,
+                    )
+                )
+        hotspots.sort(key=lambda h: -h.mean_congestion)
+        return hotspots

@@ -1,0 +1,128 @@
+"""Time-dependent trip planning over estimated traffic.
+
+The paper's first motivating application.  Plans fastest routes where
+each link's cost is its traversal time *at the moment the vehicle
+reaches it*, taken from the estimated TCM — a time-dependent shortest
+path computed with a label-setting (Dijkstra-style) search over arrival
+times, which is exact when link times satisfy FIFO (they do here:
+within a slot the time is constant, and slot boundaries only change
+speeds, never allow overtaking by waiting).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.travel_time import TravelTimeService
+from repro.core.tcm import TrafficConditionMatrix
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.segment import RoadSegment
+
+
+@dataclass(frozen=True)
+class TripPlan:
+    """A planned trip.
+
+    Attributes
+    ----------
+    origin, destination:
+        Intersection ids.
+    depart_s, arrive_s:
+        Departure and predicted arrival times.
+    segment_ids:
+        The route as a segment sequence.
+    """
+
+    origin: int
+    destination: int
+    depart_s: float
+    arrive_s: float
+    segment_ids: List[int]
+
+    @property
+    def travel_time_s(self) -> float:
+        return self.arrive_s - self.depart_s
+
+    @property
+    def num_links(self) -> int:
+        return len(self.segment_ids)
+
+
+class TripPlannerService:
+    """Fastest-route planning over a completed TCM.
+
+    Parameters
+    ----------
+    network:
+        The road network.
+    tcm:
+        A complete (estimated) TCM covering the network's segments.
+    """
+
+    def __init__(self, network: RoadNetwork, tcm: TrafficConditionMatrix):
+        self.network = network
+        self.travel_time = TravelTimeService(network, tcm)
+        self._covered = set(tcm.segment_ids)
+
+    def plan(
+        self, origin: int, destination: int, depart_s: float
+    ) -> Optional[TripPlan]:
+        """Time-dependent fastest route; ``None`` if unreachable.
+
+        Label-setting search on earliest arrival time per intersection.
+        """
+        if origin == destination:
+            return TripPlan(origin, destination, depart_s, depart_s, [])
+        arrivals: Dict[int, float] = {origin: depart_s}
+        back: Dict[int, Tuple[int, int]] = {}  # node -> (prev node, segment)
+        heap: List[Tuple[float, int]] = [(depart_s, origin)]
+        settled = set()
+
+        while heap:
+            t, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            if node == destination:
+                break
+            for seg in self.network.outgoing_segments(node):
+                if seg.segment_id not in self._covered:
+                    continue
+                arrive = t + self.travel_time.link_time_s(seg.segment_id, t)
+                if arrive < arrivals.get(seg.end, float("inf")) - 1e-9:
+                    arrivals[seg.end] = arrive
+                    back[seg.end] = (node, seg.segment_id)
+                    heapq.heappush(heap, (arrive, seg.end))
+
+        if destination not in arrivals:
+            return None
+        route: List[int] = []
+        node = destination
+        while node != origin:
+            prev, sid = back[node]
+            route.append(sid)
+            node = prev
+        route.reverse()
+        return TripPlan(
+            origin=origin,
+            destination=destination,
+            depart_s=depart_s,
+            arrive_s=arrivals[destination],
+            segment_ids=route,
+        )
+
+    def compare_departures(
+        self,
+        origin: int,
+        destination: int,
+        depart_times_s,
+    ) -> List[TripPlan]:
+        """Plans for several candidate departure times (peak avoidance)."""
+        plans = []
+        for t in depart_times_s:
+            plan = self.plan(origin, destination, float(t))
+            if plan is not None:
+                plans.append(plan)
+        return plans

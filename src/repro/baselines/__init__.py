@@ -1,0 +1,29 @@
+"""Competing missing-data recovery algorithms (Section 4.2).
+
+All baselines share one calling convention: ``complete(values, mask) ->
+estimate`` where ``values`` is the measurement matrix ``M`` (zeros where
+missing) and ``mask`` is the boolean indicator ``B``; the returned
+estimate fills every cell.
+
+* :class:`NaiveKNN` — average of the K nearest observed neighbours in
+  the matrix (Section 4.2.1).
+* :class:`CorrelationKNN` — correlation-weighted average over the
+  immediate +/-1, +/-2 rows/columns (Section 4.2.2, Eq. 20-21).
+* :class:`MSSA` — iterative multi-channel singular spectrum analysis per
+  SEER [40] (Section 4.2.3).
+* :mod:`repro.baselines.interpolation` — historical-mean and temporal
+  linear interpolation, extra ablation baselines beyond the paper.
+"""
+
+from repro.baselines.knn import NaiveKNN
+from repro.baselines.correlation_knn import CorrelationKNN
+from repro.baselines.mssa import MSSA
+from repro.baselines.interpolation import HistoricalMean, LinearInterpolation
+
+__all__ = [
+    "NaiveKNN",
+    "CorrelationKNN",
+    "MSSA",
+    "HistoricalMean",
+    "LinearInterpolation",
+]

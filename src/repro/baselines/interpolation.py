@@ -1,0 +1,66 @@
+"""Simple ablation baselines beyond the paper's three competitors.
+
+These quantify how much of the compressive-sensing gain comes from
+exploiting cross-segment structure rather than mere temporal smoothing:
+
+* :class:`HistoricalMean` — every missing cell takes its segment's mean
+  observed speed (a pure "column prior", no temporal adaptivity).
+* :class:`LinearInterpolation` — per-segment linear interpolation over
+  time between observed slots (pure temporal smoothing, no
+  cross-segment information).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix_pair
+
+
+class HistoricalMean:
+    """Column-mean imputation (per-segment historical average)."""
+
+    name = "historical-mean"
+
+    def complete(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Fill missing cells with their column's observed mean."""
+        values, mask = check_matrix_pair(values, mask)
+        counts = mask.sum(axis=0)
+        sums = np.where(mask, values, 0.0).sum(axis=0)
+        observed = values[mask]
+        global_mean = float(observed.mean()) if observed.size else 0.0
+        col_means = np.where(counts > 0, sums / np.maximum(counts, 1), global_mean)
+        return np.where(mask, values, col_means[None, :])
+
+
+class LinearInterpolation:
+    """Per-segment linear interpolation over time.
+
+    Missing cells between two observations interpolate linearly; cells
+    before the first / after the last observation hold the nearest
+    observed value; entirely unobserved segments fall back to the global
+    observed mean.
+    """
+
+    name = "linear-interpolation"
+
+    def complete(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Fill missing cells by columnwise linear interpolation."""
+        values, mask = check_matrix_pair(values, mask)
+        m, n = values.shape
+        observed = values[mask]
+        global_mean = float(observed.mean()) if observed.size else 0.0
+        out = values.copy()
+        t = np.arange(m, dtype=float)
+        for j in range(n):
+            col_mask = mask[:, j]
+            if not col_mask.any():
+                out[:, j] = global_mean
+                continue
+            if col_mask.all():
+                continue
+            known_t = t[col_mask]
+            known_v = values[col_mask, j]
+            # np.interp holds endpoints flat outside the observed range.
+            out[~col_mask, j] = np.interp(t[~col_mask], known_t, known_v)
+        return out

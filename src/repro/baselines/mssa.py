@@ -1,0 +1,180 @@
+"""Multi-channel Singular Spectrum Analysis (Section 4.2.3).
+
+MSSA is the recovery method of SEER [40], the closest prior work.  It is
+"a data adaptive and nonparametric method based on the embedded
+lag-covariance matrix" exploiting the internal periodicity of traffic
+conditions.  We implement the iterative imputation procedure:
+
+1. initialize missing cells (column means, then the global mean);
+2. embed every channel (segment series) into a lag-``window`` Hankel
+   block and concatenate the blocks into the MSSA trajectory matrix;
+3. keep the leading ``components`` singular triplets of the trajectory
+   matrix and reconstruct each channel by diagonal (anti-diagonal)
+   averaging of its block;
+4. overwrite the missing cells with the reconstruction, keep observed
+   cells fixed, and repeat until the filled values converge.
+
+The paper sets ``window = 24`` "as suggested by [40]".  MSSA's cost is
+dominated by the truncated SVD of the (m - window + 1) x (window * n)
+trajectory matrix every iteration, which is why Table 2 shows it orders
+of magnitude slower than the other algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.sparse.linalg import svds
+
+from repro.utils.validation import check_matrix_pair, check_positive
+
+PAPER_WINDOW = 24
+
+
+class MSSA:
+    """Iterative MSSA imputation.
+
+    Parameters
+    ----------
+    window:
+        Embedding window ``M`` (paper: 24).
+    components:
+        Singular triplets kept in the reconstruction.
+    max_iterations:
+        Refinement iterations cap.
+    tol:
+        Convergence threshold on the relative change of imputed values.
+    solver:
+        ``"covariance"`` (default) diagonalizes the full
+        ``(window * n) x (window * n)`` lag-covariance matrix each
+        iteration — the classical MSSA route and the reason Table 2
+        shows MSSA orders of magnitude slower than everything else.
+        ``"truncated"`` computes only the leading triplets of the
+        trajectory matrix via sparse SVD; it produces the *identical*
+        reconstruction (both project onto the same top right singular
+        subspace) at a fraction of the cost, and is what the accuracy
+        experiments use.
+    """
+
+    name = "mssa"
+
+    def __init__(
+        self,
+        window: int = PAPER_WINDOW,
+        components: int = 5,
+        max_iterations: int = 15,
+        tol: float = 1e-3,
+        solver: str = "covariance",
+    ):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if components < 1:
+            raise ValueError(f"components must be >= 1, got {components}")
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        check_positive(tol, "tol")
+        if solver not in ("covariance", "truncated"):
+            raise ValueError(f"solver must be 'covariance' or 'truncated', got {solver!r}")
+        self.window = window
+        self.components = components
+        self.max_iterations = max_iterations
+        self.tol = tol
+        self.solver = solver
+
+    # ------------------------------------------------------------------
+    def complete(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Fill every missing cell; observed cells pass through."""
+        values, mask = check_matrix_pair(values, mask)
+        m, n = values.shape
+        if not mask.any():
+            return np.zeros_like(values)
+        window = min(self.window, m - 1) if m > 1 else 1
+        if window < 2:
+            # Degenerate series: fall back to column means.
+            return self._initial_fill(values, mask)
+
+        filled = self._initial_fill(values, mask)
+        missing = ~mask
+        if not missing.any():
+            return filled
+
+        for _ in range(self.max_iterations):
+            reconstructed = self._mssa_reconstruct(filled, window)
+            previous = filled[missing]
+            filled = np.where(mask, values, reconstructed)
+            delta = np.abs(filled[missing] - previous)
+            scale = np.abs(previous) + 1e-9
+            if float(np.max(delta / scale)) < self.tol:
+                break
+        return filled
+
+    # ------------------------------------------------------------------
+    def _initial_fill(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Column means where observed, global mean for empty columns."""
+        col_counts = mask.sum(axis=0)
+        col_sums = np.where(mask, values, 0.0).sum(axis=0)
+        global_mean = float(values[mask].mean())
+        col_means = np.where(
+            col_counts > 0, col_sums / np.maximum(col_counts, 1), global_mean
+        )
+        return np.where(mask, values, col_means[None, :])
+
+    def _mssa_reconstruct(self, filled: np.ndarray, window: int) -> np.ndarray:
+        """One MSSA smoothing pass over a complete matrix."""
+        m, n = filled.shape
+        rows = m - window + 1
+        trajectory = _block_hankel(filled, window)
+        k = min(self.components, min(trajectory.shape) - 1)
+        if k < 1:
+            return filled
+        if self.solver == "covariance":
+            # Classical MSSA: eigendecompose the full lag-covariance
+            # matrix, keep the top-k eigenvectors, project.
+            cov = trajectory.T @ trajectory
+            _, vectors = np.linalg.eigh(cov)
+            v_k = vectors[:, -k:]
+            smoothed = (trajectory @ v_k) @ v_k.T
+        else:
+            u, s, vt = svds(trajectory, k=k)
+            # svds returns ascending singular values; order is
+            # irrelevant for the product, so reconstruct directly.
+            smoothed = (u * s) @ vt
+        out = np.empty_like(filled)
+        for j in range(n):
+            block = smoothed[:, j * window : (j + 1) * window]
+            out[:, j] = _diagonal_average(block, m)
+        return out
+
+
+def _block_hankel(matrix: np.ndarray, window: int) -> np.ndarray:
+    """MSSA trajectory matrix: per-channel Hankel blocks, concatenated.
+
+    For channel series ``x`` of length m, the block has entry
+    ``H[i, k] = x[i + k]`` with shape ``(m - window + 1, window)``.
+    """
+    m, n = matrix.shape
+    rows = m - window + 1
+    if rows < 1:
+        raise ValueError(f"window {window} exceeds series length {m}")
+    blocks = np.empty((rows, n * window))
+    idx = np.arange(rows)[:, None] + np.arange(window)[None, :]
+    for j in range(n):
+        blocks[:, j * window : (j + 1) * window] = matrix[idx, j]
+    return blocks
+
+
+def _diagonal_average(block: np.ndarray, length: int) -> np.ndarray:
+    """Invert the Hankel embedding by averaging anti-diagonals.
+
+    ``block[i, k]`` contributes to series position ``i + k``; every
+    position averages all its contributions.
+    """
+    rows, window = block.shape
+    sums = np.zeros(length)
+    counts = np.zeros(length)
+    positions = (np.arange(rows)[:, None] + np.arange(window)[None, :]).ravel()
+    np.add.at(sums, positions, block.ravel())
+    np.add.at(counts, positions, 1.0)
+    counts[counts == 0] = 1.0
+    return sums / counts

@@ -1,0 +1,291 @@
+"""Command-line interface.
+
+``python -m repro.cli <command>`` exposes the pipeline without writing
+Python:
+
+* ``gen-network``  — generate a synthetic road network (JSON).
+* ``gen-dataset``  — simulate a probe dataset; saves ground-truth and
+  measurement TCMs (``.npz``) next to the network.
+* ``estimate``     — complete a measurement TCM with Algorithm 1
+  (optionally Algorithm 2 tuning) and save the estimate.
+* ``evaluate``     — score an estimate against a ground-truth TCM.
+* ``integrity``    — print the integrity report of a measurement TCM.
+* ``experiments``  — run the paper's full experiment battery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_gen_network(args: argparse.Namespace) -> int:
+    from repro.roadnet.generators import (
+        grid_city,
+        ring_radial_city,
+        shanghai_downtown_like,
+        shenzhen_downtown_like,
+    )
+    from repro.roadnet.io import save_network
+
+    if args.kind == "grid":
+        network = grid_city(args.rows, args.cols, seed=args.seed)
+    elif args.kind == "ring":
+        network = ring_radial_city(args.rings, args.radials, seed=args.seed)
+    elif args.kind == "shanghai":
+        network = shanghai_downtown_like(seed=args.seed)
+    else:
+        network = shenzhen_downtown_like(seed=args.seed)
+    save_network(network, args.output)
+    print(
+        f"wrote {network.name}: {network.num_intersections} intersections, "
+        f"{network.num_segments} segments -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_gen_dataset(args: argparse.Namespace) -> int:
+    from repro.datasets.loaders import save_tcm
+    from repro.datasets.synthetic import (
+        SyntheticDatasetConfig,
+        build_probe_dataset,
+    )
+    from repro.roadnet.io import load_network
+
+    network = load_network(args.network)
+    config = SyntheticDatasetConfig(
+        days=args.days, num_vehicles=args.vehicles, slot_s=args.slot_s
+    )
+    data = build_probe_dataset(network, config, seed=args.seed)
+    out = Path(args.output_prefix)
+    truth_path = out.with_name(out.name + "-truth.npz")
+    meas_path = out.with_name(out.name + "-measured.npz")
+    save_tcm(data.truth_tcm, truth_path)
+    save_tcm(data.measurements, meas_path)
+    print(
+        f"simulated {len(data.reports)} reports from {args.vehicles} vehicles; "
+        f"integrity {data.measurements.integrity:.1%}"
+    )
+    print(f"wrote {truth_path} and {meas_path}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.core.estimator import TrafficEstimator
+    from repro.core.tuning import GeneticTuner
+    from repro.datasets.loaders import load_tcm, save_tcm
+
+    measured = load_tcm(args.input)
+    tuner = None
+    if args.auto_tune:
+        tuner = GeneticTuner(seed=args.seed)
+    estimator = TrafficEstimator(
+        rank=args.rank,
+        lam=args.lam,
+        iterations=args.iterations,
+        tuner=tuner,
+        seed=args.seed,
+    )
+    output = estimator.estimate(measured)
+    save_tcm(output.estimate, args.output)
+    if output.tuning is not None:
+        print(
+            f"Algorithm 2 selected r={output.tuning.rank}, "
+            f"lambda={output.tuning.lam:.2f}"
+        )
+    print(
+        f"completed {measured.shape} matrix "
+        f"(integrity {measured.integrity:.1%}) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.datasets.loaders import load_tcm
+    from repro.metrics.errors import estimate_error, nmae, rmse
+
+    truth = load_tcm(args.truth)
+    estimate = load_tcm(args.estimate)
+    measured = load_tcm(args.measured) if args.measured else None
+    if truth.shape != estimate.shape:
+        print(
+            f"error: shape mismatch {truth.shape} vs {estimate.shape}",
+            file=sys.stderr,
+        )
+        return 2
+    if measured is not None:
+        err = estimate_error(
+            truth.values, estimate.values, measured.mask, truth.mask
+        )
+        print(f"estimate error (NMAE over missing cells): {err:.4f}")
+    print(f"overall NMAE: {nmae(truth.values, estimate.values, truth.mask):.4f}")
+    print(f"overall RMSE: {rmse(truth.values, estimate.values, truth.mask):.4f} km/h")
+    return 0
+
+
+def _cmd_integrity(args: argparse.Namespace) -> int:
+    from repro.datasets.loaders import load_tcm
+    from repro.probes.integrity import integrity_summary
+
+    tcm = load_tcm(args.input)
+    report = integrity_summary(tcm)
+    print(f"matrix: {tcm.shape} (slots x segments)")
+    print(f"overall integrity: {report.overall:.2%}")
+    print(f"roads with integrity <= 20%: {report.roads_below(0.2):.1%}")
+    print(f"roads with integrity <= 60%: {report.roads_below(0.6):.1%}")
+    print(f"roads never observed:        {report.roads_near_zero():.1%}")
+    print(f"slots with integrity <= 18%: {report.slots_below(0.18):.1%}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    return runner_main(["--profile", args.profile, "--seed", str(args.seed)])
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report_writer import write_report
+
+    path = write_report(args.output, profile=args.profile, seed=args.seed)
+    print(f"wrote reproduction report -> {path}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.apps.trip_planner import TripPlannerService
+    from repro.datasets.loaders import load_tcm
+    from repro.roadnet.io import load_network
+
+    network = load_network(args.network)
+    tcm = load_tcm(args.estimate)
+    planner = TripPlannerService(network, tcm)
+    plan = planner.plan(args.origin, args.destination, args.depart_s)
+    if plan is None:
+        print(
+            f"no route from {args.origin} to {args.destination}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"route {plan.origin} -> {plan.destination}: "
+        f"{plan.num_links} links, {plan.travel_time_s / 60:.1f} min"
+    )
+    print("segments:", " ".join(str(s) for s in plan.segment_ids))
+    return 0
+
+
+def _cmd_anomalies(args: argparse.Namespace) -> int:
+    from repro.core.anomaly import ResidualAnomalyDetector
+    from repro.datasets.loaders import load_tcm
+
+    tcm = load_tcm(args.input)
+    if not tcm.is_complete:
+        print("input TCM is partial; run `repro estimate` first", file=sys.stderr)
+        return 2
+    detector = ResidualAnomalyDetector(
+        rank=args.rank, threshold_sigmas=args.threshold
+    )
+    events = detector.detect(tcm)
+    print(f"{len(events)} anomalous slot(s)")
+    for event in events[: args.limit]:
+        print(
+            f"  slot {event.slot:4d}  score {event.score:5.1f}  "
+            f"segments {event.segment_ids[:6]}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen-network", help="generate a synthetic road network")
+    p.add_argument("output", help="output JSON path")
+    p.add_argument(
+        "--kind",
+        choices=("grid", "ring", "shanghai", "shenzhen"),
+        default="grid",
+    )
+    p.add_argument("--rows", type=int, default=8)
+    p.add_argument("--cols", type=int, default=8)
+    p.add_argument("--rings", type=int, default=4)
+    p.add_argument("--radials", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_gen_network)
+
+    p = sub.add_parser("gen-dataset", help="simulate a probe dataset")
+    p.add_argument("network", help="network JSON from gen-network")
+    p.add_argument("output_prefix", help="prefix for the output .npz files")
+    p.add_argument("--days", type=float, default=1.0)
+    p.add_argument("--vehicles", type=int, default=500)
+    p.add_argument("--slot-s", type=float, default=1800.0, dest="slot_s")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_gen_dataset)
+
+    p = sub.add_parser("estimate", help="complete a measurement TCM")
+    p.add_argument("input", help="measurement TCM (.npz)")
+    p.add_argument("output", help="estimate TCM output (.npz)")
+    p.add_argument("--rank", type=int, default=2)
+    p.add_argument("--lam", type=float, default=10.0)
+    p.add_argument("--iterations", type=int, default=100)
+    p.add_argument("--auto-tune", action="store_true", dest="auto_tune")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_estimate)
+
+    p = sub.add_parser("evaluate", help="score an estimate against truth")
+    p.add_argument("truth", help="ground-truth TCM (.npz)")
+    p.add_argument("estimate", help="estimate TCM (.npz)")
+    p.add_argument(
+        "--measured",
+        help="measurement TCM; restricts NMAE to its missing cells",
+    )
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("integrity", help="print a TCM's integrity report")
+    p.add_argument("input", help="measurement TCM (.npz)")
+    p.set_defaults(func=_cmd_integrity)
+
+    p = sub.add_parser("experiments", help="run the paper's experiment battery")
+    p.add_argument("--profile", choices=("quick", "paper"), default="quick")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser("report", help="write the battery as a Markdown report")
+    p.add_argument("output", help="output .md path")
+    p.add_argument("--profile", choices=("quick", "paper"), default="quick")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("plan", help="plan a trip over an estimated TCM")
+    p.add_argument("network", help="network JSON")
+    p.add_argument("estimate", help="complete estimate TCM (.npz)")
+    p.add_argument("origin", type=int, help="origin intersection id")
+    p.add_argument("destination", type=int, help="destination intersection id")
+    p.add_argument("--depart-s", type=float, default=0.0, dest="depart_s")
+    p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser("anomalies", help="detect incidents in a complete TCM")
+    p.add_argument("input", help="complete TCM (.npz)")
+    p.add_argument("--rank", type=int, default=2)
+    p.add_argument("--threshold", type=float, default=3.5)
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=_cmd_anomalies)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Online anomaly detection over the streaming estimator.
+
+Combines the paper's two extensions: as each slot closes, the live
+(sliding-window) completion provides the "expected" traffic state; the
+monitor standardizes each segment's deviation between its *observed*
+average speed and a seasonal expectation learned online, and raises an
+alert when a segment runs anomalously slow.
+
+The expectation is an exponentially-weighted per-(segment, slot-of-day)
+mean — a streaming analogue of the low-rank baseline the offline
+:class:`ResidualAnomalyDetector` uses — so the detector needs no
+training pass and adapts as the city drifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.streaming import SlotEstimate
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class OnlineAlert:
+    """One live anomaly alert.
+
+    Attributes
+    ----------
+    slot_start_s:
+        Wall-clock start of the slot that triggered the alert.
+    segment_id:
+        The anomalous segment.
+    z_score:
+        Standardized slowdown (positive = slower than expected).
+    observed_kmh, expected_kmh:
+        The offending observation and its seasonal expectation.
+    """
+
+    slot_start_s: float
+    segment_id: int
+    z_score: float
+    observed_kmh: float
+    expected_kmh: float
+
+
+class OnlineAnomalyMonitor:
+    """Streaming per-segment slowdown detector.
+
+    Feed it each :class:`SlotEstimate` the streaming estimator
+    publishes; it returns the alerts for that slot.
+
+    Parameters
+    ----------
+    segment_ids:
+        Tracked segments (must match the estimator's column order).
+    slot_s:
+        Slot length in seconds; with ``slots_per_day`` it maps each
+        estimate's ``slot_start_s`` to its slot-of-day bucket, so gaps
+        in the stream do not shift the seasonality.
+    slots_per_day:
+        Slot-of-day seasonality period (e.g. 48 for 30-minute slots).
+    alpha:
+        EWMA learning rate for the seasonal mean/variance.
+    threshold_sigmas:
+        Alert when the slowdown exceeds this many (robust) deviations.
+    warmup_days:
+        Suppress alerts until each slot-of-day bucket has seen at least
+        this many observations (the seasonal mean is meaningless before).
+    """
+
+    def __init__(
+        self,
+        segment_ids: Sequence[int],
+        slot_s: float,
+        slots_per_day: int,
+        alpha: float = 0.25,
+        threshold_sigmas: float = 3.5,
+        warmup_days: int = 1,
+    ):
+        check_positive(slot_s, "slot_s")
+        if slots_per_day < 1:
+            raise ValueError(f"slots_per_day must be >= 1, got {slots_per_day}")
+        check_fraction(alpha, "alpha")
+        if alpha == 0.0:
+            raise ValueError("alpha must be positive")
+        check_positive(threshold_sigmas, "threshold_sigmas")
+        if warmup_days < 0:
+            raise ValueError("warmup_days must be >= 0")
+        self.segment_ids = [int(s) for s in segment_ids]
+        self.slot_s = slot_s
+        self.slots_per_day = slots_per_day
+        self.alpha = alpha
+        self.threshold_sigmas = threshold_sigmas
+        self.warmup_days = warmup_days
+
+        n = len(self.segment_ids)
+        self._mean = np.zeros((slots_per_day, n))
+        self._var = np.zeros((slots_per_day, n))
+        self._count = np.zeros((slots_per_day, n), dtype=np.int64)
+        self.alerts: List[OnlineAlert] = []
+
+    def observe(self, estimate: SlotEstimate) -> List[OnlineAlert]:
+        """Ingest one closed slot's estimate; return this slot's alerts."""
+        speeds = np.asarray(estimate.speeds_kmh, dtype=float)
+        if speeds.shape != (len(self.segment_ids),):
+            raise ValueError(
+                f"expected {len(self.segment_ids)} speeds, got {speeds.shape}"
+            )
+        bucket = int(round(estimate.slot_start_s / self.slot_s)) % self.slots_per_day
+
+        mean = self._mean[bucket]
+        var = self._var[bucket]
+        count = self._count[bucket]
+
+        alerts: List[OnlineAlert] = []
+        ready = count >= max(1, self.warmup_days)
+        std = np.sqrt(np.maximum(var, 1e-6))
+        # Slowdown = expectation minus observation (positive = slower).
+        z = np.where(ready, (mean - speeds) / std, 0.0)
+        for j in np.flatnonzero(z > self.threshold_sigmas):
+            alerts.append(
+                OnlineAlert(
+                    slot_start_s=estimate.slot_start_s,
+                    segment_id=self.segment_ids[j],
+                    z_score=float(z[j]),
+                    observed_kmh=float(speeds[j]),
+                    expected_kmh=float(mean[j]),
+                )
+            )
+
+        # EWMA update (after alerting, so an incident does not instantly
+        # poison its own expectation).
+        first = count == 0
+        delta = speeds - mean
+        self._mean[bucket] = np.where(first, speeds, mean + self.alpha * delta)
+        self._var[bucket] = np.where(
+            first,
+            np.maximum((0.15 * np.maximum(speeds, 1.0)) ** 2, 1.0),
+            (1 - self.alpha) * (var + self.alpha * delta**2),
+        )
+        self._count[bucket] = count + 1
+
+        self.alerts.extend(alerts)
+        return alerts
+
+    def observe_many(
+        self, estimates: Sequence[SlotEstimate]
+    ) -> List[OnlineAlert]:
+        """Ingest a sequence of closed slots; return all new alerts."""
+        out: List[OnlineAlert] = []
+        for est in estimates:
+            out.extend(self.observe(est))
+        return out

@@ -1,0 +1,110 @@
+"""SVD / PCA structure analysis of traffic condition matrices.
+
+Implements Section 3.1's empirical machinery: the singular value
+spectrum whose "sharp knee" (Figure 4) evidences low effective rank, and
+best rank-r approximation (Eq. 11-12) used for the Figure 6
+reconstruction study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_finite, check_fraction
+
+
+def _svd(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    matrix = check_finite(np.asarray(matrix, dtype=float), "matrix")
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    return np.linalg.svd(matrix, full_matrices=False)
+
+
+@dataclass(frozen=True)
+class SpectrumSummary:
+    """Singular value spectrum of a TCM.
+
+    Attributes
+    ----------
+    singular_values:
+        Descending singular values ``sigma_i``.
+    """
+
+    singular_values: np.ndarray
+
+    @property
+    def magnitudes(self) -> np.ndarray:
+        """Ratio of each singular value to the maximum (Figure 4's y-axis)."""
+        top = self.singular_values[0] if self.singular_values.size else 1.0
+        if top == 0:
+            return np.zeros_like(self.singular_values)
+        return self.singular_values / top
+
+    @property
+    def energies(self) -> np.ndarray:
+        """Squared singular values normalized to sum 1 ("energy" shares)."""
+        sq = self.singular_values**2
+        total = sq.sum()
+        if total == 0:
+            return np.zeros_like(sq)
+        return sq / total
+
+    def energy_captured(self, rank: int) -> float:
+        """Fraction of total energy in the first ``rank`` components."""
+        if rank < 0:
+            raise ValueError(f"rank must be >= 0, got {rank}")
+        return float(self.energies[:rank].sum())
+
+    def rank_for_energy(self, fraction: float) -> int:
+        """Smallest rank capturing at least ``fraction`` of the energy."""
+        check_fraction(fraction, "fraction")
+        cumulative = np.cumsum(self.energies)
+        idx = int(np.searchsorted(cumulative, fraction - 1e-12)) + 1
+        return min(idx, self.singular_values.size)
+
+    def knee_sharpness(self, head: int = 5) -> float:
+        """Energy share of the first ``head`` components.
+
+        A value near 1 is the paper's "sharp knee": almost all energy in
+        the first few principal components.
+        """
+        return self.energy_captured(head)
+
+
+def singular_value_spectrum(matrix: np.ndarray) -> SpectrumSummary:
+    """Spectrum of ``matrix`` (Figure 4)."""
+    _, s, _ = _svd(matrix)
+    return SpectrumSummary(singular_values=s)
+
+
+def rank_r_approximation(matrix: np.ndarray, rank: int) -> np.ndarray:
+    """Best rank-``rank`` approximation in Frobenius norm (Eq. 11-12).
+
+    Keeps the ``rank`` largest singular triplets and drops the rest; by
+    Eckart-Young this minimizes ``||X - X_hat||_F`` subject to
+    ``rank(X_hat) <= rank``.
+    """
+    if rank < 1:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+    u, s, vt = _svd(matrix)
+    r = min(rank, s.size)
+    return (u[:, :r] * s[:r]) @ vt[:r]
+
+
+def effective_rank(matrix: np.ndarray, energy_fraction: float = 0.95) -> int:
+    """Rank needed to capture ``energy_fraction`` of the spectrum energy."""
+    return singular_value_spectrum(matrix).rank_for_energy(energy_fraction)
+
+
+def principal_components(
+    matrix: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full thin SVD ``(U, sigma, V^T)`` of the matrix (Eq. 7).
+
+    ``U``'s columns are the eigenflows ``u_i = X v_i / sigma_i`` (Eq. 8);
+    ``V``'s columns are the principal directions of ``X^T X``.
+    """
+    return _svd(matrix)

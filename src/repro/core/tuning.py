@@ -1,0 +1,286 @@
+"""Algorithm 2: genetic search for the optimal (rank bound, lambda).
+
+Section 3.4: the estimation quality is an *invisible* function
+``f(r, lambda)`` of the two parameters of Algorithm 1, so the paper
+tunes them with a real-coded genetic algorithm — no analytical form of
+the objective is needed; estimate errors serve as fitness.
+
+Fitness evaluation: a fraction of the *observed* cells is hidden as a
+validation set, Algorithm 1 runs on the remainder, and the candidate's
+fitness is the NMAE on the hidden cells.  (The true missing cells have
+no ground truth at tuning time, so validation must come from the
+observations — this matches how the paper can run Algorithm 2 "once for
+a given set of road segments" in deployment.)
+
+GA structure follows the pseudocode: random uniform initialization
+within the parameter bounds; per generation an elite *selection*, a
+*crossover* group bred by roulette-wheel parent choice, and a *mutation*
+group where one gene is reset to a random value in its domain;
+termination after a fixed number of generations or on fitness stall.
+``lambda`` is searched in log space (its useful range spans six decades,
+Figure 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.completion import CompressiveSensingCompleter
+from repro.core.tcm import TrafficConditionMatrix
+from repro.metrics.errors import nmae
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_fraction, check_matrix_pair
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One GA individual: a (rank, lambda) pair with its fitness (NMAE)."""
+
+    rank: int
+    lam: float
+    fitness: float
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Output of Algorithm 2.
+
+    Attributes
+    ----------
+    rank, lam:
+        The best parameters found.
+    fitness:
+        Validation NMAE of the best individual (lower is better).
+    generations_run:
+        Number of generations actually executed.
+    history:
+        Best fitness after each generation.
+    population:
+        Final population, best first.
+    """
+
+    rank: int
+    lam: float
+    fitness: float
+    generations_run: int
+    history: List[float]
+    population: List[Candidate]
+
+
+class GeneticTuner:
+    """Genetic search over Algorithm 1's (r, lambda).
+
+    Parameters
+    ----------
+    rank_bounds:
+        Inclusive (low, high) for the rank bound; the paper sets the low
+        bound to 1 and the high bound via Eq. 18 (min(m, n)); callers
+        usually cap it far lower.
+    lam_bounds:
+        (low, high) for lambda, searched in log space.
+    population_size:
+        Individuals per generation.
+    generations:
+        Maximum generations (fixed-iteration termination, as the paper
+        adopts).
+    elite_fraction, crossover_fraction:
+        Composition of the next generation; the remainder is mutants.
+    validation_fraction:
+        Share of observed cells hidden for fitness evaluation.
+    stall_generations:
+        Early stop after this many generations without improvement
+        (``None`` disables; the pseudocode's ``stall(fitness)``).
+    completer_iterations:
+        ALS sweeps per fitness evaluation (kept below the paper's 100
+        because tuning runs Algorithm 1 population x generations times).
+    seed:
+        Master random stream.
+    """
+
+    def __init__(
+        self,
+        rank_bounds: Tuple[int, int] = (1, 32),
+        lam_bounds: Tuple[float, float] = (1e-3, 2e3),
+        population_size: int = 12,
+        generations: int = 8,
+        elite_fraction: float = 0.25,
+        crossover_fraction: float = 0.5,
+        validation_fraction: float = 0.25,
+        stall_generations: Optional[int] = 4,
+        completer_iterations: int = 30,
+        mask_aware: bool = True,
+        seed: SeedLike = None,
+    ):
+        lo_r, hi_r = rank_bounds
+        if lo_r < 1 or hi_r < lo_r:
+            raise ValueError(f"invalid rank_bounds {rank_bounds}")
+        lo_l, hi_l = lam_bounds
+        if lo_l <= 0 or hi_l < lo_l:
+            raise ValueError(f"invalid lam_bounds {lam_bounds}")
+        if population_size < 3:
+            raise ValueError("population_size must be >= 3")
+        if generations < 1:
+            raise ValueError("generations must be >= 1")
+        check_fraction(elite_fraction, "elite_fraction")
+        check_fraction(crossover_fraction, "crossover_fraction")
+        if elite_fraction + crossover_fraction > 1.0:
+            raise ValueError("elite_fraction + crossover_fraction must be <= 1")
+        check_fraction(validation_fraction, "validation_fraction")
+        if not 0 < validation_fraction < 1:
+            raise ValueError("validation_fraction must be in (0, 1)")
+        if stall_generations is not None and stall_generations < 1:
+            raise ValueError("stall_generations must be >= 1 or None")
+        self.rank_bounds = (int(lo_r), int(hi_r))
+        self.lam_bounds = (float(lo_l), float(hi_l))
+        self.population_size = population_size
+        self.generations = generations
+        self.elite_fraction = elite_fraction
+        self.crossover_fraction = crossover_fraction
+        self.validation_fraction = validation_fraction
+        self.stall_generations = stall_generations
+        self.completer_iterations = completer_iterations
+        self.mask_aware = mask_aware
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    def tune(
+        self,
+        measurements: Union[TrafficConditionMatrix, np.ndarray],
+        mask: Optional[np.ndarray] = None,
+    ) -> TuningResult:
+        """Run the GA on a measurement matrix; returns the best (r, lambda)."""
+        if isinstance(measurements, TrafficConditionMatrix):
+            if mask is not None:
+                raise ValueError("mask is implied by the TrafficConditionMatrix")
+            m_arr, b_arr = measurements.values, measurements.mask
+        else:
+            if mask is None:
+                raise ValueError("mask required when passing a raw array")
+            m_arr, b_arr = check_matrix_pair(measurements, mask)
+        rng = ensure_rng(self._seed)
+
+        train_mask, val_mask = self._split_validation(b_arr, rng)
+        if not val_mask.any() or not train_mask.any():
+            raise ValueError("too few observed entries to build a validation split")
+        train_m = np.where(train_mask, m_arr, 0.0)
+
+        max_rank = min(self.rank_bounds[1], min(m_arr.shape))
+        min_rank = min(self.rank_bounds[0], max_rank)
+
+        def evaluate(rank: int, lam: float) -> float:
+            completer = CompressiveSensingCompleter(
+                rank=rank,
+                lam=lam,
+                iterations=self.completer_iterations,
+                mask_aware=self.mask_aware,
+                seed=int(rng.integers(0, 2**63 - 1)),
+            )
+            result = completer.complete(train_m, train_mask)
+            return nmae(m_arr, result.estimate, val_mask)
+
+        # 1) Initialization: uniform in rank, log-uniform in lambda.
+        population = [
+            self._random_candidate(min_rank, max_rank, rng, evaluate)
+            for _ in range(self.population_size)
+        ]
+        population.sort(key=lambda c: c.fitness)
+
+        history: List[float] = []
+        best = population[0]
+        stall = 0
+        generations_run = 0
+
+        for _ in range(self.generations):
+            generations_run += 1
+            population = self._next_generation(
+                population, min_rank, max_rank, rng, evaluate
+            )
+            population.sort(key=lambda c: c.fitness)
+            history.append(population[0].fitness)
+            if population[0].fitness < best.fitness - 1e-9:
+                best = population[0]
+                stall = 0
+            else:
+                stall += 1
+                if (
+                    self.stall_generations is not None
+                    and stall >= self.stall_generations
+                ):
+                    break
+
+        return TuningResult(
+            rank=best.rank,
+            lam=best.lam,
+            fitness=best.fitness,
+            generations_run=generations_run,
+            history=history,
+            population=population,
+        )
+
+    # ------------------------------------------------------------------
+    def _split_validation(
+        self, b_arr: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Hide ``validation_fraction`` of observed cells for fitness."""
+        observed = np.argwhere(b_arr)
+        k = max(1, int(round(len(observed) * self.validation_fraction)))
+        k = min(k, len(observed) - 1) if len(observed) > 1 else 0
+        chosen = observed[rng.choice(len(observed), size=k, replace=False)]
+        val_mask = np.zeros_like(b_arr)
+        val_mask[chosen[:, 0], chosen[:, 1]] = True
+        return b_arr & ~val_mask, val_mask
+
+    def _random_candidate(self, min_rank, max_rank, rng, evaluate) -> Candidate:
+        rank = int(rng.integers(min_rank, max_rank + 1))
+        lam = self._random_lam(rng)
+        return Candidate(rank, lam, evaluate(rank, lam))
+
+    def _random_lam(self, rng: np.random.Generator) -> float:
+        lo, hi = np.log(self.lam_bounds[0]), np.log(self.lam_bounds[1])
+        return float(np.exp(rng.uniform(lo, hi)))
+
+    def _roulette_pick(
+        self, population: List[Candidate], rng: np.random.Generator
+    ) -> Candidate:
+        """Roulette-wheel selection; lower NMAE -> higher weight."""
+        fitness = np.array([c.fitness for c in population])
+        fitness = np.where(np.isfinite(fitness), fitness, fitness[np.isfinite(fitness)].max() if np.isfinite(fitness).any() else 1.0)
+        weights = 1.0 / (fitness + 1e-6)
+        weights /= weights.sum()
+        return population[int(rng.choice(len(population), p=weights))]
+
+    def _next_generation(
+        self, population, min_rank, max_rank, rng, evaluate
+    ) -> List[Candidate]:
+        n_elite = max(1, int(round(self.population_size * self.elite_fraction)))
+        n_cross = int(round(self.population_size * self.crossover_fraction))
+        n_mut = self.population_size - n_elite - n_cross
+
+        next_pop: List[Candidate] = list(population[:n_elite])
+
+        # Crossover: child takes one gene from each parent.
+        for _ in range(n_cross):
+            a = self._roulette_pick(population, rng)
+            b = self._roulette_pick(population, rng)
+            if rng.random() < 0.5:
+                rank, lam = a.rank, b.lam
+            else:
+                rank, lam = b.rank, a.lam
+            rank = int(np.clip(rank, min_rank, max_rank))
+            next_pop.append(Candidate(rank, lam, evaluate(rank, lam)))
+
+        # Mutation: reset one gene of a selected parent to a random value.
+        for _ in range(max(0, n_mut)):
+            parent = self._roulette_pick(population, rng)
+            if rng.random() < 0.5:
+                rank = int(rng.integers(min_rank, max_rank + 1))
+                lam = parent.lam
+            else:
+                rank = parent.rank
+                lam = self._random_lam(rng)
+            next_pop.append(Candidate(rank, lam, evaluate(rank, lam)))
+
+        return next_pop

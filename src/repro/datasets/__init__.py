@@ -1,0 +1,44 @@
+"""End-to-end dataset construction.
+
+Builds the "Shanghai-like" and "Shenzhen-like" experiment datasets that
+substitute for the paper's proprietary taxi data: a synthetic road
+network, a week of ground-truth traffic, a simulated probe fleet, and
+the aggregated measurement matrices — plus the random-discard masking
+the paper applies to near-complete matrices to sweep integrity
+(Section 4.1), and save/load helpers.
+"""
+
+from repro.datasets.synthetic import (
+    ProbeDataset,
+    SyntheticDatasetConfig,
+    build_probe_dataset,
+    shanghai_dataset,
+    shenzhen_dataset,
+)
+from repro.datasets.masks import (
+    random_integrity_mask,
+    structured_missing_mask,
+)
+from repro.datasets.loaders import load_tcm, save_tcm
+from repro.datasets.scenarios import (
+    night_economy,
+    rush_hour_incident,
+    sensor_outage,
+    sparse_outskirts,
+)
+
+__all__ = [
+    "night_economy",
+    "rush_hour_incident",
+    "sensor_outage",
+    "sparse_outskirts",
+    "ProbeDataset",
+    "SyntheticDatasetConfig",
+    "build_probe_dataset",
+    "shanghai_dataset",
+    "shenzhen_dataset",
+    "random_integrity_mask",
+    "structured_missing_mask",
+    "load_tcm",
+    "save_tcm",
+]

@@ -1,0 +1,48 @@
+"""Saving and loading traffic condition matrices.
+
+NumPy ``.npz`` containers holding the value matrix, the indicator mask,
+the time grid, and the segment ids — enough to reconstruct a
+:class:`TrafficConditionMatrix` exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.tcm import TimeGrid, TrafficConditionMatrix
+
+_FORMAT_VERSION = 1
+
+
+def save_tcm(tcm: TrafficConditionMatrix, path: Union[str, Path]) -> None:
+    """Write a TCM to an ``.npz`` file."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        format_version=np.array(_FORMAT_VERSION),
+        values=tcm.values,
+        mask=tcm.mask,
+        start_s=np.array(tcm.grid.start_s),
+        slot_s=np.array(tcm.grid.slot_s),
+        segment_ids=np.array(tcm.segment_ids, dtype=np.int64),
+    )
+
+
+def load_tcm(path: Union[str, Path]) -> TrafficConditionMatrix:
+    """Read a TCM written by :func:`save_tcm`."""
+    with np.load(Path(path)) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported TCM format version: {version}")
+        values = data["values"]
+        mask = data["mask"]
+        grid = TimeGrid(
+            start_s=float(data["start_s"]),
+            slot_s=float(data["slot_s"]),
+            num_slots=values.shape[0],
+        )
+        segment_ids = [int(s) for s in data["segment_ids"]]
+    return TrafficConditionMatrix(values, mask, grid=grid, segment_ids=segment_ids)

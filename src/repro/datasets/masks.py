@@ -1,0 +1,91 @@
+"""Observation-mask generators for controlled integrity sweeps.
+
+The paper's Section 4 methodology starts from a near-complete ground
+truth matrix and "randomly discard[s] some elements to form measurement
+matrices" at a target integrity.  :func:`random_integrity_mask`
+implements that uniform discarding; :func:`structured_missing_mask`
+additionally mimics the *real* missingness pattern (whole poorly-covered
+segments and quiet night slots missing together), which is the harder
+regime probe data actually produces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_fraction
+
+
+def random_integrity_mask(
+    shape,
+    integrity: float,
+    seed: SeedLike = None,
+    base_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Uniform random mask with an exact cell count at ``integrity``.
+
+    Parameters
+    ----------
+    shape:
+        (m, n) of the matrix.
+    integrity:
+        Target fraction of observed cells (Definition 4).
+    base_mask:
+        Optional availability mask; observed cells are drawn only from
+        its true cells (the paper's ground-truth matrices themselves
+        have a few vacancies).
+    """
+    check_fraction(integrity, "integrity")
+    rng = ensure_rng(seed)
+    m, n = shape
+    if base_mask is None:
+        candidates = np.arange(m * n)
+    else:
+        base_mask = np.asarray(base_mask, dtype=bool)
+        if base_mask.shape != (m, n):
+            raise ValueError(f"base_mask shape {base_mask.shape} != {shape}")
+        candidates = np.flatnonzero(base_mask.ravel())
+    keep = int(round(integrity * m * n))
+    keep = min(keep, candidates.size)
+    mask = np.zeros(m * n, dtype=bool)
+    if keep > 0:
+        chosen = rng.choice(candidates, size=keep, replace=False)
+        mask[chosen] = True
+    return mask.reshape(m, n)
+
+
+def structured_missing_mask(
+    shape,
+    integrity: float,
+    seed: SeedLike = None,
+    column_weight_spread: float = 2.0,
+    row_weight_spread: float = 1.0,
+) -> np.ndarray:
+    """Mask whose missingness is correlated by row and column.
+
+    Each cell's observation odds are proportional to a per-column weight
+    (segment popularity, lognormal with sigma ``column_weight_spread``)
+    times a per-row weight (slot activity).  Produces the heavy-tailed
+    per-road integrity distribution real probe fleets generate
+    (Figure 2's near-zero-integrity roads) at a controlled overall
+    integrity.
+    """
+    check_fraction(integrity, "integrity")
+    if column_weight_spread < 0 or row_weight_spread < 0:
+        raise ValueError("weight spreads must be >= 0")
+    rng = ensure_rng(seed)
+    m, n = shape
+    col_w = rng.lognormal(0.0, column_weight_spread, size=n)
+    row_w = rng.lognormal(0.0, row_weight_spread, size=m)
+    weights = np.outer(row_w, col_w).ravel()
+    keep = int(round(integrity * m * n))
+    if keep == 0:
+        return np.zeros((m, n), dtype=bool)
+    probs = weights / weights.sum()
+    chosen = rng.choice(m * n, size=keep, replace=False, p=probs)
+    mask = np.zeros(m * n, dtype=bool)
+    mask[chosen] = True
+    return mask.reshape(m, n)

@@ -1,0 +1,135 @@
+"""Named end-to-end scenarios.
+
+Pre-configured worlds for demos, tests, and studies — each returns a
+:class:`repro.datasets.synthetic.ProbeDataset` with a documented twist:
+
+* ``rush_hour_incident`` — a clean weekday plus one severe accident
+  planted during the evening peak (known window, for detector studies).
+* ``sparse_outskirts`` — strongly centre-biased demand: downtown is
+  saturated while the periphery is nearly dark (worst-case structured
+  missingness).
+* ``sensor_outage`` — a mid-day reporting blackout: the cellular uplink
+  drops every report in a fixed window (tests temporal-hole recovery).
+* ``night_economy`` — a weekend-style world where the night mode
+  dominates (stresses profiles beyond commuter traffic).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.tcm import TimeGrid
+from repro.datasets.synthetic import (
+    ProbeDataset,
+    SyntheticDatasetConfig,
+    build_probe_dataset,
+)
+from repro.mobility.fleet import FleetConfig
+from repro.probes.aggregation import aggregate_reports
+from repro.probes.report import ReportBatch
+from repro.roadnet.generators import grid_city
+from repro.traffic.congestion import CongestionIncident
+from repro.traffic.dynamics import TrafficDynamicsConfig
+from repro.traffic.groundtruth import GroundTruthTraffic
+from repro.traffic.profiles import (
+    business_hours_profile,
+    commuter_profile,
+    night_activity_profile,
+)
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+def rush_hour_incident(
+    seed: SeedLike = 0,
+) -> Tuple[ProbeDataset, CongestionIncident, Tuple[int, int]]:
+    """A weekday with one planted evening-peak accident.
+
+    Returns ``(dataset, incident, (first_slot, last_slot))`` at the
+    dataset's 30-minute granularity so detector studies can score
+    recall against the known window.
+    """
+    network = grid_city(6, 6, block_m=250.0, seed=0)
+    slot_s = 1800.0
+    first_slot, last_slot = 36, 39  # 18:00-20:00
+    incident = CongestionIncident(
+        start_s=first_slot * slot_s,
+        duration_s=(last_slot - first_slot + 1) * slot_s,
+        core_segment=network.segment_ids[0],
+        affected={
+            network.segment_ids[0]: 0.85,
+            network.segment_ids[1]: 0.5,
+        },
+    )
+    net_rng, traffic_rng, fleet_rng = spawn_rngs(seed, 3)
+    fine_grid = TimeGrid.over_days(1.0, 900.0)
+    dynamics = TrafficDynamicsConfig(incident_rate_per_day=0.0)
+    fine_truth = GroundTruthTraffic.synthesize(
+        network, fine_grid, config=dynamics, seed=traffic_rng,
+        incidents=[incident],
+    )
+    from repro.mobility.fleet import FleetSimulator
+
+    reports = FleetSimulator(
+        fine_truth, FleetConfig(num_vehicles=150), seed=fleet_rng
+    ).run()
+    truth = fine_truth.resample(slot_s)
+    measurements = aggregate_reports(reports, truth.grid, network.segment_ids)
+    dataset = ProbeDataset(
+        network=network,
+        ground_truth=truth,
+        reports=reports,
+        measurements=measurements,
+        fine_truth=fine_truth,
+    )
+    return dataset, incident, (first_slot, last_slot)
+
+
+def sparse_outskirts(seed: SeedLike = 0) -> ProbeDataset:
+    """Centre-saturated, periphery-dark coverage (structured missingness)."""
+    network = grid_city(9, 9, block_m=250.0, seed=0)
+    config = SyntheticDatasetConfig(
+        days=1.0,
+        num_vehicles=300,
+        slot_s=1800.0,
+        fleet=FleetConfig(num_vehicles=300, uniform_floor=0.01),
+    )
+    return build_probe_dataset(network, config, seed=seed)
+
+
+def sensor_outage(
+    seed: SeedLike = 0,
+    outage_start_s: float = 11 * 3600.0,
+    outage_end_s: float = 14 * 3600.0,
+) -> ProbeDataset:
+    """A mid-day uplink blackout: all reports in the window are lost."""
+    if outage_end_s <= outage_start_s:
+        raise ValueError("empty outage window")
+    network = grid_city(6, 6, block_m=250.0, seed=0)
+    config = SyntheticDatasetConfig(days=1.0, num_vehicles=200, slot_s=1800.0)
+    base = build_probe_dataset(network, config, seed=seed)
+    surviving = ReportBatch(
+        r for r in base.reports
+        if not outage_start_s <= r.time_s < outage_end_s
+    )
+    measurements = aggregate_reports(
+        surviving, base.ground_truth.grid, network.segment_ids
+    )
+    return ProbeDataset(
+        network=network,
+        ground_truth=base.ground_truth,
+        reports=surviving,
+        measurements=measurements,
+        fine_truth=base.fine_truth,
+    )
+
+
+def night_economy(seed: SeedLike = 0) -> ProbeDataset:
+    """A nightlife-dominated weekend world."""
+    network = grid_city(6, 6, block_m=250.0, seed=0)
+    dynamics = TrafficDynamicsConfig(
+        modes=[night_activity_profile(), business_hours_profile(), commuter_profile()],
+    )
+    config = SyntheticDatasetConfig(
+        days=1.0, num_vehicles=200, slot_s=1800.0, dynamics=dynamics
+    )
+    return build_probe_dataset(network, config, seed=seed)

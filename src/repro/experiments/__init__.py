@@ -1,0 +1,43 @@
+"""Experiment harness: one driver per paper table/figure.
+
+Every driver is a pure function from an experiment config to a result
+dataclass, plus a ``render`` helper that prints the same rows/series the
+paper reports.  The benchmark suite under ``benchmarks/`` wraps these
+drivers with ``pytest-benchmark``; ``runner.run_all`` executes the full
+battery and produces the EXPERIMENTS.md evidence.
+
+| Paper item | Driver |
+|---|---|
+| Table 1, Fig. 2, Fig. 3 | :mod:`repro.experiments.integrity_study` |
+| Fig. 4-8 | :mod:`repro.experiments.structure_study` |
+| Fig. 11, Fig. 12 | :mod:`repro.experiments.error_vs_integrity` |
+| Fig. 13, Fig. 14 | :mod:`repro.experiments.error_cdf` |
+| Fig. 15, Fig. 16 | :mod:`repro.experiments.param_sensitivity` |
+| Fig. 17, Fig. 18 | :mod:`repro.experiments.matrix_selection_study` |
+| Table 2 | :mod:`repro.experiments.runtimes` |
+| sampling extension | :mod:`repro.experiments.sampling_study` |
+| robustness extension | :mod:`repro.experiments.robustness` |
+| streaming extension | :mod:`repro.experiments.streaming_study` |
+| seed-sensitivity extension | :mod:`repro.experiments.seed_sensitivity` |
+
+Rendering helpers: :mod:`repro.experiments.reporting` (tables/series),
+:mod:`repro.experiments.charts` (ASCII line/bar charts), and
+:mod:`repro.experiments.report_writer` (Markdown reproduction report).
+"""
+
+from repro.experiments.config import (
+    GRANULARITIES_S,
+    AlgorithmSpec,
+    default_algorithms,
+    make_completer,
+)
+from repro.experiments.reporting import format_series, format_table
+
+__all__ = [
+    "GRANULARITIES_S",
+    "AlgorithmSpec",
+    "default_algorithms",
+    "make_completer",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,116 @@
+"""Plain-text charts for figure-style experiment output.
+
+The benchmark harness prints tables; for the figures it also helps to
+*see* the shape (the Figure 16 U-curve, the Figure 4 knee).  These
+renderers draw small ASCII line/bar charts with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+_SERIES_MARKS = "ox+*#@%&"
+
+
+def ascii_line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Render one or more series as an ASCII scatter-line chart.
+
+    X positions are spread evenly over the value order (category-style),
+    which suits the log-ish sweeps the paper plots.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("chart needs width >= 10 and height >= 4")
+    names = list(series)
+    if not names:
+        raise ValueError("no series to plot")
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    if not x_values:
+        raise ValueError("no points to plot")
+
+    all_values = np.concatenate([np.asarray(series[n], dtype=float) for n in names])
+    finite = all_values[np.isfinite(all_values)]
+    if finite.size == 0:
+        raise ValueError("no finite values to plot")
+    y_min, y_max = float(finite.min()), float(finite.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    n_points = len(x_values)
+    for s_idx, name in enumerate(names):
+        mark = _SERIES_MARKS[s_idx % len(_SERIES_MARKS)]
+        for i, value in enumerate(series[name]):
+            if not np.isfinite(value):
+                continue
+            col = int(round(i * (width - 1) / max(1, n_points - 1)))
+            frac = (value - y_min) / (y_max - y_min)
+            row = (height - 1) - int(round(frac * (height - 1)))
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            label = top_label
+        elif row_idx == height - 1:
+            label = bottom_label
+        elif row_idx == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    axis = "-" * width
+    lines.append(f"{'':>{label_width}} +{axis}")
+    x_left = f"{x_values[0]:.3g}"
+    x_right = f"{x_values[-1]:.3g}"
+    gap = max(1, width - len(x_left) - len(x_right))
+    lines.append(f"{'':>{label_width}}  {x_left}{' ' * gap}{x_right}")
+    legend = "  ".join(
+        f"{_SERIES_MARKS[i % len(_SERIES_MARKS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(f"{'':>{label_width}}  {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Render labelled values as horizontal ASCII bars."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values length mismatch")
+    if not labels:
+        raise ValueError("nothing to plot")
+    values = np.asarray(values, dtype=float)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        raise ValueError("no finite values to plot")
+    peak = float(finite.max())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if np.isfinite(value):
+            bar = "#" * max(0, int(round(value / peak * width)))
+            lines.append(f"{label:>{label_width}} | {bar} {value:.4g}")
+        else:
+            lines.append(f"{label:>{label_width}} | (n/a)")
+    return "\n".join(lines)

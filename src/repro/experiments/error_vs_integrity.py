@@ -1,0 +1,149 @@
+"""Section 4.3 comparative study: Figures 11 and 12.
+
+For each time granularity (15/30/60 min) and each integrity level, the
+ground-truth downtown matrix is randomly thinned to a measurement matrix
+(the paper "randomly discard[s] some elements"), every algorithm
+completes it, and the estimate error (Definition 2, over the discarded
+cells) is recorded.
+
+Figure 11 uses the Shanghai configuration (221 segments, MSSA included);
+Figure 12 the Shenzhen configuration (198 segments, MSSA excluded
+because "MSSA runs very slowly").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.tcm import TimeGrid, TrafficConditionMatrix
+from repro.datasets.masks import random_integrity_mask
+from repro.experiments.config import AlgorithmSpec, default_algorithms
+from repro.experiments.reporting import format_series
+from repro.metrics.errors import estimate_error
+from repro.roadnet.generators import shanghai_downtown_like, shenzhen_downtown_like
+from repro.traffic.groundtruth import GroundTruthTraffic
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+PAPER_INTEGRITIES = (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95)
+
+
+@dataclass
+class ErrorVsIntegrityConfig:
+    """Configuration of the Figure 11/12 reproduction."""
+
+    city: str = "shanghai"
+    days: float = 7.0
+    granularities_s: Tuple[float, ...] = (900.0, 1800.0, 3600.0)
+    integrities: Tuple[float, ...] = PAPER_INTEGRITIES
+    include_mssa: Optional[bool] = None  # None = paper's per-city choice
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.city not in ("shanghai", "shenzhen"):
+            raise ValueError(f"city must be 'shanghai' or 'shenzhen', got {self.city!r}")
+        if not self.integrities:
+            raise ValueError("integrities must be non-empty")
+        for v in self.integrities:
+            if not 0 < v < 1:
+                raise ValueError(f"integrity {v} must be in (0, 1)")
+
+    @property
+    def mssa_included(self) -> bool:
+        if self.include_mssa is not None:
+            return self.include_mssa
+        return self.city == "shanghai"
+
+
+@dataclass
+class ErrorVsIntegrityResult:
+    """NMAE per (granularity, integrity, algorithm).
+
+    ``errors[(gran_s, integrity)][algorithm] = nmae``.
+    """
+
+    errors: Dict[Tuple[float, float], Dict[str, float]]
+    config: ErrorVsIntegrityConfig
+
+    def series_for(self, gran_s: float) -> Dict[str, List[float]]:
+        """One granularity's error-vs-integrity curves, per algorithm."""
+        names = self.algorithm_names()
+        return {
+            name: [
+                self.errors[(gran_s, integ)][name]
+                for integ in self.config.integrities
+            ]
+            for name in names
+        }
+
+    def algorithm_names(self) -> List[str]:
+        first = self.errors[next(iter(self.errors))]
+        return list(first)
+
+    def render(self) -> str:
+        """All granularities' series, figure-style (table + chart)."""
+        from repro.experiments.charts import ascii_line_chart
+
+        figure = "Figure 11" if self.config.city == "shanghai" else "Figure 12"
+        blocks = []
+        for gran in self.config.granularities_s:
+            series = self.series_for(gran)
+            table = format_series(
+                "integrity",
+                list(self.config.integrities),
+                series,
+                title=(
+                    f"{figure}: estimate error vs integrity "
+                    f"({self.config.city}, {int(gran / 60)} min)"
+                ),
+            )
+            chart = ascii_line_chart(
+                list(self.config.integrities), series, y_label="NMAE", height=10
+            )
+            blocks.append(f"{table}\n{chart}")
+        return "\n\n".join(blocks)
+
+
+def build_city_truth(
+    city: str, days: float, seed: int = 0
+) -> GroundTruthTraffic:
+    """The city's downtown ground truth at the base 15-min granularity."""
+    traffic_rng, = spawn_rngs(seed, 1)
+    if city == "shanghai":
+        network = shanghai_downtown_like(seed=0)
+    elif city == "shenzhen":
+        network = shenzhen_downtown_like(seed=1)
+    else:
+        raise ValueError(f"unknown city {city!r}")
+    grid = TimeGrid.over_days(days, 900.0)
+    return GroundTruthTraffic.synthesize(network, grid, seed=traffic_rng)
+
+
+def run_error_vs_integrity(
+    config: Optional[ErrorVsIntegrityConfig] = None,
+    algorithms: Optional[Sequence[AlgorithmSpec]] = None,
+) -> ErrorVsIntegrityResult:
+    """Run the full comparative sweep."""
+    config = config or ErrorVsIntegrityConfig()
+    if algorithms is None:
+        algorithms = default_algorithms(
+            seed=config.seed, include_mssa=config.mssa_included
+        )
+    fine_truth = build_city_truth(config.city, config.days, seed=config.seed)
+    mask_rng = ensure_rng(config.seed + 1)
+
+    errors: Dict[Tuple[float, float], Dict[str, float]] = {}
+    for gran in config.granularities_s:
+        truth = fine_truth.resample(gran).tcm
+        x = truth.values
+        for integ in config.integrities:
+            mask = random_integrity_mask(truth.shape, integ, seed=mask_rng)
+            measured = np.where(mask, x, 0.0)
+            cell: Dict[str, float] = {}
+            for spec in algorithms:
+                estimate = spec.complete(measured, mask)
+                cell[spec.name] = estimate_error(x, estimate, mask)
+            errors[(gran, integ)] = cell
+    return ErrorVsIntegrityResult(errors=errors, config=config)

@@ -1,0 +1,204 @@
+"""Section 2.3 integrity study: Table 1, Figure 2, Figure 3.
+
+Methodology mirrors the paper: one 24-hour simulation of the full probe
+fleet over the inner-city network, then *subsets* of vehicles are
+extracted from the complete report set (the paper analyzes 500 / 1,000 /
+2,000 of the 4,000 Shanghai taxis the same way) and the measurement
+matrix integrity is computed per fleet size and time granularity.
+
+The paper's inner region has 5,812 road segments; the faithful run uses
+:func:`repro.roadnet.shanghai_inner_like` at that exact size.  Because a
+metropolitan 24-hour simulation takes minutes, drivers accept a
+``scale`` knob that shrinks the network and fleet proportionally for
+quick runs; the benchmark suite records which scale produced its
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.tcm import TimeGrid
+from repro.experiments.reporting import format_series, format_table
+from repro.mobility.fleet import FleetConfig, FleetSimulator
+from repro.probes.aggregation import aggregate_reports
+from repro.probes.integrity import IntegrityReport, integrity_summary
+from repro.probes.report import ReportBatch
+from repro.roadnet.generators import grid_city, shanghai_inner_like
+from repro.roadnet.network import RoadNetwork
+from repro.traffic.groundtruth import GroundTruthTraffic
+from repro.utils.rng import SeedLike, spawn_rngs
+
+PAPER_FLEET_SIZES = (500, 1_000, 2_000)
+BASE_SLOT_S = 900.0
+
+
+@dataclass
+class IntegrityStudyConfig:
+    """Configuration of the Table 1 / Fig 2 / Fig 3 reproduction.
+
+    Attributes
+    ----------
+    fleet_sizes:
+        Vehicle subset sizes to analyze (paper: 500, 1,000, 2,000).
+    granularities_s:
+        Slot lengths (paper: 15, 30, 60 minutes).
+    duration_days:
+        Simulated span (paper: 24 hours on Feb 18, 2007).
+    scale:
+        1.0 = the paper's 5,812-segment inner network; smaller values
+        shrink the network (and proportionally the fleet) for fast runs.
+    """
+
+    fleet_sizes: Tuple[int, ...] = PAPER_FLEET_SIZES
+    granularities_s: Tuple[float, ...] = (900.0, 1800.0, 3600.0)
+    duration_days: float = 1.0
+    scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.fleet_sizes:
+            raise ValueError("fleet_sizes must be non-empty")
+        if any(s < 1 for s in self.fleet_sizes):
+            raise ValueError("fleet sizes must be >= 1")
+        if not 0 < self.scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+
+    @property
+    def scaled_fleet_sizes(self) -> List[int]:
+        return [max(5, int(round(s * self.scale))) for s in self.fleet_sizes]
+
+
+@dataclass
+class IntegrityStudyResult:
+    """All integrity artifacts of one study run.
+
+    Attributes
+    ----------
+    table1:
+        ``{(granularity_s, nominal_fleet_size): overall integrity}``.
+    road_reports, slot_reports:
+        Per (granularity, fleet) :class:`IntegrityReport` for the CDFs
+        of Figures 2 and 3 (at the 15-minute granularity the paper's
+        figures use).
+    num_segments:
+        Segments in the analyzed network.
+    """
+
+    table1: Dict[Tuple[float, int], float]
+    reports: Dict[Tuple[float, int], IntegrityReport]
+    num_segments: int
+    config: IntegrityStudyConfig
+
+    def render_table1(self) -> str:
+        """Table 1's rows: integrity per granularity x fleet size."""
+        sizes = list(self.config.fleet_sizes)
+        headers = ["Time gran."] + [f"N={s:,}" for s in sizes]
+        rows = []
+        for gran in self.config.granularities_s:
+            row: List[object] = [f"{int(gran / 60)} min"]
+            for size in sizes:
+                row.append(f"{self.table1[(gran, size)] * 100:.2f}%")
+            rows.append(row)
+        return format_table(
+            headers,
+            rows,
+            title=f"Table 1: integrity summary ({self.num_segments} segments)",
+        )
+
+    def render_road_cdf(self, thresholds: Sequence[float] = (0.2, 0.4, 0.6, 0.8)) -> str:
+        """Figure 2's series: fraction of roads at or below each integrity."""
+        gran = min(self.config.granularities_s)
+        series = {
+            f"N={size:,}": [
+                self.reports[(gran, size)].roads_below(t) for t in thresholds
+            ]
+            for size in self.config.fleet_sizes
+        }
+        return format_series(
+            "integrity<=",
+            list(thresholds),
+            series,
+            title="Figure 2: CDF of integrity of roads",
+        )
+
+    def render_slot_cdf(self, thresholds: Sequence[float] = (0.1, 0.18, 0.3, 0.5)) -> str:
+        """Figure 3's series: fraction of slots at or below each integrity."""
+        gran = min(self.config.granularities_s)
+        series = {
+            f"N={size:,}": [
+                self.reports[(gran, size)].slots_below(t) for t in thresholds
+            ]
+            for size in self.config.fleet_sizes
+        }
+        return format_series(
+            "integrity<=",
+            list(thresholds),
+            series,
+            title="Figure 3: CDF of integrity of time slots",
+        )
+
+
+def build_inner_network(scale: float, seed: SeedLike = 0) -> RoadNetwork:
+    """Inner-city network at the requested scale.
+
+    ``scale=1.0`` is the paper's 5,812-segment region; smaller scales use
+    a proportionally smaller grid.
+    """
+    if scale >= 1.0:
+        return shanghai_inner_like(seed=seed)
+    target_rows = max(4, int(round(39 * np.sqrt(scale))))
+    return grid_city(
+        target_rows, target_rows, block_m=300.0, seed=seed, name="inner-scaled"
+    )
+
+
+def run_integrity_study(
+    config: Optional[IntegrityStudyConfig] = None,
+) -> IntegrityStudyResult:
+    """Simulate once at the largest fleet, subset down, tabulate integrity."""
+    config = config or IntegrityStudyConfig()
+    net_rng, traffic_rng, fleet_rng = spawn_rngs(config.seed, 3)
+    network = build_inner_network(config.scale, seed=net_rng)
+
+    fine_grid = TimeGrid.over_days(config.duration_days, BASE_SLOT_S)
+    truth = GroundTruthTraffic.synthesize(network, fine_grid, seed=traffic_rng)
+
+    sizes = config.scaled_fleet_sizes
+    full_size = max(sizes)
+    simulator = FleetSimulator(
+        truth, config=FleetConfig(num_vehicles=full_size), seed=fleet_rng
+    )
+    full_reports = simulator.run()
+
+    table1: Dict[Tuple[float, int], float] = {}
+    reports: Dict[Tuple[float, int], IntegrityReport] = {}
+    for nominal, actual in zip(config.fleet_sizes, sizes):
+        batch = full_reports.subsample_vehicles(range(actual))
+        for gran in config.granularities_s:
+            grid = _grid_at(fine_grid, gran)
+            tcm = aggregate_reports(batch, grid, network.segment_ids)
+            summary = integrity_summary(tcm)
+            table1[(gran, nominal)] = summary.overall
+            reports[(gran, nominal)] = summary
+    return IntegrityStudyResult(
+        table1=table1,
+        reports=reports,
+        num_segments=network.num_segments,
+        config=config,
+    )
+
+
+def _grid_at(fine_grid: TimeGrid, slot_s: float) -> TimeGrid:
+    """Coarser grid covering the same span as ``fine_grid``."""
+    ratio = int(round(slot_s / fine_grid.slot_s))
+    if ratio < 1 or abs(slot_s - ratio * fine_grid.slot_s) > 1e-9:
+        raise ValueError(f"slot_s {slot_s} incompatible with base grid")
+    return TimeGrid(
+        start_s=fine_grid.start_s,
+        slot_s=slot_s,
+        num_slots=fine_grid.num_slots // ratio,
+    )

@@ -1,0 +1,140 @@
+"""Run the whole experiment battery and render a combined report.
+
+``run_all`` executes every table/figure driver and returns the rendered
+text blocks; ``main`` prints them (``python -m repro.experiments.runner``).
+The ``quick`` profile shrinks durations and the Table 1 network so the
+battery finishes in a few minutes; the ``paper`` profile uses the
+paper's full scales.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.experiments.error_cdf import ErrorCdfConfig, run_error_cdf
+from repro.experiments.error_vs_integrity import (
+    ErrorVsIntegrityConfig,
+    run_error_vs_integrity,
+)
+from repro.experiments.integrity_study import (
+    IntegrityStudyConfig,
+    run_integrity_study,
+)
+from repro.experiments.matrix_selection_study import (
+    MatrixSelectionConfig,
+    run_matrix_selection,
+)
+from repro.experiments.param_sensitivity import (
+    ParamSensitivityConfig,
+    run_param_sensitivity,
+)
+from repro.experiments.robustness import RobustnessConfig, run_robustness
+from repro.experiments.runtimes import RuntimeStudyConfig, run_runtime_study
+from repro.experiments.sampling_study import SamplingStudyConfig, run_sampling_study
+from repro.experiments.streaming_study import (
+    StreamingStudyConfig,
+    run_streaming_study,
+)
+from repro.experiments.structure_study import (
+    StructureStudyConfig,
+    run_structure_study,
+)
+
+PROFILES = ("quick", "paper")
+
+
+def run_all(profile: str = "quick", seed: int = 0) -> Dict[str, str]:
+    """Execute every experiment; returns {section name: rendered text}."""
+    if profile not in PROFILES:
+        raise ValueError(f"profile must be one of {PROFILES}, got {profile!r}")
+    quick = profile == "quick"
+    days = 3.0 if quick else 7.0
+    blocks: Dict[str, str] = {}
+
+    integrity = run_integrity_study(
+        IntegrityStudyConfig(
+            scale=0.1 if quick else 1.0,
+            duration_days=1.0,
+            seed=seed,
+        )
+    )
+    blocks["table1"] = integrity.render_table1()
+    blocks["fig2"] = integrity.render_road_cdf()
+    blocks["fig3"] = integrity.render_slot_cdf()
+
+    structure = run_structure_study(StructureStudyConfig(days=days, seed=seed))
+    blocks["fig4"] = structure.render_spectrum()
+    blocks["fig5_to_7"] = structure.render_reconstruction_summary()
+    blocks["fig8"] = structure.render_type_occurrence()
+
+    for city, key in (("shanghai", "fig11"), ("shenzhen", "fig12")):
+        sweep = run_error_vs_integrity(
+            ErrorVsIntegrityConfig(city=city, days=days, seed=seed)
+        )
+        blocks[key] = sweep.render()
+
+    for city, key in (("shanghai", "fig13"), ("shenzhen", "fig14")):
+        cdf = run_error_cdf(ErrorCdfConfig(city=city, days=days, seed=seed))
+        blocks[key] = cdf.render()
+
+    params = run_param_sensitivity(ParamSensitivityConfig(days=days, seed=seed))
+    blocks["fig15"] = params.render_rank()
+    blocks["fig16"] = params.render_lambda()
+
+    for integ, key in ((0.2, "fig17"), (0.4, "fig18")):
+        selection = run_matrix_selection(
+            MatrixSelectionConfig(days=days, integrity=integ, seed=seed)
+        )
+        blocks[key] = selection.render()
+
+    runtimes = run_runtime_study(RuntimeStudyConfig(days=days, seed=seed))
+    blocks["table2"] = runtimes.render()
+
+    sampling = run_sampling_study(
+        SamplingStudyConfig(
+            days=0.5 if quick else 1.0,
+            fleet_sizes=(100, 250) if quick else (100, 250, 500, 1_000),
+            reporting_intervals_s=(60.0, 300.0) if quick else (30.0, 120.0, 300.0),
+            seed=seed,
+        )
+    )
+    blocks["sampling_extension"] = sampling.render()
+
+    robustness = run_robustness(
+        RobustnessConfig(days=1.0 if quick else 3.0, seed=seed)
+    )
+    blocks["robustness_extension"] = robustness.render()
+
+    streaming = run_streaming_study(
+        StreamingStudyConfig(
+            days=0.5 if quick else 1.0,
+            num_vehicles=80 if quick else 150,
+            seed=seed,
+        )
+    )
+    blocks["streaming_extension"] = streaming.render()
+    return blocks
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: run the battery and print every block."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=PROFILES, default="quick")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    blocks = run_all(profile=args.profile, seed=args.seed)
+    for name, text in blocks.items():
+        print(f"==== {name} " + "=" * max(0, 60 - len(name)))
+        print(text)
+        print()
+    print(f"total: {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

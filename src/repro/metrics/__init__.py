@@ -1,0 +1,28 @@
+"""Evaluation metrics.
+
+Implements the paper's error measures: the normalized mean absolute
+error of Definition 2 (computed over *missing* cells only), the
+per-element relative errors of Section 4.3's CDF study, and RMSE used in
+the Figure 6 reconstruction check.
+"""
+
+from repro.metrics.errors import (
+    estimate_error,
+    nmae,
+    relative_errors,
+    rmse,
+)
+from repro.metrics.route_errors import RouteErrorSummary, route_travel_time_errors
+from repro.metrics.stats import cdf_points, quantiles, summarize
+
+__all__ = [
+    "estimate_error",
+    "nmae",
+    "relative_errors",
+    "rmse",
+    "RouteErrorSummary",
+    "route_travel_time_errors",
+    "cdf_points",
+    "quantiles",
+    "summarize",
+]

@@ -1,0 +1,116 @@
+"""Error metrics (Definitions 2 and Section 4.3).
+
+All metrics take the true matrix ``X``, the estimate ``X_hat``, and an
+*evaluation mask* selecting which cells to score.  The paper scores the
+cells that were **missing** from the measurement matrix (``m_{r,t} = 0``)
+and, when ground truth itself has vacancies, excludes cells unavailable
+in the original matrix (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_matrix_pair
+
+
+def _resolve_eval_mask(
+    x: np.ndarray, eval_mask: Optional[np.ndarray]
+) -> np.ndarray:
+    if eval_mask is None:
+        return np.ones(x.shape, dtype=bool)
+    eval_mask = np.asarray(eval_mask, dtype=bool)
+    if eval_mask.shape != x.shape:
+        raise ValueError(
+            f"eval_mask shape {eval_mask.shape} != matrix shape {x.shape}"
+        )
+    return eval_mask
+
+
+def nmae(
+    x_true: np.ndarray,
+    x_hat: np.ndarray,
+    eval_mask: Optional[np.ndarray] = None,
+) -> float:
+    """Normalized mean absolute error ``xi`` (Definition 2).
+
+    ``sum |x - x_hat| / sum |x|`` over the cells selected by
+    ``eval_mask`` (all cells when ``None``).  Returns NaN when the mask
+    selects nothing, and +inf when the denominator is zero but errors are
+    not.
+    """
+    x_true = np.asarray(x_true, dtype=float)
+    x_hat = np.asarray(x_hat, dtype=float)
+    if x_hat.shape != x_true.shape:
+        raise ValueError(f"shape mismatch: {x_true.shape} vs {x_hat.shape}")
+    mask = _resolve_eval_mask(x_true, eval_mask)
+    if not mask.any():
+        return float("nan")
+    num = float(np.abs(x_true[mask] - x_hat[mask]).sum())
+    den = float(np.abs(x_true[mask]).sum())
+    if den == 0.0:
+        return 0.0 if num == 0.0 else float("inf")
+    return num / den
+
+
+def estimate_error(
+    x_true: np.ndarray,
+    x_hat: np.ndarray,
+    observed_mask: np.ndarray,
+    truth_available: Optional[np.ndarray] = None,
+) -> float:
+    """The paper's estimate error: NMAE over missing-but-known cells.
+
+    Parameters
+    ----------
+    observed_mask:
+        The measurement indicator ``B``; scored cells are ``~B``.
+    truth_available:
+        Cells where ground truth is known (Section 4.1 notes the
+        "original" matrices themselves have a few vacancies, excluded
+        from scoring).  ``None`` means all cells.
+    """
+    observed_mask = np.asarray(observed_mask, dtype=bool)
+    eval_mask = ~observed_mask
+    if truth_available is not None:
+        eval_mask &= np.asarray(truth_available, dtype=bool)
+    return nmae(x_true, x_hat, eval_mask)
+
+
+def relative_errors(
+    x_true: np.ndarray,
+    x_hat: np.ndarray,
+    eval_mask: Optional[np.ndarray] = None,
+    min_true: float = 1e-9,
+) -> np.ndarray:
+    """Per-element relative errors ``|x_hat - x| / x`` (Section 4.3).
+
+    Cells whose true value is below ``min_true`` are skipped (relative
+    error undefined).  Returns a flat array over the selected cells.
+    """
+    x_true = np.asarray(x_true, dtype=float)
+    x_hat = np.asarray(x_hat, dtype=float)
+    if x_hat.shape != x_true.shape:
+        raise ValueError(f"shape mismatch: {x_true.shape} vs {x_hat.shape}")
+    mask = _resolve_eval_mask(x_true, eval_mask) & (np.abs(x_true) >= min_true)
+    truth = x_true[mask]
+    return np.abs(x_hat[mask] - truth) / np.abs(truth)
+
+
+def rmse(
+    x_true: np.ndarray,
+    x_hat: np.ndarray,
+    eval_mask: Optional[np.ndarray] = None,
+) -> float:
+    """Root mean square error over the selected cells (Figure 6's metric)."""
+    x_true = np.asarray(x_true, dtype=float)
+    x_hat = np.asarray(x_hat, dtype=float)
+    if x_hat.shape != x_true.shape:
+        raise ValueError(f"shape mismatch: {x_true.shape} vs {x_hat.shape}")
+    mask = _resolve_eval_mask(x_true, eval_mask)
+    if not mask.any():
+        return float("nan")
+    diff = x_true[mask] - x_hat[mask]
+    return float(np.sqrt(np.mean(diff**2)))

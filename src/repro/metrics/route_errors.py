@@ -1,0 +1,109 @@
+"""Application-level evaluation: route travel-time errors.
+
+Cell-level NMAE (Definition 2) measures matrix recovery, but the
+paper's motivating consumer is trip planning — what matters there is
+whether *route travel times* computed from the estimate match the ones
+the true traffic would produce.  Route errors aggregate differently
+from cell errors (per-link errors partially cancel along a route), so
+this is a genuinely distinct lens on estimate quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.travel_time import TravelTimeService
+from repro.core.tcm import TrafficConditionMatrix
+from repro.roadnet.network import RoadNetwork
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RouteErrorSummary:
+    """Distribution of relative route travel-time errors.
+
+    Attributes
+    ----------
+    mean_relative_error:
+        Mean of ``|t_est - t_true| / t_true`` over sampled routes.
+    p90_relative_error:
+        90th percentile of the same.
+    num_routes:
+        Routes evaluated.
+    mean_true_minutes:
+        Average true route travel time (context for the error scale).
+    """
+
+    mean_relative_error: float
+    p90_relative_error: float
+    num_routes: int
+    mean_true_minutes: float
+
+
+def route_travel_time_errors(
+    network: RoadNetwork,
+    truth: TrafficConditionMatrix,
+    estimate: TrafficConditionMatrix,
+    num_routes: int = 50,
+    min_links: int = 4,
+    max_links: int = 20,
+    seed: SeedLike = 0,
+) -> RouteErrorSummary:
+    """Compare route travel times under the estimate vs the truth.
+
+    Routes are sampled as shortest paths between random intersection
+    pairs; departure times are sampled uniformly over the grid.  Both
+    matrices must be complete and share the grid and segment ids.
+    """
+    if truth.segment_ids != estimate.segment_ids:
+        raise ValueError("truth and estimate must share segment ids")
+    if truth.shape != estimate.shape:
+        raise ValueError("truth and estimate must share shape")
+    check_positive(num_routes, "num_routes")
+    if not 1 <= min_links <= max_links:
+        raise ValueError("need 1 <= min_links <= max_links")
+
+    rng = ensure_rng(seed)
+    true_tt = TravelTimeService(network, truth)
+    est_tt = TravelTimeService(network, estimate)
+    node_ids = [n.node_id for n in network.intersections()]
+    covered = set(truth.segment_ids)
+
+    rel_errors: List[float] = []
+    true_times: List[float] = []
+    attempts = 0
+    while len(rel_errors) < num_routes and attempts < num_routes * 20:
+        attempts += 1
+        a, b = rng.choice(node_ids, size=2, replace=False)
+        try:
+            route = network.shortest_path_segments(int(a), int(b))
+        except Exception:
+            continue
+        if not min_links <= len(route) <= max_links:
+            continue
+        sids = [s.segment_id for s in route]
+        if any(sid not in covered for sid in sids):
+            continue
+        depart = float(
+            rng.uniform(truth.grid.start_s, truth.grid.end_s - truth.grid.slot_s)
+        )
+        t_true = true_tt.route_time_s(sids, depart)
+        t_est = est_tt.route_time_s(sids, depart)
+        if t_true <= 0:
+            continue
+        rel_errors.append(abs(t_est - t_true) / t_true)
+        true_times.append(t_true)
+
+    if not rel_errors:
+        raise ValueError("no evaluable routes found (network too small?)")
+    errors = np.asarray(rel_errors)
+    return RouteErrorSummary(
+        mean_relative_error=float(errors.mean()),
+        p90_relative_error=float(np.quantile(errors, 0.9)),
+        num_routes=len(rel_errors),
+        mean_true_minutes=float(np.mean(true_times) / 60.0),
+    )

@@ -1,0 +1,47 @@
+"""Small statistics helpers for result reporting."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+def cdf_points(
+    samples: Sequence[float], grid: Sequence[float]
+) -> np.ndarray:
+    """Empirical CDF evaluated on a fixed grid of thresholds.
+
+    Used to tabulate the paper's CDF figures as printable rows.
+    """
+    samples = np.sort(np.asarray(samples, dtype=float))
+    grid = np.asarray(grid, dtype=float)
+    if samples.size == 0:
+        return np.zeros_like(grid)
+    return np.searchsorted(samples, grid, side="right") / samples.size
+
+
+def quantiles(
+    samples: Sequence[float], qs: Sequence[float] = (0.5, 0.8, 0.9, 0.95)
+) -> Dict[float, float]:
+    """Selected quantiles of a sample, as a dict."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        return {float(q): float("nan") for q in qs}
+    values = np.quantile(samples, qs)
+    return {float(q): float(v) for q, v in zip(qs, values)}
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Mean / std / min / max / median summary of a sample."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        nan = float("nan")
+        return {"mean": nan, "std": nan, "min": nan, "max": nan, "median": nan}
+    return {
+        "mean": float(samples.mean()),
+        "std": float(samples.std()),
+        "min": float(samples.min()),
+        "max": float(samples.max()),
+        "median": float(np.median(samples)),
+    }

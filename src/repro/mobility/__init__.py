@@ -1,0 +1,40 @@
+"""Probe vehicle fleet simulator.
+
+Stands in for the paper's taxi fleets (4,000 taxis in Shanghai, 8,000 in
+Shenzhen).  Taxis alternate between passenger trips and idle dwells;
+trips are routed over the road network toward demand-weighted
+destinations, vehicles move at the ground-truth flow speed of each
+traversed segment (plus per-vehicle deviation), and GPS reports are
+emitted periodically, degraded by speed noise and urban-canyon dropout.
+The output is a :class:`repro.probes.ReportBatch` exhibiting the paper's
+sparse, uneven spatiotemporal coverage.
+"""
+
+from repro.mobility.trips import (
+    DemandModel,
+    GreedyRouter,
+    ShortestPathRouter,
+    TripPlanner,
+)
+from repro.mobility.dropout import DropoutModel
+from repro.mobility.reporting import ReportingConfig
+from repro.mobility.shifts import ShiftSchedule, always_on, shanghai_two_shift
+from repro.mobility.vehicle import ProbeVehicle, VehicleConfig
+from repro.mobility.fleet import FleetConfig, FleetSimulator, simulate_fleet
+
+__all__ = [
+    "DemandModel",
+    "GreedyRouter",
+    "ShortestPathRouter",
+    "TripPlanner",
+    "DropoutModel",
+    "ReportingConfig",
+    "ShiftSchedule",
+    "always_on",
+    "shanghai_two_shift",
+    "ProbeVehicle",
+    "VehicleConfig",
+    "FleetConfig",
+    "FleetSimulator",
+    "simulate_fleet",
+]

@@ -1,0 +1,53 @@
+"""GPS report dropout.
+
+The paper observes that probe reception "is vulnerable to the influence
+of the urban environment", especially in urban canyons where attenuation
+and multipath degrade both GPS and GPRS (Section 1).  The dropout model
+loses each report independently with probability
+
+    p = base_loss + canyon_loss * canyon_factor(segment)
+
+clamped to [0, 1), where the canyon factor comes from the road network
+(strongest downtown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.roadnet.segment import RoadSegment
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class DropoutModel:
+    """Per-report loss model.
+
+    Attributes
+    ----------
+    base_loss:
+        Loss probability on open roads (cellular contention, GPS cold
+        fixes).
+    canyon_loss:
+        Additional loss at canyon factor 1.0.
+    """
+
+    base_loss: float = 0.05
+    canyon_loss: float = 0.35
+
+    def __post_init__(self) -> None:
+        check_probability(self.base_loss, "base_loss")
+        check_probability(self.canyon_loss, "canyon_loss")
+
+    def loss_probability(self, segment: RoadSegment) -> float:
+        """Report loss probability on ``segment``."""
+        return min(0.99, self.base_loss + self.canyon_loss * segment.canyon_factor)
+
+    def survives(self, segment: RoadSegment, rng: np.random.Generator) -> bool:
+        """Draw whether one report on ``segment`` reaches the server."""
+        return bool(rng.random() >= self.loss_probability(segment))
+
+
+LOSSLESS = DropoutModel(base_loss=0.0, canyon_loss=0.0)

@@ -1,0 +1,72 @@
+"""Probe reporting behaviour.
+
+Each vehicle reports periodically; the paper's reporting interval
+"varies from 30 seconds to several minutes" depending on GPRS
+availability (Section 2.1).  We draw a per-vehicle interval from a
+configurable range and a random phase so the fleet's reports are
+unsynchronized, and add GPS measurement noise to reported speed and
+position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ReportingConfig:
+    """Reporting interval and GPS error model.
+
+    Attributes
+    ----------
+    interval_range_s:
+        (min, max) of the per-vehicle reporting interval; the paper's
+        range is 30 s to several minutes.
+    speed_noise_kmh:
+        Std-dev of additive Gaussian noise on reported GPS speed.
+    position_noise_m:
+        Std-dev (per axis) of Gaussian noise on reported position.
+    report_when_idle:
+        Whether idle (parked) vehicles keep reporting; their near-zero
+        speeds are filtered by aggregation.
+    """
+
+    interval_range_s: Tuple[float, float] = (60.0, 300.0)
+    speed_noise_kmh: float = 1.5
+    position_noise_m: float = 8.0
+    report_when_idle: bool = True
+
+    def __post_init__(self) -> None:
+        lo, hi = self.interval_range_s
+        check_positive(lo, "interval_range_s[0]")
+        if hi < lo:
+            raise ValueError(
+                f"interval_range_s must be (min, max), got {self.interval_range_s}"
+            )
+        if self.speed_noise_kmh < 0:
+            raise ValueError("speed_noise_kmh must be >= 0")
+        if self.position_noise_m < 0:
+            raise ValueError("position_noise_m must be >= 0")
+
+    def draw_interval_s(self, rng: np.random.Generator) -> float:
+        """Per-vehicle reporting interval."""
+        lo, hi = self.interval_range_s
+        return float(rng.uniform(lo, hi))
+
+    def noisy_speed(self, true_kmh: float, rng: np.random.Generator) -> float:
+        """Reported GPS speed (never negative)."""
+        return max(0.0, true_kmh + float(rng.normal(0.0, self.speed_noise_kmh)))
+
+    def noisy_position(
+        self, x: float, y: float, rng: np.random.Generator
+    ) -> Tuple[float, float]:
+        """Reported GPS position."""
+        if self.position_noise_m == 0:
+            return x, y
+        dx, dy = rng.normal(0.0, self.position_noise_m, size=2)
+        return x + float(dx), y + float(dy)

@@ -1,0 +1,189 @@
+"""Single probe vehicle simulation.
+
+A vehicle alternates between passenger trips and idle dwells.  While
+driving it traverses its route segment by segment at the ground-truth
+flow speed of each segment (scaled by a persistent per-driver factor, so
+individual probes deviate from the flow mean exactly as the paper's
+Definition 1 anticipates), and emits GPS reports on its own periodic
+schedule, subject to noise and canyon dropout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.mobility.dropout import DropoutModel
+from repro.mobility.reporting import ReportingConfig
+from repro.mobility.trips import TripPlanner
+from repro.probes.report import ProbeReport
+from repro.roadnet.geometry import heading_deg
+from repro.traffic.groundtruth import GroundTruthTraffic
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class VehicleConfig:
+    """Per-vehicle behavioural knobs.
+
+    Attributes
+    ----------
+    driver_factor_sigma:
+        Sigma of the lognormal persistent per-driver speed factor
+        (aggressive vs cautious drivers).
+    mean_dwell_s:
+        Mean idle time between trips (waiting for the next passenger),
+        exponentially distributed.
+    min_speed_kmh:
+        Floor on driving speed (vehicles always creep forward).
+    """
+
+    driver_factor_sigma: float = 0.10
+    mean_dwell_s: float = 600.0
+    min_speed_kmh: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.driver_factor_sigma < 0:
+            raise ValueError("driver_factor_sigma must be >= 0")
+        check_positive(self.mean_dwell_s, "mean_dwell_s")
+        check_positive(self.min_speed_kmh, "min_speed_kmh")
+
+
+class ProbeVehicle:
+    """One probe taxi.
+
+    Parameters
+    ----------
+    vehicle_id:
+        Fleet-unique id carried in every report.
+    traffic:
+        Ground-truth flow speeds the vehicle moves at.
+    planner:
+        Trip generator (demand + routing).
+    reporting, dropout, config:
+        Behaviour models.
+    rng:
+        The vehicle's private random stream.
+    start_node:
+        Initial intersection.
+    """
+
+    def __init__(
+        self,
+        vehicle_id: int,
+        traffic: GroundTruthTraffic,
+        planner: TripPlanner,
+        reporting: ReportingConfig,
+        dropout: DropoutModel,
+        config: VehicleConfig,
+        rng: np.random.Generator,
+        start_node: int,
+    ):
+        self.vehicle_id = vehicle_id
+        self.traffic = traffic
+        self.planner = planner
+        self.reporting = reporting
+        self.dropout = dropout
+        self.config = config
+        self.rng = rng
+        self.node = start_node
+        self.driver_factor = float(
+            rng.lognormal(mean=0.0, sigma=config.driver_factor_sigma)
+        )
+        self.interval_s = reporting.draw_interval_s(rng)
+
+    def simulate(self, start_s: float, end_s: float) -> List[ProbeReport]:
+        """Run the vehicle over ``[start_s, end_s)``; return surviving reports."""
+        if end_s <= start_s:
+            raise ValueError(f"empty window [{start_s}, {end_s})")
+        rng = self.rng
+        reports: List[ProbeReport] = []
+        t = start_s
+        # Random phase so the fleet's report times are unsynchronized.
+        next_report = start_s + rng.uniform(0.0, self.interval_s)
+
+        while t < end_s:
+            route = self.planner.plan_trip(self.node, rng)
+            if route:
+                t, next_report = self._drive(
+                    route, t, end_s, next_report, reports
+                )
+            if t >= end_s:
+                break
+            t, next_report = self._dwell(t, end_s, next_report, reports)
+        return reports
+
+    # ------------------------------------------------------------------
+    def _drive(
+        self,
+        route,
+        t: float,
+        end_s: float,
+        next_report: float,
+        reports: List[ProbeReport],
+    ):
+        """Traverse a route, emitting reports; returns (time, next_report)."""
+        for seg in route:
+            flow_kmh = self.traffic.speed_kmh(seg.segment_id, t)
+            speed_kmh = max(
+                self.config.min_speed_kmh, flow_kmh * self.driver_factor
+            )
+            duration = seg.travel_time_s(speed_kmh)
+            arrival = t + duration
+            course = heading_deg(seg.start_point, seg.end_point)
+            while next_report < min(arrival, end_s):
+                frac = (next_report - t) / duration
+                pos = seg.point_at(min(1.0, max(0.0, frac)))
+                if self.dropout.survives(seg, self.rng):
+                    x, y = self.reporting.noisy_position(pos.x, pos.y, self.rng)
+                    reports.append(
+                        ProbeReport(
+                            vehicle_id=self.vehicle_id,
+                            time_s=next_report,
+                            x=x,
+                            y=y,
+                            speed_kmh=self.reporting.noisy_speed(
+                                speed_kmh, self.rng
+                            ),
+                            segment_id=seg.segment_id,
+                            heading_deg=(
+                                course + float(self.rng.normal(0.0, 5.0))
+                            ) % 360.0,
+                        )
+                    )
+                next_report += self.interval_s
+            t = arrival
+            self.node = seg.end
+            if t >= end_s:
+                break
+        return t, next_report
+
+    def _dwell(
+        self,
+        t: float,
+        end_s: float,
+        next_report: float,
+        reports: List[ProbeReport],
+    ):
+        """Idle at the current node; returns (time, next_report)."""
+        dwell = float(self.rng.exponential(self.config.mean_dwell_s)) + 30.0
+        done = min(t + dwell, end_s)
+        loc = self.planner.network.intersection(self.node).location
+        while next_report < done:
+            if self.reporting.report_when_idle:
+                x, y = self.reporting.noisy_position(loc.x, loc.y, self.rng)
+                reports.append(
+                    ProbeReport(
+                        vehicle_id=self.vehicle_id,
+                        time_s=next_report,
+                        x=x,
+                        y=y,
+                        # Parked: GPS speed jitters around zero.
+                        speed_kmh=abs(float(self.rng.normal(0.0, 0.5))),
+                        segment_id=-1,
+                    )
+                )
+            next_report += self.interval_s
+        return t + dwell, next_report

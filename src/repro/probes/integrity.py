@@ -1,0 +1,90 @@
+"""Integrity analysis of measurement matrices (Section 2.3).
+
+Quantifies the missing-data problem: overall integrity (Definition 4),
+per-road integrity (missingness over time, Figure 2), per-slot integrity
+(missingness over space, Figure 3), and the empirical CDFs the paper
+plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.tcm import TrafficConditionMatrix
+
+
+def empirical_cdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of ``samples``.
+
+    Returns ``(x, F)`` where ``F[i]`` is the fraction of samples
+    ``<= x[i]``; ``x`` is the sorted sample array.
+    """
+    x = np.sort(np.asarray(samples, dtype=float))
+    if x.size == 0:
+        return x, x
+    f = np.arange(1, x.size + 1, dtype=float) / x.size
+    return x, f
+
+
+def cdf_at(samples: Sequence[float], thresholds: Sequence[float]) -> np.ndarray:
+    """Fraction of ``samples`` <= each threshold."""
+    x = np.sort(np.asarray(samples, dtype=float))
+    thresholds = np.asarray(thresholds, dtype=float)
+    if x.size == 0:
+        return np.zeros_like(thresholds)
+    return np.searchsorted(x, thresholds, side="right") / x.size
+
+
+@dataclass(frozen=True)
+class IntegrityReport:
+    """Summary of a measurement matrix's integrity.
+
+    Attributes
+    ----------
+    overall:
+        Definition 4: fraction of observed cells.
+    road_integrity:
+        Per-segment observation fraction (Figure 2's sample set).
+    slot_integrity:
+        Per-slot observation fraction (Figure 3's sample set).
+    """
+
+    overall: float
+    road_integrity: np.ndarray
+    slot_integrity: np.ndarray
+
+    def roads_below(self, threshold: float) -> float:
+        """Fraction of roads with integrity <= ``threshold``."""
+        if self.road_integrity.size == 0:
+            return 0.0
+        return float(np.mean(self.road_integrity <= threshold))
+
+    def slots_below(self, threshold: float) -> float:
+        """Fraction of slots with integrity <= ``threshold``."""
+        if self.slot_integrity.size == 0:
+            return 0.0
+        return float(np.mean(self.slot_integrity <= threshold))
+
+    def roads_near_zero(self, eps: float = 1e-9) -> float:
+        """Fraction of roads essentially never observed."""
+        return self.roads_below(eps)
+
+    def road_cdf(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF of per-road integrity (Figure 2)."""
+        return empirical_cdf(self.road_integrity)
+
+    def slot_cdf(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF of per-slot integrity (Figure 3)."""
+        return empirical_cdf(self.slot_integrity)
+
+
+def integrity_summary(tcm: TrafficConditionMatrix) -> IntegrityReport:
+    """Compute the :class:`IntegrityReport` of a measurement TCM."""
+    return IntegrityReport(
+        overall=tcm.integrity,
+        road_integrity=tcm.road_integrity(),
+        slot_integrity=tcm.slot_integrity(),
+    )

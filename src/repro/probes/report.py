@@ -1,0 +1,125 @@
+"""Probe data reports.
+
+A probe update is ``s_v(t) = <id_v, p_v(t), q_v(t), t>`` — vehicle id,
+location, instantaneous GPS speed, timestamp (Section 2.2).  The paper
+notes a report is ~40 bytes; we keep the record lightweight (a NamedTuple)
+and provide :class:`ReportBatch` for columnar, NumPy-friendly access when
+millions of reports are aggregated.
+
+``segment_id`` carries the simulator's knowledge of the true segment the
+vehicle was on: ``-1`` means unknown, in which case the monitoring center
+must map-match from the (x, y) position.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+
+class ProbeReport(NamedTuple):
+    """One probe vehicle update received by the monitoring center.
+
+    ``heading_deg`` is the GPS course over ground (0 = north, clockwise)
+    when the receiver provides one; NaN otherwise.  Heading lets the
+    map matcher distinguish the two directions of a street — traffic
+    conditions are directional.
+    """
+
+    vehicle_id: int
+    time_s: float
+    x: float
+    y: float
+    speed_kmh: float
+    segment_id: int = -1
+    heading_deg: float = float("nan")
+
+    @property
+    def has_segment(self) -> bool:
+        """Whether the true segment id is attached (simulator path)."""
+        return self.segment_id >= 0
+
+    @property
+    def has_heading(self) -> bool:
+        """Whether a GPS heading is attached."""
+        return self.heading_deg == self.heading_deg  # not NaN
+
+
+class ReportBatch:
+    """Columnar view over a collection of probe reports.
+
+    Construction sorts by timestamp, matching the arrival order the
+    monitoring center would process.
+    """
+
+    def __init__(self, reports: Iterable[ProbeReport]):
+        reports = list(reports)
+        reports.sort(key=lambda r: r.time_s)
+        self._reports = reports
+        if reports:
+            self.vehicle_ids = np.array([r.vehicle_id for r in reports], dtype=np.int64)
+            self.times_s = np.array([r.time_s for r in reports], dtype=np.float64)
+            self.xs = np.array([r.x for r in reports], dtype=np.float64)
+            self.ys = np.array([r.y for r in reports], dtype=np.float64)
+            self.speeds_kmh = np.array([r.speed_kmh for r in reports], dtype=np.float64)
+            self.segment_ids = np.array([r.segment_id for r in reports], dtype=np.int64)
+            self.headings_deg = np.array(
+                [r.heading_deg for r in reports], dtype=np.float64
+            )
+        else:
+            self.vehicle_ids = np.empty(0, dtype=np.int64)
+            self.times_s = np.empty(0, dtype=np.float64)
+            self.xs = np.empty(0, dtype=np.float64)
+            self.ys = np.empty(0, dtype=np.float64)
+            self.speeds_kmh = np.empty(0, dtype=np.float64)
+            self.segment_ids = np.empty(0, dtype=np.int64)
+            self.headings_deg = np.empty(0, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def __iter__(self):
+        return iter(self._reports)
+
+    def __getitem__(self, index: int) -> ProbeReport:
+        return self._reports[index]
+
+    @property
+    def num_vehicles(self) -> int:
+        """Distinct vehicles contributing at least one report."""
+        if not self._reports:
+            return 0
+        return int(np.unique(self.vehicle_ids).size)
+
+    def time_span_s(self) -> float:
+        """Seconds between first and last report (0 if fewer than 2)."""
+        if len(self._reports) < 2:
+            return 0.0
+        return float(self.times_s[-1] - self.times_s[0])
+
+    def for_vehicle(self, vehicle_id: int) -> "ReportBatch":
+        """Sub-batch of one vehicle's reports (the paper's S_v)."""
+        return ReportBatch(r for r in self._reports if r.vehicle_id == vehicle_id)
+
+    def filter_speed(self, min_kmh: float) -> "ReportBatch":
+        """Drop reports slower than ``min_kmh`` (idle/parked vehicles)."""
+        return ReportBatch(r for r in self._reports if r.speed_kmh >= min_kmh)
+
+    def with_matched_segments(self, segment_ids: Sequence[int]) -> "ReportBatch":
+        """Batch with segment ids replaced by map-matching output."""
+        if len(segment_ids) != len(self._reports):
+            raise ValueError(
+                f"{len(segment_ids)} matches for {len(self._reports)} reports"
+            )
+        return ReportBatch(
+            r._replace(segment_id=int(sid))
+            for r, sid in zip(self._reports, segment_ids)
+        )
+
+    def subsample_vehicles(
+        self, vehicle_ids: Iterable[int]
+    ) -> "ReportBatch":
+        """Reports of a fleet subset (the paper extracts 500/1k/2k-taxi subsets)."""
+        keep = set(int(v) for v in vehicle_ids)
+        return ReportBatch(r for r in self._reports if r.vehicle_id in keep)

@@ -1,0 +1,165 @@
+"""Per-vehicle trajectory analytics.
+
+The monitoring center often needs more than cell averages: individual
+vehicle *trajectories* — consecutive report sequences — support quality
+monitoring (reporting gaps, implausible jumps) and trip-level analyses
+(the related work the paper cites splits route travel times from
+consecutive probe timestamps).  This module segments a vehicle's report
+stream into trajectories, derives travel statistics, and screens for
+GPS artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.probes.report import ProbeReport, ReportBatch
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A maximal run of one vehicle's reports without a long gap."""
+
+    vehicle_id: int
+    reports: List[ProbeReport]
+
+    def __post_init__(self) -> None:
+        if not self.reports:
+            raise ValueError("a trajectory needs at least one report")
+        times = [r.time_s for r in self.reports]
+        if times != sorted(times):
+            raise ValueError("trajectory reports must be time-ordered")
+        if any(r.vehicle_id != self.vehicle_id for r in self.reports):
+            raise ValueError("trajectory mixes vehicles")
+
+    @property
+    def start_s(self) -> float:
+        return self.reports[0].time_s
+
+    @property
+    def end_s(self) -> float:
+        return self.reports[-1].time_s
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def num_reports(self) -> int:
+        return len(self.reports)
+
+    def mean_speed_kmh(self) -> float:
+        """Average reported GPS speed along the trajectory."""
+        return float(np.mean([r.speed_kmh for r in self.reports]))
+
+    def path_length_m(self) -> float:
+        """Sum of straight-line hops between consecutive report positions.
+
+        A lower bound on distance travelled (reports subsample the true
+        path), adequate for gap screening and coarse trip statistics.
+        """
+        total = 0.0
+        for a, b in zip(self.reports[:-1], self.reports[1:]):
+            total += float(np.hypot(b.x - a.x, b.y - a.y))
+        return total
+
+    def segments_visited(self) -> List[int]:
+        """Distinct matched segment ids in first-visit order."""
+        seen: Dict[int, None] = {}
+        for r in self.reports:
+            if r.segment_id >= 0 and r.segment_id not in seen:
+                seen[r.segment_id] = None
+        return list(seen)
+
+    def implied_speeds_kmh(self) -> np.ndarray:
+        """Hop speeds implied by consecutive positions and timestamps.
+
+        Useful to cross-check reported GPS speeds: a hop speed wildly
+        above the reported speeds indicates a position glitch.
+        """
+        speeds = []
+        for a, b in zip(self.reports[:-1], self.reports[1:]):
+            dt = b.time_s - a.time_s
+            if dt <= 0:
+                continue
+            dist_m = float(np.hypot(b.x - a.x, b.y - a.y))
+            speeds.append(dist_m / dt * 3.6)
+        return np.asarray(speeds)
+
+
+def split_trajectories(
+    batch: ReportBatch, max_gap_s: float = 600.0
+) -> List[Trajectory]:
+    """Segment a report batch into per-vehicle trajectories.
+
+    A gap longer than ``max_gap_s`` between consecutive reports of the
+    same vehicle starts a new trajectory (the vehicle was off duty or
+    out of coverage).
+    """
+    check_positive(max_gap_s, "max_gap_s")
+    by_vehicle: Dict[int, List[ProbeReport]] = {}
+    for report in batch:  # batch iterates in time order
+        by_vehicle.setdefault(report.vehicle_id, []).append(report)
+
+    trajectories: List[Trajectory] = []
+    for vid in sorted(by_vehicle):
+        run: List[ProbeReport] = []
+        for report in by_vehicle[vid]:
+            if run and report.time_s - run[-1].time_s > max_gap_s:
+                trajectories.append(Trajectory(vid, run))
+                run = []
+            run.append(report)
+        if run:
+            trajectories.append(Trajectory(vid, run))
+    return trajectories
+
+
+@dataclass(frozen=True)
+class FleetQuality:
+    """Fleet-level report-stream quality summary.
+
+    Attributes
+    ----------
+    num_vehicles, num_reports, num_trajectories:
+        Volume counters.
+    median_interval_s:
+        Median gap between a vehicle's consecutive reports.
+    glitch_fraction:
+        Fraction of hops whose implied speed exceeds ``max_speed_kmh``
+        (position glitches / identity errors).
+    """
+
+    num_vehicles: int
+    num_reports: int
+    num_trajectories: int
+    median_interval_s: float
+    glitch_fraction: float
+
+
+def fleet_quality(
+    batch: ReportBatch,
+    max_gap_s: float = 600.0,
+    max_speed_kmh: float = 150.0,
+) -> FleetQuality:
+    """Screen a report stream for volume and GPS-quality statistics."""
+    trajectories = split_trajectories(batch, max_gap_s=max_gap_s)
+    intervals: List[float] = []
+    hops = 0
+    glitches = 0
+    for traj in trajectories:
+        times = np.array([r.time_s for r in traj.reports])
+        intervals.extend(np.diff(times))
+        implied = traj.implied_speeds_kmh()
+        hops += implied.size
+        glitches += int(np.sum(implied > max_speed_kmh))
+    return FleetQuality(
+        num_vehicles=batch.num_vehicles,
+        num_reports=len(batch),
+        num_trajectories=len(trajectories),
+        median_interval_s=float(np.median(intervals)) if intervals else 0.0,
+        glitch_fraction=glitches / hops if hops else 0.0,
+    )

@@ -1,0 +1,46 @@
+"""Road network substrate.
+
+Provides the directed road graph the rest of the system runs on: road
+segments between intersections (the paper's unit of traffic estimation),
+geometric primitives for GPS coordinates, synthetic city generators that
+stand in for the proprietary Shanghai/Shenzhen maps, and (de)serialization.
+"""
+
+from repro.roadnet.geometry import (
+    EARTH_RADIUS_M,
+    Point,
+    haversine_m,
+    local_projection,
+    point_segment_distance,
+    project_to_segment,
+)
+from repro.roadnet.segment import Intersection, RoadCategory, RoadSegment
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.generators import (
+    grid_city,
+    ring_radial_city,
+    shanghai_downtown_like,
+    shanghai_inner_like,
+    shenzhen_downtown_like,
+)
+from repro.roadnet.io import network_from_dict, network_to_dict
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "Point",
+    "haversine_m",
+    "local_projection",
+    "point_segment_distance",
+    "project_to_segment",
+    "Intersection",
+    "RoadCategory",
+    "RoadSegment",
+    "RoadNetwork",
+    "grid_city",
+    "ring_radial_city",
+    "shanghai_downtown_like",
+    "shanghai_inner_like",
+    "shenzhen_downtown_like",
+    "network_from_dict",
+    "network_to_dict",
+]

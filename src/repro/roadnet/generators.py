@@ -1,0 +1,279 @@
+"""Synthetic city generators.
+
+The paper's road networks (inner Shanghai with 5,812 segments; a
+221-segment downtown Shanghai subnetwork; a 198-segment downtown Shenzhen
+subnetwork) come from proprietary map data.  These generators build
+synthetic networks with the same *relevant* statistics: segment count,
+grid-like urban connectivity, a denser high-speed arterial skeleton, and
+an urban-canyon intensity that peaks downtown (driving GPS dropout).
+
+Two base morphologies are provided:
+
+* :func:`grid_city` — Manhattan-style lattice; every street is two
+  directed segments (one per direction).
+* :func:`ring_radial_city` — ring roads crossed by radial avenues, closer
+  to Shanghai's actual layout.
+
+Named wrappers pin the segment counts used in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.roadnet.geometry import Point
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.segment import Intersection, RoadCategory, RoadSegment
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def _category_for(
+    row: int, col: int, rows: int, cols: int, arterial_every: int
+) -> RoadCategory:
+    """Streets on a coarse sub-lattice are arterials, the rest collectors."""
+    if row % arterial_every == 0 or col % arterial_every == 0:
+        return RoadCategory.ARTERIAL
+    if (row + col) % 2 == 0:
+        return RoadCategory.COLLECTOR
+    return RoadCategory.LOCAL
+
+
+def _canyon_factor(point: Point, extent_m: float, rng: np.random.Generator) -> float:
+    """Urban-canyon intensity: strongest near the centre, noisy elsewhere."""
+    radius = math.hypot(point.x, point.y)
+    base = max(0.0, 0.6 * (1.0 - radius / (0.75 * extent_m)))
+    noise = float(rng.uniform(0.0, 0.15))
+    return min(1.0, base + noise)
+
+
+def grid_city(
+    rows: int,
+    cols: int,
+    block_m: float = 250.0,
+    arterial_every: int = 4,
+    bidirectional: bool = True,
+    seed: SeedLike = None,
+    name: str = "grid-city",
+) -> RoadNetwork:
+    """Build a Manhattan-grid road network.
+
+    Parameters
+    ----------
+    rows, cols:
+        Intersection lattice dimensions (``rows * cols`` intersections).
+    block_m:
+        Block edge length in metres.
+    arterial_every:
+        Every ``arterial_every``-th row/column street is an arterial.
+    bidirectional:
+        If true (default), each street contributes two directed segments.
+    seed:
+        Drives segment length jitter and canyon factors.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid_city needs at least a 2x2 lattice")
+    rng = ensure_rng(seed)
+    half_w = (cols - 1) * block_m / 2.0
+    half_h = (rows - 1) * block_m / 2.0
+    extent = max(half_w, half_h) or block_m
+
+    intersections: List[Intersection] = []
+    for r in range(rows):
+        for c in range(cols):
+            nid = r * cols + c
+            point = Point(c * block_m - half_w, r * block_m - half_h)
+            intersections.append(Intersection(nid, point))
+
+    segments: List[RoadSegment] = []
+    seg_id = 0
+
+    def add_street(a: Intersection, b: Intersection, category: RoadCategory) -> None:
+        nonlocal seg_id
+        # Real blocks are not perfectly uniform; jitter the nominal length.
+        length = a.location.distance_to(b.location) * float(rng.uniform(0.92, 1.08))
+        midpoint = Point(
+            (a.location.x + b.location.x) / 2, (a.location.y + b.location.y) / 2
+        )
+        canyon = _canyon_factor(midpoint, extent, rng)
+        directions = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        for u, v in directions:
+            segments.append(
+                RoadSegment(
+                    segment_id=seg_id,
+                    start=u.node_id,
+                    end=v.node_id,
+                    start_point=u.location,
+                    end_point=v.location,
+                    length_m=length,
+                    category=category,
+                    canyon_factor=canyon,
+                )
+            )
+            seg_id += 1
+
+    node = {i.node_id: i for i in intersections}
+    for r in range(rows):
+        for c in range(cols):
+            here = node[r * cols + c]
+            if c + 1 < cols:
+                cat = _category_for(r, c, rows, cols, arterial_every)
+                add_street(here, node[r * cols + c + 1], cat)
+            if r + 1 < rows:
+                cat = _category_for(r, c, rows, cols, arterial_every)
+                add_street(here, node[(r + 1) * cols + c], cat)
+
+    return RoadNetwork(intersections, segments, name=name)
+
+
+def ring_radial_city(
+    rings: int,
+    radials: int,
+    ring_spacing_m: float = 600.0,
+    bidirectional: bool = True,
+    seed: SeedLike = None,
+    name: str = "ring-radial-city",
+) -> RoadNetwork:
+    """Build a ring-and-radial road network (Shanghai-style).
+
+    ``rings`` concentric ring roads are crossed by ``radials`` straight
+    avenues through the centre; a central node joins the innermost radial
+    stubs.
+    """
+    if rings < 1 or radials < 3:
+        raise ValueError("need at least 1 ring and 3 radials")
+    rng = ensure_rng(seed)
+    extent = rings * ring_spacing_m
+
+    intersections: List[Intersection] = [Intersection(0, Point(0.0, 0.0))]
+    node_at = {}
+    nid = 1
+    for ring in range(1, rings + 1):
+        radius = ring * ring_spacing_m
+        for k in range(radials):
+            theta = 2 * math.pi * k / radials
+            point = Point(radius * math.cos(theta), radius * math.sin(theta))
+            intersections.append(Intersection(nid, point))
+            node_at[(ring, k)] = nid
+            nid += 1
+
+    segments: List[RoadSegment] = []
+    seg_id = 0
+
+    def add_link(a_id: int, b_id: int, category: RoadCategory) -> None:
+        nonlocal seg_id
+        a = intersections[a_id]
+        b = intersections[b_id]
+        length = a.location.distance_to(b.location) * float(rng.uniform(0.95, 1.1))
+        midpoint = Point(
+            (a.location.x + b.location.x) / 2, (a.location.y + b.location.y) / 2
+        )
+        canyon = _canyon_factor(midpoint, extent, rng)
+        pairs = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        for u, v in pairs:
+            segments.append(
+                RoadSegment(
+                    segment_id=seg_id,
+                    start=u.node_id,
+                    end=v.node_id,
+                    start_point=u.location,
+                    end_point=v.location,
+                    length_m=length,
+                    category=category,
+                    canyon_factor=canyon,
+                )
+            )
+            seg_id += 1
+
+    for ring in range(1, rings + 1):
+        for k in range(radials):
+            # Ring arc to the next radial on the same ring.
+            add_link(
+                node_at[(ring, k)],
+                node_at[(ring, (k + 1) % radials)],
+                RoadCategory.ARTERIAL if ring % 2 == 1 else RoadCategory.COLLECTOR,
+            )
+            # Radial spoke inward.
+            inward = 0 if ring == 1 else node_at[(ring - 1, k)]
+            add_link(node_at[(ring, k)], inward, RoadCategory.ARTERIAL)
+
+    return RoadNetwork(intersections, segments, name=name)
+
+
+def _trim_to_segment_count(network: RoadNetwork, target: int) -> RoadNetwork:
+    """Rebuild ``network`` keeping the ``target`` most central segments.
+
+    Keeps ids dense (re-numbered in the canonical order) and drops any
+    intersections left without segments.  Centrality is Euclidean distance
+    of the segment midpoint from the origin, which preserves a compact,
+    well-connected downtown core.
+    """
+    segs = network.segments()
+    if target > len(segs):
+        raise ValueError(
+            f"cannot trim to {target} segments; network has {len(segs)}"
+        )
+
+    def midpoint_radius(seg: RoadSegment) -> float:
+        mx = (seg.start_point.x + seg.end_point.x) / 2
+        my = (seg.start_point.y + seg.end_point.y) / 2
+        return math.hypot(mx, my)
+
+    kept = sorted(segs, key=midpoint_radius)[:target]
+    kept_nodes = set()
+    for seg in kept:
+        kept_nodes.add(seg.start)
+        kept_nodes.add(seg.end)
+    intersections = [network.intersection(nid) for nid in sorted(kept_nodes)]
+    renumbered = [
+        RoadSegment(
+            segment_id=i,
+            start=seg.start,
+            end=seg.end,
+            start_point=seg.start_point,
+            end_point=seg.end_point,
+            length_m=seg.length_m,
+            category=seg.category,
+            free_flow_kmh=seg.free_flow_kmh,
+            canyon_factor=seg.canyon_factor,
+        )
+        for i, seg in enumerate(
+            sorted(kept, key=lambda s: (midpoint_radius(s), s.segment_id))
+        )
+    ]
+    return RoadNetwork(intersections, renumbered, name=network.name)
+
+
+def shanghai_inner_like(seed: SeedLike = 0) -> RoadNetwork:
+    """Inner-Shanghai-scale network with exactly 5,812 segments.
+
+    Matches the segment count of the paper's Section 2.3 integrity study
+    region.  Built from a 39x39 grid (5,928 directed segments) trimmed to
+    the 5,812 most central.
+    """
+    base = grid_city(39, 39, block_m=300.0, seed=seed, name="shanghai-inner-like")
+    return _trim_to_segment_count(base, 5_812)
+
+
+def shanghai_downtown_like(seed: SeedLike = 0) -> RoadNetwork:
+    """Downtown-Shanghai-like subnetwork with exactly 221 segments.
+
+    Matches the 221-segment subnetwork of the paper's Section 4
+    experiments.  Built from an 8x9 grid (254 directed segments) trimmed
+    to the 221 most central.
+    """
+    base = grid_city(8, 9, block_m=220.0, seed=seed, name="shanghai-downtown-like")
+    return _trim_to_segment_count(base, 221)
+
+
+def shenzhen_downtown_like(seed: SeedLike = 1) -> RoadNetwork:
+    """Downtown-Shenzhen-like subnetwork with exactly 198 segments.
+
+    Matches the 198-segment subnetwork of the paper's Section 4
+    experiments.  Shenzhen's downtown is more linear than Shanghai's, so
+    the base grid is elongated (6x11, 236 directed segments).
+    """
+    base = grid_city(6, 11, block_m=260.0, seed=seed, name="shenzhen-downtown-like")
+    return _trim_to_segment_count(base, 198)

@@ -1,0 +1,105 @@
+"""Planar and geodesic geometry for probe locations and road segments.
+
+Probe reports carry longitude/latitude (the paper's ``p_v(t)``).  The
+simulator works internally in a local tangent-plane projection in metres,
+which is accurate to well under a metre across a metropolitan extent and
+keeps distance computations cheap and exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+EARTH_RADIUS_M = 6_371_000.0
+
+
+@dataclass(frozen=True)
+class Point:
+    """A planar point in metres within the city's local projection."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)`` metres."""
+        return Point(self.x + dx, self.y + dy)
+
+
+def haversine_m(lon1: float, lat1: float, lon2: float, lat2: float) -> float:
+    """Great-circle distance in metres between two lon/lat coordinates."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2) ** 2
+    return 2 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+class local_projection:
+    """Equirectangular projection anchored at a city-centre lon/lat.
+
+    Converts between (lon, lat) degrees and local (x, y) metres.  For a
+    city-scale extent (tens of kilometres) the distortion is negligible
+    relative to GPS error, which is what matters for map matching.
+    """
+
+    def __init__(self, center_lon: float, center_lat: float):
+        if not -180.0 <= center_lon <= 180.0:
+            raise ValueError(f"center_lon out of range: {center_lon}")
+        if not -90.0 <= center_lat <= 90.0:
+            raise ValueError(f"center_lat out of range: {center_lat}")
+        self.center_lon = center_lon
+        self.center_lat = center_lat
+        self._cos_lat = math.cos(math.radians(center_lat))
+        self._deg_to_m = math.pi / 180.0 * EARTH_RADIUS_M
+
+    def to_xy(self, lon: float, lat: float) -> Point:
+        """Project (lon, lat) degrees to local metres."""
+        x = (lon - self.center_lon) * self._deg_to_m * self._cos_lat
+        y = (lat - self.center_lat) * self._deg_to_m
+        return Point(x, y)
+
+    def to_lonlat(self, point: Point) -> Tuple[float, float]:
+        """Unproject local metres back to (lon, lat) degrees."""
+        lon = self.center_lon + point.x / (self._deg_to_m * self._cos_lat)
+        lat = self.center_lat + point.y / self._deg_to_m
+        return lon, lat
+
+
+def project_to_segment(p: Point, a: Point, b: Point) -> Tuple[Point, float]:
+    """Project point ``p`` onto segment ``a``–``b``.
+
+    Returns the closest point on the segment and the normalized arc
+    position ``s`` in [0, 1] (0 at ``a``, 1 at ``b``).
+    """
+    ax, ay = a.x, a.y
+    vx, vy = b.x - ax, b.y - ay
+    seg_len_sq = vx * vx + vy * vy
+    if seg_len_sq == 0.0:
+        return a, 0.0
+    s = ((p.x - ax) * vx + (p.y - ay) * vy) / seg_len_sq
+    s = max(0.0, min(1.0, s))
+    return Point(ax + s * vx, ay + s * vy), s
+
+
+def point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Shortest distance in metres from ``p`` to segment ``a``–``b``."""
+    closest, _ = project_to_segment(p, a, b)
+    return p.distance_to(closest)
+
+
+def interpolate(a: Point, b: Point, s: float) -> Point:
+    """Point at fraction ``s`` of the way from ``a`` to ``b``."""
+    if not 0.0 <= s <= 1.0:
+        raise ValueError(f"interpolation fraction must be in [0, 1], got {s}")
+    return Point(a.x + s * (b.x - a.x), a.y + s * (b.y - a.y))
+
+
+def heading_deg(a: Point, b: Point) -> float:
+    """Compass-style heading in degrees from ``a`` toward ``b`` (0 = +y)."""
+    return math.degrees(math.atan2(b.x - a.x, b.y - a.y)) % 360.0

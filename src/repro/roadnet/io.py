@@ -1,0 +1,81 @@
+"""Road network (de)serialization.
+
+Plain-dict round-tripping so networks can be stored as JSON alongside
+generated datasets and reloaded without regenerating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.roadnet.geometry import Point
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.segment import Intersection, RoadCategory, RoadSegment
+
+FORMAT_VERSION = 1
+
+
+def network_to_dict(network: RoadNetwork) -> Dict[str, Any]:
+    """Serialize a network to a JSON-safe dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": network.name,
+        "intersections": [
+            {"id": node.node_id, "x": node.location.x, "y": node.location.y}
+            for node in network.intersections()
+        ],
+        "segments": [
+            {
+                "id": seg.segment_id,
+                "start": seg.start,
+                "end": seg.end,
+                "length_m": seg.length_m,
+                "category": seg.category.value,
+                "free_flow_kmh": seg.free_flow_kmh,
+                "canyon_factor": seg.canyon_factor,
+            }
+            for seg in network.segments()
+        ],
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> RoadNetwork:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported network format version: {version!r}")
+    nodes = {
+        item["id"]: Intersection(item["id"], Point(item["x"], item["y"]))
+        for item in data["intersections"]
+    }
+    segments = []
+    for item in data["segments"]:
+        start = nodes[item["start"]]
+        end = nodes[item["end"]]
+        segments.append(
+            RoadSegment(
+                segment_id=item["id"],
+                start=item["start"],
+                end=item["end"],
+                start_point=start.location,
+                end_point=end.location,
+                length_m=item["length_m"],
+                category=RoadCategory(item["category"]),
+                free_flow_kmh=item["free_flow_kmh"],
+                canyon_factor=item["canyon_factor"],
+            )
+        )
+    return RoadNetwork(nodes.values(), segments, name=data.get("name", "road-network"))
+
+
+def save_network(network: RoadNetwork, path: Union[str, Path]) -> None:
+    """Write a network to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(network_to_dict(network)))
+
+
+def load_network(path: Union[str, Path]) -> RoadNetwork:
+    """Read a network from a JSON file."""
+    return network_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,232 @@
+"""The directed road network graph.
+
+Wraps intersections and segments into a queryable structure: adjacency,
+shortest paths (for taxi routing), spatial lookup (for map matching), and
+hop-distance neighbourhoods (for the paper's Section 4.5 matrix-selection
+study, which builds TCMs from segments "directly connected" to a target
+or "within two blocks").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.roadnet.geometry import Point, point_segment_distance
+from repro.roadnet.segment import Intersection, RoadSegment
+
+
+class RoadNetwork:
+    """A directed road network of intersections and segments.
+
+    Parameters
+    ----------
+    intersections:
+        Node set; ids must be unique.
+    segments:
+        Directed link set; ids must be unique and endpoints must refer to
+        known intersections.
+    name:
+        Human-readable label, e.g. ``"shanghai-downtown-like"``.
+    """
+
+    def __init__(
+        self,
+        intersections: Iterable[Intersection],
+        segments: Iterable[RoadSegment],
+        name: str = "road-network",
+    ):
+        self.name = name
+        self._nodes: Dict[int, Intersection] = {}
+        for node in intersections:
+            if node.node_id in self._nodes:
+                raise ValueError(f"duplicate intersection id {node.node_id}")
+            self._nodes[node.node_id] = node
+
+        self._segments: Dict[int, RoadSegment] = {}
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(self._nodes)
+        for seg in segments:
+            if seg.segment_id in self._segments:
+                raise ValueError(f"duplicate segment id {seg.segment_id}")
+            if seg.start not in self._nodes or seg.end not in self._nodes:
+                raise ValueError(
+                    f"segment {seg.segment_id} references unknown intersection "
+                    f"({seg.start} -> {seg.end})"
+                )
+            self._segments[seg.segment_id] = seg
+            # Parallel edges are rare in our generators; keep the shorter.
+            existing = self._graph.get_edge_data(seg.start, seg.end)
+            if existing is None or existing["length"] > seg.length_m:
+                self._graph.add_edge(
+                    seg.start,
+                    seg.end,
+                    segment_id=seg.segment_id,
+                    length=seg.length_m,
+                    time=seg.length_m / seg.free_flow_ms,
+                )
+        if not self._segments:
+            raise ValueError("a road network needs at least one segment")
+        self._segment_ids = sorted(self._segments)
+        self._undirected_cache: Optional[nx.Graph] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_intersections(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def segment_ids(self) -> List[int]:
+        """Sorted segment ids (the canonical TCM column order)."""
+        return list(self._segment_ids)
+
+    def intersection(self, node_id: int) -> Intersection:
+        return self._nodes[node_id]
+
+    def segment(self, segment_id: int) -> RoadSegment:
+        return self._segments[segment_id]
+
+    def segments(self) -> List[RoadSegment]:
+        """All segments in canonical id order."""
+        return [self._segments[sid] for sid in self._segment_ids]
+
+    def intersections(self) -> List[Intersection]:
+        return [self._nodes[nid] for nid in sorted(self._nodes)]
+
+    def outgoing_segments(self, node_id: int) -> List[RoadSegment]:
+        """Segments departing from an intersection."""
+        out = []
+        for _, _, data in self._graph.out_edges(node_id, data=True):
+            out.append(self._segments[data["segment_id"]])
+        return out
+
+    def segment_between(self, start: int, end: int) -> Optional[RoadSegment]:
+        """The segment from ``start`` to ``end``, if one exists."""
+        data = self._graph.get_edge_data(start, end)
+        if data is None:
+            return None
+        return self._segments[data["segment_id"]]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shortest_path_nodes(self, source: int, target: int) -> List[int]:
+        """Node sequence of the shortest (by length) directed path."""
+        return nx.shortest_path(self._graph, source, target, weight="length")
+
+    def shortest_path_segments(self, source: int, target: int) -> List[RoadSegment]:
+        """Segment sequence of the shortest directed path."""
+        nodes = self.shortest_path_nodes(source, target)
+        route = []
+        for a, b in zip(nodes[:-1], nodes[1:]):
+            seg = self.segment_between(a, b)
+            if seg is None:  # pragma: no cover - graph and dict kept in sync
+                raise RuntimeError(f"missing segment for edge {a}->{b}")
+            route.append(seg)
+        return route
+
+    def path_length_m(self, nodes: Sequence[int]) -> float:
+        """Total length in metres of a node path."""
+        total = 0.0
+        for a, b in zip(nodes[:-1], nodes[1:]):
+            data = self._graph.get_edge_data(a, b)
+            if data is None:
+                raise ValueError(f"no segment from {a} to {b}")
+            total += data["length"]
+        return total
+
+    def is_strongly_connected(self) -> bool:
+        return nx.is_strongly_connected(self._graph)
+
+    # ------------------------------------------------------------------
+    # Neighbourhoods (Section 4.5 matrix selection)
+    # ------------------------------------------------------------------
+    def _undirected(self) -> nx.Graph:
+        if self._undirected_cache is None:
+            self._undirected_cache = self._graph.to_undirected(as_view=False)
+        return self._undirected_cache
+
+    def adjacent_segments(self, segment_id: int) -> Set[int]:
+        """Segments sharing an endpoint with ``segment_id`` (excluded)."""
+        seg = self.segment(segment_id)
+        touching: Set[int] = set()
+        for node in (seg.start, seg.end):
+            for _, _, data in self._graph.out_edges(node, data=True):
+                touching.add(data["segment_id"])
+            for _, _, data in self._graph.in_edges(node, data=True):
+                touching.add(data["segment_id"])
+        touching.discard(segment_id)
+        return touching
+
+    def segments_within_hops(self, segment_id: int, hops: int) -> Set[int]:
+        """Segments whose endpoints lie within ``hops`` intersections.
+
+        Hop distance is measured on the undirected graph from either
+        endpoint of the anchor segment.  The anchor itself is excluded.
+        """
+        if hops < 0:
+            raise ValueError(f"hops must be non-negative, got {hops}")
+        seg = self.segment(segment_id)
+        und = self._undirected()
+        reachable: Set[int] = set()
+        for source in (seg.start, seg.end):
+            lengths = nx.single_source_shortest_path_length(und, source, cutoff=hops)
+            reachable.update(lengths)
+        nearby: Set[int] = set()
+        for other in self.segments():
+            if other.segment_id == segment_id:
+                continue
+            if other.start in reachable and other.end in reachable:
+                nearby.add(other.segment_id)
+        return nearby
+
+    # ------------------------------------------------------------------
+    # Spatial queries
+    # ------------------------------------------------------------------
+    def nearest_segment(
+        self, point: Point, max_distance_m: Optional[float] = None
+    ) -> Optional[RoadSegment]:
+        """Segment closest to ``point``; ``None`` beyond ``max_distance_m``.
+
+        Brute force over segments — adequate for the network sizes used in
+        the paper's experiments; the fleet simulator produces positions on
+        known segments so map matching here is a verification path, not an
+        inner loop.
+        """
+        best: Optional[RoadSegment] = None
+        best_dist = float("inf")
+        for seg in self._segments.values():
+            d = point_segment_distance(point, seg.start_point, seg.end_point)
+            if d < best_dist:
+                best, best_dist = seg, d
+        if best is None:
+            return None
+        if max_distance_m is not None and best_dist > max_distance_m:
+            return None
+        return best
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """(min_x, min_y, max_x, max_y) over all intersections, in metres."""
+        xs = [n.location.x for n in self._nodes.values()]
+        ys = [n.location.y for n in self._nodes.values()]
+        return min(xs), min(ys), max(xs), max(ys)
+
+    def centroid(self) -> Point:
+        """Mean intersection location."""
+        xs = np.mean([n.location.x for n in self._nodes.values()])
+        ys = np.mean([n.location.y for n in self._nodes.values()])
+        return Point(float(xs), float(ys))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RoadNetwork(name={self.name!r}, intersections={self.num_intersections}, "
+            f"segments={self.num_segments})"
+        )

@@ -1,0 +1,122 @@
+"""Road segments and intersections.
+
+A :class:`RoadSegment` is the paper's unit of estimation: a directed link
+between two neighbouring intersections (or signals).  Each segment carries
+the static attributes the traffic and mobility substrates need — length,
+free-flow speed, a road category, and an urban-canyon factor that drives
+GPS report dropout (the paper notes reception suffers near tall
+buildings).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.roadnet.geometry import Point
+
+
+class RoadCategory(enum.Enum):
+    """Coarse functional classes with typical urban free-flow speeds."""
+
+    ARTERIAL = "arterial"
+    COLLECTOR = "collector"
+    LOCAL = "local"
+
+    @property
+    def default_free_flow_kmh(self) -> float:
+        """Typical unobstructed speed for this class, in km/h."""
+        return {
+            RoadCategory.ARTERIAL: 60.0,
+            RoadCategory.COLLECTOR: 45.0,
+            RoadCategory.LOCAL: 30.0,
+        }[self]
+
+
+@dataclass(frozen=True)
+class Intersection:
+    """A graph node: a road intersection or signal location."""
+
+    node_id: int
+    location: Point
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be non-negative, got {self.node_id}")
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """A directed road link between two neighbouring intersections.
+
+    Attributes
+    ----------
+    segment_id:
+        Dense integer id; doubles as the column index of the segment in a
+        full-network traffic condition matrix.
+    start, end:
+        Endpoint intersection ids (direction of travel: start -> end).
+    start_point, end_point:
+        Endpoint coordinates in local metres.
+    length_m:
+        Segment length in metres.
+    category:
+        Functional class; sets the default free-flow speed.
+    free_flow_kmh:
+        Unobstructed traffic speed in km/h.
+    canyon_factor:
+        In [0, 1]; probability-scale measure of urban-canyon GPS
+        signal degradation on this segment (1 = worst).
+    """
+
+    segment_id: int
+    start: int
+    end: int
+    start_point: Point
+    end_point: Point
+    length_m: float
+    category: RoadCategory = RoadCategory.COLLECTOR
+    free_flow_kmh: float = field(default=0.0)
+    canyon_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.segment_id < 0:
+            raise ValueError(f"segment_id must be non-negative, got {self.segment_id}")
+        if self.length_m <= 0:
+            raise ValueError(f"length_m must be positive, got {self.length_m}")
+        if not 0.0 <= self.canyon_factor <= 1.0:
+            raise ValueError(
+                f"canyon_factor must be in [0, 1], got {self.canyon_factor}"
+            )
+        if self.free_flow_kmh == 0.0:
+            object.__setattr__(
+                self, "free_flow_kmh", self.category.default_free_flow_kmh
+            )
+        if self.free_flow_kmh <= 0:
+            raise ValueError(
+                f"free_flow_kmh must be positive, got {self.free_flow_kmh}"
+            )
+
+    @property
+    def free_flow_ms(self) -> float:
+        """Free-flow speed in metres per second."""
+        return self.free_flow_kmh / 3.6
+
+    @property
+    def endpoints(self) -> Tuple[Point, Point]:
+        """(start, end) coordinates."""
+        return self.start_point, self.end_point
+
+    def point_at(self, fraction: float) -> Point:
+        """Coordinate at normalized arc position ``fraction`` in [0, 1]."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        a, b = self.start_point, self.end_point
+        return Point(a.x + fraction * (b.x - a.x), a.y + fraction * (b.y - a.y))
+
+    def travel_time_s(self, speed_kmh: float) -> float:
+        """Traversal time in seconds at the given speed."""
+        if speed_kmh <= 0:
+            raise ValueError(f"speed_kmh must be positive, got {speed_kmh}")
+        return self.length_m / (speed_kmh / 3.6)

@@ -1,0 +1,48 @@
+"""Ground-truth traffic dynamics.
+
+Synthesizes the "real" traffic condition matrices that the proprietary
+Shanghai/Shenzhen probe datasets provided in the paper.  The generator is
+built from exactly the three structural ingredients the paper's PCA study
+finds in real TCMs (Section 3.1):
+
+1. a small number of *periodic* city-wide congestion modes (diurnal
+   commuting, business-hours, night/weekend patterns) that make the TCM
+   effectively low rank and produce type-1 (periodic) eigenflows;
+2. localized *incident* events — accidents, closures — that produce
+   type-2 (spike) eigenflows; and
+3. unstructured *noise* that produces type-3 eigenflows.
+"""
+
+from repro.traffic.profiles import (
+    DiurnalProfile,
+    business_hours_profile,
+    commuter_profile,
+    night_activity_profile,
+    standard_modes,
+)
+from repro.traffic.congestion import CongestionIncident, IncidentModel
+from repro.traffic.dynamics import TrafficDynamicsConfig, synthesize_tcm
+from repro.traffic.groundtruth import GroundTruthTraffic
+from repro.traffic.calibration import (
+    TrafficSignature,
+    extract_signature,
+    signature_report,
+    validate_signature,
+)
+
+__all__ = [
+    "DiurnalProfile",
+    "business_hours_profile",
+    "commuter_profile",
+    "night_activity_profile",
+    "standard_modes",
+    "CongestionIncident",
+    "IncidentModel",
+    "TrafficDynamicsConfig",
+    "synthesize_tcm",
+    "GroundTruthTraffic",
+    "TrafficSignature",
+    "extract_signature",
+    "signature_report",
+    "validate_signature",
+]

@@ -1,0 +1,153 @@
+"""Localized congestion incidents.
+
+Incidents (accidents, road works, closures) are the spatiotemporally
+localized events that produce the paper's type-2 (spike) eigenflows: a
+sudden speed drop on a handful of nearby segments for a bounded duration,
+uncorrelated with the periodic city-wide modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from repro.roadnet.network import RoadNetwork
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class CongestionIncident:
+    """One incident: affected segments, time window, and severity.
+
+    ``severity`` is the fractional speed reduction at the incident core
+    (0.7 means speeds drop to 30 % of normal); neighbours at graph
+    distance d >= 1 experience severity decayed by ``spatial_decay ** d``.
+    """
+
+    start_s: float
+    duration_s: float
+    core_segment: int
+    affected: Dict[int, float]  # segment_id -> severity in [0, 1]
+
+    def __post_init__(self) -> None:
+        check_positive(self.duration_s, "duration_s")
+        for sid, sev in self.affected.items():
+            check_fraction(sev, f"severity of segment {sid}")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def active_at(self, time_s: float) -> bool:
+        return self.start_s <= time_s < self.end_s
+
+
+class IncidentModel:
+    """Poisson incident generator over a road network.
+
+    Parameters
+    ----------
+    network:
+        Segments and their adjacency (incidents spill onto neighbours).
+    rate_per_day:
+        Expected number of incidents per day city-wide.
+    mean_duration_s:
+        Mean incident duration (exponentially distributed).
+    severity_range:
+        Uniform range of core severities.
+    spatial_decay:
+        Severity multiplier per hop away from the core segment.
+    spread_hops:
+        How many hops the incident spills over.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        rate_per_day: float = 4.0,
+        mean_duration_s: float = 2_700.0,
+        severity_range: Sequence[float] = (0.45, 0.85),
+        spatial_decay: float = 0.5,
+        spread_hops: int = 1,
+    ):
+        if rate_per_day < 0:
+            raise ValueError(f"rate_per_day must be >= 0, got {rate_per_day}")
+        check_positive(mean_duration_s, "mean_duration_s")
+        lo, hi = severity_range
+        check_fraction(lo, "severity_range[0]")
+        check_fraction(hi, "severity_range[1]")
+        if lo > hi:
+            raise ValueError("severity_range must be (low, high)")
+        check_fraction(spatial_decay, "spatial_decay")
+        if spread_hops < 0:
+            raise ValueError(f"spread_hops must be >= 0, got {spread_hops}")
+        self.network = network
+        self.rate_per_day = rate_per_day
+        self.mean_duration_s = mean_duration_s
+        self.severity_range = (float(lo), float(hi))
+        self.spatial_decay = spatial_decay
+        self.spread_hops = spread_hops
+
+    def _spread(self, core: int, severity: float) -> Dict[int, float]:
+        """Severity map over the core segment and its hop-neighbours."""
+        affected = {core: severity}
+        frontier: Set[int] = {core}
+        seen: Set[int] = {core}
+        level_severity = severity
+        for _ in range(self.spread_hops):
+            level_severity *= self.spatial_decay
+            if level_severity <= 0.01:
+                break
+            next_frontier: Set[int] = set()
+            for sid in frontier:
+                for neighbour in self.network.adjacent_segments(sid):
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        next_frontier.add(neighbour)
+                        affected[neighbour] = level_severity
+            frontier = next_frontier
+        return affected
+
+    def sample(
+        self, start_s: float, duration_s: float, seed: SeedLike = None
+    ) -> List[CongestionIncident]:
+        """Draw the incidents occurring within ``[start_s, start_s+duration_s)``."""
+        check_positive(duration_s, "duration_s")
+        rng = ensure_rng(seed)
+        expected = self.rate_per_day * duration_s / 86_400.0
+        count = int(rng.poisson(expected))
+        segment_ids = self.network.segment_ids
+        incidents = []
+        for _ in range(count):
+            core = int(rng.choice(segment_ids))
+            severity = float(rng.uniform(*self.severity_range))
+            incidents.append(
+                CongestionIncident(
+                    start_s=float(start_s + rng.uniform(0.0, duration_s)),
+                    duration_s=float(rng.exponential(self.mean_duration_s)) + 300.0,
+                    core_segment=core,
+                    affected=self._spread(core, severity),
+                )
+            )
+        incidents.sort(key=lambda inc: inc.start_s)
+        return incidents
+
+
+def incident_speed_factor(
+    incidents: Sequence[CongestionIncident], segment_id: int, time_s: float
+) -> float:
+    """Multiplicative speed factor from all incidents active at a time.
+
+    Factors compose multiplicatively; with no active incident the factor
+    is 1.0.
+    """
+    factor = 1.0
+    for inc in incidents:
+        if inc.active_at(time_s):
+            severity = inc.affected.get(segment_id)
+            if severity is not None:
+                factor *= 1.0 - severity
+    return factor

@@ -1,0 +1,272 @@
+"""Synthesis of ground-truth traffic condition matrices.
+
+The model: the mean flow speed of segment ``r`` in slot ``t`` is
+
+    x_{t,r} = f_r * (1 - sum_k a_k(t) * s_{k,r}) * incident(t, r) * noise
+
+where ``f_r`` is the segment free-flow speed, ``a_k(t)`` are the
+city-wide periodic congestion modes (see :mod:`repro.traffic.profiles`)
+and ``s_{k,r}`` in [0, 1] is segment ``r``'s sensitivity to mode ``k``.
+The first term is a rank-(K+1)-ish matrix (K modes plus the free-flow
+baseline), giving the low effective rank the paper's PCA reveals;
+incidents contribute localized spikes; the lognormal noise term models
+everything unexplained.
+
+Sensitivities are *spatially smooth*: they are seeded per segment and then
+diffused a few rounds over the road-graph adjacency, so connected
+segments congest together — the paper's "common structures among
+different interested road segments".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.tcm import TimeGrid, TrafficConditionMatrix
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.segment import RoadCategory
+from repro.traffic.congestion import CongestionIncident, IncidentModel
+from repro.traffic.profiles import DiurnalProfile, profile_matrix, standard_modes
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_fraction
+
+
+@dataclass
+class TrafficDynamicsConfig:
+    """Knobs of the ground-truth generator.
+
+    Attributes
+    ----------
+    modes:
+        City-wide congestion profiles; ``None`` selects the standard
+        commuter / business-hours / night trio.
+    max_congestion:
+        Cap on total congestion (speed never drops below
+        ``(1 - max_congestion) * free_flow`` absent incidents).
+    sensitivity_smoothing_rounds:
+        Diffusion rounds of mode sensitivities over segment adjacency.
+    noise_sigma:
+        Sigma of the multiplicative lognormal observation noise.
+    noise_spatial_rounds:
+        Diffusion rounds of the per-slot noise field over segment
+        adjacency.  Neighbouring segments share the actual vehicle
+        platoons that cross them within a slot, so their fluctuations
+        are positively correlated; this is what makes a neighbour's
+        observation genuinely informative about an unobserved segment.
+    day_variability:
+        Sigma of the city-wide day-to-day modulation of each congestion
+        mode (weather, day-specific demand).  The modulation is shared
+        by all segments, so it leaves the matrix rank unchanged while
+        breaking strict weekly periodicity — real traffic is "roughly
+        but not exactly" periodic.
+    temporal_roughness:
+        Sigma of the slot-to-slot stochastic fluctuation of each
+        city-wide mode (demand bursts, signal-timing beat effects).
+        Also shared by all segments — rank-preserving — but it makes
+        adjacent slots genuinely differ, as real short-granularity
+        traffic does (the paper notes errors grow at finer granularity
+        because averages "experience more variations over time").
+    incident_rate_per_day:
+        City-wide incident rate; 0 disables incidents.
+    min_speed_kmh:
+        Hard floor for generated speeds (creeping traffic, never 0).
+    """
+
+    modes: Optional[List[DiurnalProfile]] = None
+    max_congestion: float = 0.75
+    sensitivity_smoothing_rounds: int = 3
+    noise_sigma: float = 0.18
+    noise_spatial_rounds: int = 2
+    day_variability: float = 0.20
+    temporal_roughness: float = 0.30
+    incident_rate_per_day: float = 4.0
+    min_speed_kmh: float = 3.0
+
+    def __post_init__(self) -> None:
+        check_fraction(self.max_congestion, "max_congestion")
+        if self.sensitivity_smoothing_rounds < 0:
+            raise ValueError("sensitivity_smoothing_rounds must be >= 0")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be >= 0")
+        if self.noise_spatial_rounds < 0:
+            raise ValueError("noise_spatial_rounds must be >= 0")
+        if self.day_variability < 0:
+            raise ValueError("day_variability must be >= 0")
+        if self.temporal_roughness < 0:
+            raise ValueError("temporal_roughness must be >= 0")
+        if self.min_speed_kmh <= 0:
+            raise ValueError("min_speed_kmh must be positive")
+
+    def resolved_modes(self) -> List[DiurnalProfile]:
+        return list(self.modes) if self.modes is not None else standard_modes()
+
+
+def _centrality_weight(network: RoadNetwork) -> np.ndarray:
+    """Congestion propensity by distance from the city centre, in [0.35, 1]."""
+    center = network.centroid()
+    radii = np.array(
+        [
+            np.hypot(
+                (seg.start_point.x + seg.end_point.x) / 2 - center.x,
+                (seg.start_point.y + seg.end_point.y) / 2 - center.y,
+            )
+            for seg in network.segments()
+        ]
+    )
+    max_radius = radii.max() if radii.max() > 0 else 1.0
+    return 0.35 + 0.65 * (1.0 - radii / max_radius)
+
+
+def _category_weight(network: RoadNetwork) -> np.ndarray:
+    """Arterials congest the most (they carry commuter flow)."""
+    weights = {
+        RoadCategory.ARTERIAL: 1.0,
+        RoadCategory.COLLECTOR: 0.8,
+        RoadCategory.LOCAL: 0.55,
+    }
+    return np.array([weights[seg.category] for seg in network.segments()])
+
+
+def _smooth_over_adjacency(
+    network: RoadNetwork, values: np.ndarray, rounds: int
+) -> np.ndarray:
+    """Average each segment's value with its adjacent segments, ``rounds`` times."""
+    if rounds == 0:
+        return values
+    ids = network.segment_ids
+    index = {sid: i for i, sid in enumerate(ids)}
+    neighbours = [
+        [index[n] for n in network.adjacent_segments(sid)] for sid in ids
+    ]
+    out = values.astype(float).copy()
+    for _ in range(rounds):
+        nxt = out.copy()
+        for i, neigh in enumerate(neighbours):
+            if neigh:
+                nxt[i] = 0.5 * out[i] + 0.5 * np.mean(out[neigh], axis=0)
+        out = nxt
+    return out
+
+
+def mode_sensitivities(
+    network: RoadNetwork,
+    num_modes: int,
+    rounds: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``(num_segments, num_modes)`` sensitivities in [0, 1].
+
+    Each segment's susceptibility to each city-wide congestion mode,
+    shaped by centrality and road category and smoothed over the graph so
+    neighbouring segments behave alike.
+    """
+    n = network.num_segments
+    raw = rng.uniform(0.3, 1.0, size=(n, num_modes))
+    raw *= _centrality_weight(network)[:, None]
+    raw *= _category_weight(network)[:, None]
+    smoothed = _smooth_over_adjacency(network, raw, rounds)
+    return np.clip(smoothed, 0.0, 1.0)
+
+
+def synthesize_tcm(
+    network: RoadNetwork,
+    grid: TimeGrid,
+    config: Optional[TrafficDynamicsConfig] = None,
+    seed: SeedLike = None,
+    incidents: Optional[Sequence[CongestionIncident]] = None,
+) -> TrafficConditionMatrix:
+    """Generate a complete ground-truth TCM for ``network`` over ``grid``.
+
+    Returns a fully observed :class:`TrafficConditionMatrix` whose columns
+    follow ``network.segment_ids`` order.  Pass ``incidents`` to reuse a
+    fixed incident set; otherwise they are drawn from the config's
+    :class:`IncidentModel`.
+    """
+    config = config or TrafficDynamicsConfig()
+    rng = ensure_rng(seed)
+    modes = config.resolved_modes()
+    times = grid.slot_centers()
+
+    # Temporal factors a_k(t): (m, K)
+    temporal = profile_matrix(modes, times)
+
+    # City-wide day-to-day modulation of each mode (shared by every
+    # segment, hence rank-preserving but periodicity-breaking).
+    if config.day_variability > 0:
+        days = ((times - grid.start_s) // 86_400.0).astype(int)
+        num_days = int(days.max()) + 1 if days.size else 0
+        day_factors = rng.lognormal(
+            mean=-0.5 * config.day_variability**2,
+            sigma=config.day_variability,
+            size=(num_days, len(modes)),
+        )
+        temporal = temporal * day_factors[days]
+
+    # Slot-level city-wide demand fluctuation (also rank-preserving).
+    if config.temporal_roughness > 0:
+        slot_factors = rng.lognormal(
+            mean=-0.5 * config.temporal_roughness**2,
+            sigma=config.temporal_roughness,
+            size=temporal.shape,
+        )
+        temporal = temporal * slot_factors
+    # Spatial factors s_{k,r}: (n, K)
+    spatial = mode_sensitivities(
+        network, len(modes), config.sensitivity_smoothing_rounds, rng
+    )
+
+    # Congestion level: (m, n), low-rank by construction.  Scale so the
+    # busy-period (97.5th percentile) congestion hits max_congestion;
+    # extreme demand bursts saturate at the jam ceiling rather than
+    # compressing typical congestion toward zero.
+    congestion = temporal @ spatial.T
+    busy = float(np.quantile(congestion, 0.975))
+    if busy > 0:
+        congestion = config.max_congestion * congestion / busy
+    congestion = np.minimum(congestion, 0.92)
+
+    free_flow = np.array([seg.free_flow_kmh for seg in network.segments()])
+    speeds = free_flow[None, :] * (1.0 - congestion)
+
+    # Incidents: localized multiplicative drops (type-2 spike structure).
+    if incidents is None and config.incident_rate_per_day > 0:
+        model = IncidentModel(network, rate_per_day=config.incident_rate_per_day)
+        incidents = model.sample(grid.start_s, grid.duration_s, seed=rng)
+    if incidents:
+        col_of = {sid: j for j, sid in enumerate(network.segment_ids)}
+        slot_edges = grid.start_s + np.arange(grid.num_slots + 1) * grid.slot_s
+        for inc in incidents:
+            lo = int(np.searchsorted(slot_edges, inc.start_s, side="right")) - 1
+            hi = int(np.searchsorted(slot_edges, inc.end_s, side="left"))
+            lo, hi = max(lo, 0), min(hi, grid.num_slots)
+            if hi <= lo:
+                continue
+            for sid, severity in inc.affected.items():
+                j = col_of.get(sid)
+                if j is not None:
+                    speeds[lo:hi, j] *= 1.0 - severity
+
+    # Multiplicative lognormal noise (type-3 structure), spatially
+    # correlated across adjacent segments (shared platoons).
+    if config.noise_sigma > 0:
+        log_noise = rng.standard_normal(speeds.shape)
+        if config.noise_spatial_rounds > 0:
+            # Smooth the per-slot field over segment adjacency; then
+            # re-standardize so noise_sigma keeps its meaning.
+            log_noise = _smooth_over_adjacency(
+                network, log_noise.T, config.noise_spatial_rounds
+            ).T
+            std = log_noise.std()
+            if std > 0:
+                log_noise /= std
+        speeds *= np.exp(
+            config.noise_sigma * log_noise - 0.5 * config.noise_sigma**2
+        )
+
+    speeds = np.clip(speeds, config.min_speed_kmh, None)
+    return TrafficConditionMatrix(
+        speeds, grid=grid, segment_ids=network.segment_ids
+    )

@@ -1,0 +1,118 @@
+"""Temporal congestion profiles.
+
+A profile maps wall-clock time to a congestion intensity in [0, 1].
+Profiles are the temporal factors of the low-rank ground-truth model: the
+congestion level of segment ``r`` at time ``t`` is a segment-specific
+mixture of a few city-wide profiles.  All profiles are periodic over the
+week, which is precisely what yields the type-1 (periodic) eigenflows the
+paper observes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+DAY_S = 86_400.0
+WEEK_S = 7 * DAY_S
+
+# Weekday indices: simulation time 0 is Monday 00:00.
+_WEEKEND_DAYS = (5, 6)
+
+
+def _gaussian_bump(hour: float, center: float, width: float) -> float:
+    """Bell-shaped bump over hour-of-day, wrapping at midnight."""
+    delta = min(abs(hour - center), 24.0 - abs(hour - center))
+    return math.exp(-0.5 * (delta / width) ** 2)
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """A weekly-periodic congestion intensity profile.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports and dataset metadata.
+    hourly:
+        Function of hour-of-day (float in [0, 24)) returning base
+        intensity in [0, 1].
+    weekday_weight, weekend_weight:
+        Multipliers applied on weekdays / weekends respectively.
+    """
+
+    name: str
+    hourly: Callable[[float], float]
+    weekday_weight: float = 1.0
+    weekend_weight: float = 1.0
+
+    def intensity(self, time_s: float) -> float:
+        """Congestion intensity in [0, 1] at absolute time ``time_s``."""
+        week_pos = time_s % WEEK_S
+        day = int(week_pos // DAY_S)
+        hour = (week_pos % DAY_S) / 3600.0
+        weight = (
+            self.weekend_weight if day in _WEEKEND_DAYS else self.weekday_weight
+        )
+        return float(np.clip(self.hourly(hour) * weight, 0.0, 1.0))
+
+    def sample(self, times_s: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`intensity` over an array of times."""
+        return np.array([self.intensity(t) for t in np.asarray(times_s)])
+
+
+def commuter_profile() -> DiurnalProfile:
+    """Twin rush-hour peaks (08:00 and 18:00), weak on weekends."""
+
+    def hourly(hour: float) -> float:
+        return min(
+            1.0,
+            0.95 * _gaussian_bump(hour, 8.0, 1.4)
+            + 1.0 * _gaussian_bump(hour, 18.0, 1.7),
+        )
+
+    return DiurnalProfile(
+        "commuter", hourly, weekday_weight=1.0, weekend_weight=0.25
+    )
+
+
+def business_hours_profile() -> DiurnalProfile:
+    """Sustained mid-day plateau (deliveries, intra-day business trips)."""
+
+    def hourly(hour: float) -> float:
+        if 9.5 <= hour <= 17.0:
+            return 0.75
+        return 0.75 * (
+            _gaussian_bump(hour, 9.5, 1.0) if hour < 9.5 else _gaussian_bump(hour, 17.0, 1.2)
+        )
+
+    return DiurnalProfile(
+        "business-hours", hourly, weekday_weight=1.0, weekend_weight=0.45
+    )
+
+
+def night_activity_profile() -> DiurnalProfile:
+    """Evening/night leisure traffic, stronger on weekends."""
+
+    def hourly(hour: float) -> float:
+        return 0.8 * _gaussian_bump(hour, 21.5, 2.2)
+
+    return DiurnalProfile(
+        "night-activity", hourly, weekday_weight=0.5, weekend_weight=1.0
+    )
+
+
+def standard_modes() -> List[DiurnalProfile]:
+    """The default three city-wide congestion modes."""
+    return [commuter_profile(), business_hours_profile(), night_activity_profile()]
+
+
+def profile_matrix(
+    profiles: Sequence[DiurnalProfile], times_s: Sequence[float]
+) -> np.ndarray:
+    """Stack profile intensities into a ``(num_times, num_profiles)`` array."""
+    times_s = np.asarray(times_s, dtype=float)
+    return np.column_stack([p.sample(times_s) for p in profiles])

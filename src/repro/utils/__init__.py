@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG handling and input validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_finite,
+    check_fraction,
+    check_matrix_pair,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_finite",
+    "check_fraction",
+    "check_matrix_pair",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,58 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts either an integer seed,
+an existing :class:`numpy.random.Generator`, or ``None``.  Centralizing
+the coercion here keeps experiment runs reproducible end to end: a single
+seed at the top of an experiment deterministically derives independent
+streams for the road network, the traffic dynamics, the fleet, and the
+masking process.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a deterministic stream, or
+        an existing ``Generator`` which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"cannot build a Generator from {type(seed).__name__}")
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent generators from a single seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so the child streams
+    are statistically independent and reproducible from the parent seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by drawing fresh seeds from the parent stream.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh integer seed from an existing generator."""
+    return int(rng.integers(0, 2**63 - 1))

@@ -1,0 +1,129 @@
+"""Tests for repro.probes.aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.tcm import TimeGrid
+from repro.probes.aggregation import (
+    AggregationConfig,
+    aggregate_reports,
+    reports_per_cell,
+)
+from repro.probes.report import ProbeReport, ReportBatch
+
+
+def grid3():
+    return TimeGrid(start_s=0.0, slot_s=60.0, num_slots=3)
+
+
+def report(t, seg, speed, vid=0):
+    return ProbeReport(vehicle_id=vid, time_s=t, x=0.0, y=0.0, speed_kmh=speed, segment_id=seg)
+
+
+class TestAggregationConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_speed_kmh": -1.0},
+            {"min_reports_per_cell": 0},
+            {"max_speed_kmh": 1.0, "min_speed_kmh": 2.0},
+        ],
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AggregationConfig(**kwargs)
+
+
+class TestAggregateReports:
+    def test_averages_per_cell(self):
+        batch = ReportBatch([report(10.0, 0, 20.0), report(20.0, 0, 40.0)])
+        tcm = aggregate_reports(batch, grid3(), [0, 1])
+        assert tcm.values[0, 0] == pytest.approx(30.0)
+        assert tcm.mask[0, 0]
+
+    def test_unvisited_cells_missing(self):
+        batch = ReportBatch([report(10.0, 0, 20.0)])
+        tcm = aggregate_reports(batch, grid3(), [0, 1])
+        assert not tcm.mask[1, 0]
+        assert not tcm.mask[0, 1]
+        assert tcm.values[1, 0] == 0.0
+
+    def test_slot_assignment(self):
+        batch = ReportBatch([report(65.0, 1, 25.0)])
+        tcm = aggregate_reports(batch, grid3(), [0, 1])
+        assert tcm.mask[1, 1]
+        assert not tcm.mask[0, 1]
+
+    def test_idle_reports_filtered(self):
+        batch = ReportBatch([report(10.0, 0, 0.5), report(20.0, 0, 30.0)])
+        tcm = aggregate_reports(batch, grid3(), [0])
+        assert tcm.values[0, 0] == pytest.approx(30.0)
+
+    def test_glitch_speeds_filtered(self):
+        batch = ReportBatch([report(10.0, 0, 500.0)])
+        tcm = aggregate_reports(batch, grid3(), [0])
+        assert not tcm.mask[0, 0]
+
+    def test_unknown_segment_skipped(self):
+        batch = ReportBatch([report(10.0, 99, 30.0), report(20.0, -1, 30.0)])
+        tcm = aggregate_reports(batch, grid3(), [0, 1])
+        assert tcm.integrity == 0.0
+
+    def test_out_of_window_skipped(self):
+        batch = ReportBatch([report(-10.0, 0, 30.0), report(500.0, 0, 30.0)])
+        tcm = aggregate_reports(batch, grid3(), [0])
+        assert tcm.integrity == 0.0
+
+    def test_min_reports_per_cell(self):
+        batch = ReportBatch([report(10.0, 0, 30.0), report(70.0, 0, 30.0), report(80.0, 0, 40.0)])
+        config = AggregationConfig(min_reports_per_cell=2)
+        tcm = aggregate_reports(batch, grid3(), [0], config)
+        assert not tcm.mask[0, 0]  # single report
+        assert tcm.mask[1, 0]  # two reports
+
+    def test_empty_batch(self):
+        tcm = aggregate_reports(ReportBatch([]), grid3(), [0, 1])
+        assert tcm.integrity == 0.0
+        assert tcm.shape == (3, 2)
+
+    def test_duplicate_segment_ids_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            aggregate_reports(ReportBatch([]), grid3(), [0, 0])
+
+    def test_column_order_follows_segment_ids(self):
+        batch = ReportBatch([report(10.0, 5, 30.0)])
+        tcm = aggregate_reports(batch, grid3(), [7, 5])
+        assert tcm.mask[0, 1]
+        assert not tcm.mask[0, 0]
+
+    def test_matches_ground_truth_speeds(self, ground_truth):
+        """Aggregated probe speeds track the generating ground truth."""
+        from repro.mobility.fleet import FleetConfig, FleetSimulator
+        from repro.mobility.reporting import ReportingConfig
+
+        config = FleetConfig(
+            num_vehicles=40,
+            reporting=ReportingConfig(speed_noise_kmh=0.0),
+        )
+        batch = FleetSimulator(ground_truth, config, seed=0).run()
+        tcm = aggregate_reports(
+            batch, ground_truth.grid, ground_truth.network.segment_ids
+        )
+        mask = tcm.mask
+        assert tcm.integrity > 0.05
+        truth_vals = ground_truth.tcm.values[mask]
+        measured = tcm.values[mask]
+        rel = np.abs(measured - truth_vals) / truth_vals
+        # Driver factors add ~10 % per-vehicle spread; averages stay close.
+        assert np.median(rel) < 0.15
+
+
+class TestReportsPerCell:
+    def test_counts(self):
+        batch = ReportBatch(
+            [report(10.0, 0, 30.0), report(20.0, 0, 0.1), report(70.0, 1, 30.0)]
+        )
+        counts = reports_per_cell(batch, grid3(), [0, 1])
+        assert counts[0, 0] == 2  # no speed filter here
+        assert counts[1, 1] == 1
+        assert counts.sum() == 3

@@ -1,0 +1,130 @@
+"""Tests for repro.core.anomaly."""
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import (
+    AnomalyEvent,
+    EigenflowAnomalyDetector,
+    ResidualAnomalyDetector,
+    match_events,
+)
+from repro.core.tcm import TimeGrid, TrafficConditionMatrix
+from repro.traffic.congestion import CongestionIncident
+from repro.traffic.dynamics import TrafficDynamicsConfig, synthesize_tcm
+
+
+def tcm_with_incident(network, severity=0.85, slots=(20, 23)):
+    """Quiet ground truth plus one strong injected incident."""
+    grid = TimeGrid.over_days(2.0, 1800.0)
+    config = TrafficDynamicsConfig(
+        noise_sigma=0.05,
+        temporal_roughness=0.1,
+        incident_rate_per_day=0.0,
+    )
+    incident = CongestionIncident(
+        start_s=slots[0] * 1800.0,
+        duration_s=(slots[1] - slots[0] + 1) * 1800.0,
+        core_segment=3,
+        affected={3: severity, 4: severity * 0.6},
+    )
+    return (
+        synthesize_tcm(network, grid, config=config, seed=0, incidents=[incident]),
+        incident,
+    )
+
+
+class TestResidualDetector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResidualAnomalyDetector(rank=0)
+        with pytest.raises(ValueError):
+            ResidualAnomalyDetector(threshold_sigmas=0.0)
+
+    def test_requires_complete(self, masked_tcm):
+        with pytest.raises(ValueError, match="complete"):
+            ResidualAnomalyDetector().detect(masked_tcm)
+
+    def test_detects_injected_incident(self, small_network):
+        tcm, incident = tcm_with_incident(small_network)
+        events = ResidualAnomalyDetector(rank=2, threshold_sigmas=3.0).detect(tcm)
+        assert events, "incident must be detected"
+        hit = [e for e in events if 20 <= e.slot <= 23]
+        assert hit
+        assert any(3 in e.segment_ids for e in hit)
+
+    def test_quiet_matrix_few_events(self, small_network):
+        grid = TimeGrid.over_days(1.0, 1800.0)
+        config = TrafficDynamicsConfig(
+            noise_sigma=0.05, temporal_roughness=0.05, incident_rate_per_day=0.0
+        )
+        tcm = synthesize_tcm(small_network, grid, config=config, seed=1)
+        events = ResidualAnomalyDetector(rank=2, threshold_sigmas=4.0).detect(tcm)
+        assert len(events) <= 2
+
+    def test_constant_matrix_no_events(self):
+        tcm = TrafficConditionMatrix(np.full((10, 4), 30.0))
+        assert ResidualAnomalyDetector().detect(tcm) == []
+
+    def test_events_sorted(self, small_network):
+        tcm, _ = tcm_with_incident(small_network)
+        events = ResidualAnomalyDetector(rank=2, threshold_sigmas=2.5).detect(tcm)
+        slots = [e.slot for e in events]
+        assert slots == sorted(slots)
+
+
+class TestEigenflowDetector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EigenflowAnomalyDetector(threshold_sigmas=0.0)
+        with pytest.raises(ValueError):
+            EigenflowAnomalyDetector(top_segments=0)
+
+    def test_requires_complete(self, masked_tcm):
+        with pytest.raises(ValueError, match="complete"):
+            EigenflowAnomalyDetector().detect(masked_tcm)
+
+    def test_detects_injected_incident(self, small_network):
+        tcm, _ = tcm_with_incident(small_network, severity=0.9)
+        events = EigenflowAnomalyDetector(threshold_sigmas=4.0).detect(tcm)
+        assert any(19 <= e.slot <= 24 for e in events)
+
+    def test_merges_same_slot(self, small_network):
+        tcm, _ = tcm_with_incident(small_network, severity=0.9)
+        events = EigenflowAnomalyDetector(threshold_sigmas=3.5).detect(tcm)
+        slots = [e.slot for e in events]
+        assert len(slots) == len(set(slots))
+
+
+class TestMatchEvents:
+    def test_perfect_detection(self):
+        detected = [AnomalyEvent(slot=21, segment_ids=[3], score=5.0)]
+        recall, precision = match_events(detected, [(20, 23)])
+        assert recall == 1.0
+        assert precision == 1.0
+
+    def test_miss(self):
+        detected = [AnomalyEvent(slot=5, segment_ids=[3], score=5.0)]
+        recall, precision = match_events(detected, [(20, 23)])
+        assert recall == 0.0
+        assert precision == 0.0
+
+    def test_tolerance(self):
+        detected = [AnomalyEvent(slot=19, segment_ids=[3], score=5.0)]
+        recall, _ = match_events(detected, [(20, 23)], slot_tolerance=1)
+        assert recall == 1.0
+        recall, _ = match_events(detected, [(20, 23)], slot_tolerance=0)
+        assert recall == 0.0
+
+    def test_no_truth(self):
+        recall, precision = match_events([], [])
+        assert np.isnan(recall)
+
+    def test_no_detections(self):
+        recall, precision = match_events([], [(1, 2)])
+        assert recall == 0.0
+        assert np.isnan(precision)
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            match_events([], [(1, 2)], slot_tolerance=-1)

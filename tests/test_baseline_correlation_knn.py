@@ -1,0 +1,79 @@
+"""Tests for repro.baselines.correlation_knn."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.correlation_knn import CorrelationKNN
+from repro.datasets.masks import random_integrity_mask
+from repro.metrics.errors import nmae
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs", [{"k": 1}, {"axis": "diagonal"}, {"min_overlap": 1}]
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CorrelationKNN(**kwargs)
+
+
+class TestComplete:
+    def test_observed_cells_pass_through(self, truth_tcm):
+        mask = random_integrity_mask(truth_tcm.shape, 0.5, seed=0)
+        measured = np.where(mask, truth_tcm.values, 0.0)
+        out = CorrelationKNN(k=4).complete(measured, mask)
+        assert np.allclose(out[mask], measured[mask])
+
+    def test_everything_filled(self, truth_tcm):
+        mask = random_integrity_mask(truth_tcm.shape, 0.2, seed=1)
+        measured = np.where(mask, truth_tcm.values, 0.0)
+        out = CorrelationKNN(k=4).complete(measured, mask)
+        assert np.all(np.isfinite(out))
+        # Almost all cells should be positive speeds (fallback included).
+        assert (out > 0).mean() > 0.99
+
+    def test_correlated_rows_weighted(self):
+        # Row 1 is missing a value; row 0 is perfectly correlated with
+        # row 1, row 2 is anti-structured noise: estimate should lean on
+        # adjacent rows via correlation weights and land near truth.
+        base = np.linspace(1, 10, 8)
+        values = np.vstack([base, base * 2, np.ones(8) * 5])
+        mask = np.ones_like(values, dtype=bool)
+        mask[1, 4] = False
+        measured = np.where(mask, values, 0.0)
+        out = CorrelationKNN(k=2).complete(measured, mask)
+        assert np.all(np.isfinite(out))
+
+    def test_column_axis(self, truth_tcm):
+        mask = random_integrity_mask(truth_tcm.shape, 0.3, seed=2)
+        measured = np.where(mask, truth_tcm.values, 0.0)
+        out = CorrelationKNN(k=4, axis="columns").complete(measured, mask)
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out[mask], measured[mask])
+
+    def test_better_than_naive_on_temporal_data(self, truth_tcm):
+        from repro.baselines.knn import NaiveKNN
+
+        mask = random_integrity_mask(truth_tcm.shape, 0.3, seed=3)
+        measured = np.where(mask, truth_tcm.values, 0.0)
+        corr_err = nmae(
+            truth_tcm.values,
+            CorrelationKNN(k=4).complete(measured, mask),
+            ~mask,
+        )
+        naive_err = nmae(
+            truth_tcm.values, NaiveKNN(k=4).complete(measured, mask), ~mask
+        )
+        # The paper finds correlation KNN better than naive KNN; on this
+        # deliberately tiny fixture the two are close, so only require
+        # rough parity here (the metropolitan-scale ordering is asserted
+        # by the experiment-level tests).
+        assert corr_err < naive_err * 1.15
+
+    def test_sparse_column_falls_back(self):
+        values = np.zeros((6, 2))
+        values[:, 0] = np.arange(6) + 1.0
+        mask = np.zeros_like(values, dtype=bool)
+        mask[:, 0] = True
+        out = CorrelationKNN(k=4).complete(values, mask)
+        assert np.all(np.isfinite(out[:, 1]))

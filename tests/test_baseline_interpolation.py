@@ -1,0 +1,64 @@
+"""Tests for repro.baselines.interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.interpolation import HistoricalMean, LinearInterpolation
+
+
+class TestHistoricalMean:
+    def test_fills_with_column_mean(self):
+        values = np.array([[2.0, 0.0], [4.0, 0.0], [0.0, 0.0]])
+        mask = np.array([[True, False], [True, False], [False, False]])
+        out = HistoricalMean().complete(values, mask)
+        assert out[2, 0] == pytest.approx(3.0)
+
+    def test_empty_column_uses_global_mean(self):
+        values = np.array([[2.0, 0.0], [4.0, 0.0]])
+        mask = np.array([[True, False], [True, False]])
+        out = HistoricalMean().complete(values, mask)
+        assert np.allclose(out[:, 1], 3.0)
+
+    def test_observed_pass_through(self):
+        values = np.array([[2.0, 5.0], [4.0, 0.0]])
+        mask = np.array([[True, True], [True, False]])
+        out = HistoricalMean().complete(values, mask)
+        assert out[0, 1] == 5.0
+
+    def test_all_missing(self):
+        out = HistoricalMean().complete(np.zeros((2, 2)), np.zeros((2, 2), bool))
+        assert np.all(out == 0.0)
+
+
+class TestLinearInterpolation:
+    def test_interpolates_between(self):
+        values = np.array([[10.0], [0.0], [30.0]])
+        mask = np.array([[True], [False], [True]])
+        out = LinearInterpolation().complete(values, mask)
+        assert out[1, 0] == pytest.approx(20.0)
+
+    def test_holds_endpoints_flat(self):
+        values = np.array([[0.0], [10.0], [0.0]])
+        mask = np.array([[False], [True], [False]])
+        out = LinearInterpolation().complete(values, mask)
+        assert out[0, 0] == 10.0
+        assert out[2, 0] == 10.0
+
+    def test_empty_column_global_mean(self):
+        values = np.array([[4.0, 0.0], [6.0, 0.0]])
+        mask = np.array([[True, False], [True, False]])
+        out = LinearInterpolation().complete(values, mask)
+        assert np.allclose(out[:, 1], 5.0)
+
+    def test_complete_column_untouched(self):
+        values = np.array([[1.0], [2.0], [3.0]])
+        mask = np.ones((3, 1), dtype=bool)
+        assert np.allclose(LinearInterpolation().complete(values, mask), values)
+
+    def test_observed_pass_through(self, truth_tcm):
+        from repro.datasets.masks import random_integrity_mask
+
+        mask = random_integrity_mask(truth_tcm.shape, 0.4, seed=0)
+        measured = np.where(mask, truth_tcm.values, 0.0)
+        out = LinearInterpolation().complete(measured, mask)
+        assert np.allclose(out[mask], measured[mask])

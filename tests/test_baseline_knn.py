@@ -1,0 +1,67 @@
+"""Tests for repro.baselines.knn (Naive KNN)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import NaiveKNN
+from repro.datasets.masks import random_integrity_mask
+from repro.metrics.errors import nmae
+from tests.conftest import make_low_rank
+
+
+class TestNaiveKNN:
+    def test_observed_cells_pass_through(self):
+        values = np.arange(9, dtype=float).reshape(3, 3) + 1
+        mask = np.ones((3, 3), dtype=bool)
+        mask[1, 1] = False
+        out = NaiveKNN(k=4).complete(np.where(mask, values, 0.0), mask)
+        assert np.allclose(out[mask], values[mask])
+
+    def test_missing_filled_with_neighbour_average(self):
+        values = np.array(
+            [
+                [1.0, 2.0, 0.0],
+                [3.0, 0.0, 4.0],
+                [0.0, 5.0, 6.0],
+            ]
+        )
+        mask = values > 0
+        out = NaiveKNN(k=4).complete(values, mask)
+        # Center cell has exactly 6 observed cells around; its 4 nearest
+        # are the cross neighbours (2, 3, 4, 5).
+        assert out[1, 1] == pytest.approx((2 + 3 + 4 + 5) / 4)
+
+    def test_all_missing_fallback(self):
+        out = NaiveKNN(k=2, fallback=7.0).complete(
+            np.zeros((2, 2)), np.zeros((2, 2), dtype=bool)
+        )
+        assert np.all(out == 7.0)
+
+    def test_fewer_observations_than_k(self):
+        values = np.zeros((3, 3))
+        values[0, 0] = 5.0
+        mask = values > 0
+        out = NaiveKNN(k=4).complete(values, mask)
+        assert np.all(out == 5.0)
+
+    def test_complete_input_unchanged(self):
+        values = np.random.default_rng(0).uniform(1, 5, (4, 4))
+        mask = np.ones((4, 4), dtype=bool)
+        assert np.allclose(NaiveKNN().complete(values, mask), values)
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            NaiveKNN(k=0)
+
+    def test_reasonable_error_on_smooth_data(self, truth_tcm):
+        mask = random_integrity_mask(truth_tcm.shape, 0.4, seed=0)
+        measured = np.where(mask, truth_tcm.values, 0.0)
+        out = NaiveKNN(k=4).complete(measured, mask)
+        assert nmae(truth_tcm.values, out, ~mask) < 0.4
+
+    def test_estimates_within_observed_range(self, low_rank_matrix):
+        mask = random_integrity_mask(low_rank_matrix.shape, 0.3, seed=1)
+        out = NaiveKNN(k=4).complete(np.where(mask, low_rank_matrix, 0.0), mask)
+        observed = low_rank_matrix[mask]
+        assert out.min() >= observed.min() - 1e-9
+        assert out.max() <= observed.max() + 1e-9

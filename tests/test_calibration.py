@@ -1,0 +1,62 @@
+"""Tests for repro.traffic.calibration."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.calibration import (
+    SignatureCheck,
+    extract_signature,
+    signature_report,
+    validate_signature,
+)
+
+
+class TestExtractSignature:
+    def test_requires_complete(self, masked_tcm):
+        with pytest.raises(ValueError, match="complete"):
+            extract_signature(masked_tcm)
+
+    def test_fields_finite(self, truth_tcm):
+        sig = extract_signature(truth_tcm)
+        assert 0 <= sig.knee_energy_5 <= 1
+        assert 0 <= sig.sigma2_ratio <= 1
+        assert sig.rank5_rmse_kmh >= 0
+        assert 0 <= sig.noise_flow_fraction <= 1
+        assert sig.speed_p5_kmh < sig.speed_p95_kmh
+
+    def test_daily_correlation_range(self, truth_tcm):
+        sig = extract_signature(truth_tcm)
+        assert -1.0 <= sig.daily_correlation <= 1.0
+
+
+class TestValidateSignature:
+    def test_default_generator_passes(self, truth_tcm):
+        """The shipped generator must satisfy the paper-derived bands."""
+        checks = validate_signature(extract_signature(truth_tcm))
+        failures = [c for c in checks if not c.passed]
+        assert not failures, signature_report(checks)
+
+    def test_white_noise_fails(self):
+        """A structureless matrix must flunk the structural checks."""
+        from repro.core.tcm import TimeGrid, TrafficConditionMatrix
+
+        rng = np.random.default_rng(0)
+        values = rng.uniform(3.0, 80.0, size=(96, 40))
+        tcm = TrafficConditionMatrix(values, grid=TimeGrid(0.0, 1800.0, 96))
+        checks = validate_signature(extract_signature(tcm))
+        failed = {c.name for c in checks if not c.passed}
+        assert "knee_energy_5" in failed or "leading_flow_periodic" in failed
+
+    def test_report_format(self, truth_tcm):
+        checks = validate_signature(extract_signature(truth_tcm))
+        report = signature_report(checks)
+        assert "traffic signature validation" in report
+        for check in checks:
+            assert check.name in report
+
+
+class TestSignatureCheck:
+    def test_passed_semantics(self):
+        assert SignatureCheck("x", 0.5, 0.0, 1.0).passed
+        assert not SignatureCheck("x", 1.5, 0.0, 1.0).passed
+        assert SignatureCheck("x", 1.0, 0.0, 1.0).passed

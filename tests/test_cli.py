@@ -1,0 +1,142 @@
+"""Tests for repro.cli."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.loaders import load_tcm, save_tcm
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd, extra in [
+            ("gen-network", ["out.json"]),
+            ("gen-dataset", ["net.json", "prefix"]),
+            ("estimate", ["in.npz", "out.npz"]),
+            ("evaluate", ["t.npz", "e.npz"]),
+            ("integrity", ["in.npz"]),
+            ("experiments", []),
+        ]:
+            args = parser.parse_args([cmd] + extra)
+            assert callable(args.func)
+
+
+class TestGenNetwork:
+    def test_grid(self, tmp_path, capsys):
+        out = tmp_path / "net.json"
+        assert main(["gen-network", str(out), "--rows", "3", "--cols", "3"]) == 0
+        assert out.exists()
+        assert "segments" in capsys.readouterr().out
+
+    def test_ring(self, tmp_path):
+        out = tmp_path / "ring.json"
+        assert main([
+            "gen-network", str(out), "--kind", "ring", "--rings", "2", "--radials", "4",
+        ]) == 0
+        from repro.roadnet.io import load_network
+
+        net = load_network(out)
+        assert net.num_segments > 0
+
+
+class TestPipeline:
+    @pytest.fixture()
+    def network_path(self, tmp_path):
+        out = tmp_path / "net.json"
+        main(["gen-network", str(out), "--rows", "4", "--cols", "4"])
+        return out
+
+    def test_gen_dataset_estimate_evaluate(self, network_path, tmp_path, capsys):
+        prefix = tmp_path / "data"
+        rc = main([
+            "gen-dataset", str(network_path), str(prefix),
+            "--days", "0.25", "--vehicles", "40", "--slot-s", "900",
+        ])
+        assert rc == 0
+        truth = tmp_path / "data-truth.npz"
+        measured = tmp_path / "data-measured.npz"
+        assert truth.exists() and measured.exists()
+
+        estimate = tmp_path / "estimate.npz"
+        rc = main([
+            "estimate", str(measured), str(estimate),
+            "--iterations", "20", "--lam", "10",
+        ])
+        assert rc == 0
+        est = load_tcm(estimate)
+        assert est.is_complete
+
+        rc = main([
+            "evaluate", str(truth), str(estimate), "--measured", str(measured),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "NMAE" in out
+
+    def test_integrity_report(self, network_path, tmp_path, capsys):
+        prefix = tmp_path / "d"
+        main([
+            "gen-dataset", str(network_path), str(prefix),
+            "--days", "0.25", "--vehicles", "20", "--slot-s", "900",
+        ])
+        rc = main(["integrity", str(tmp_path / "d-measured.npz")])
+        assert rc == 0
+        assert "overall integrity" in capsys.readouterr().out
+
+    def test_evaluate_shape_mismatch(self, tmp_path, capsys):
+        from repro.core.tcm import TrafficConditionMatrix
+
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        save_tcm(TrafficConditionMatrix(np.ones((2, 2))), a)
+        save_tcm(TrafficConditionMatrix(np.ones((3, 2))), b)
+        assert main(["evaluate", str(a), str(b)]) == 2
+
+
+class TestPlanCommand:
+    def test_plan_route(self, tmp_path, capsys):
+        from repro.core.tcm import TimeGrid, TrafficConditionMatrix
+        from repro.roadnet.generators import grid_city
+        from repro.roadnet.io import save_network
+
+        network = grid_city(3, 3, seed=0)
+        net_path = tmp_path / "net.json"
+        save_network(network, net_path)
+        tcm = TrafficConditionMatrix(
+            np.full((4, network.num_segments), 36.0),
+            grid=TimeGrid(0.0, 900.0, 4),
+            segment_ids=network.segment_ids,
+        )
+        tcm_path = tmp_path / "est.npz"
+        save_tcm(tcm, tcm_path)
+
+        rc = main(["plan", str(net_path), str(tcm_path), "0", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "route 0 -> 8" in out
+
+
+class TestAnomaliesCommand:
+    def test_detects_on_complete(self, tmp_path, capsys, truth_tcm):
+        path = tmp_path / "tcm.npz"
+        save_tcm(truth_tcm, path)
+        rc = main(["anomalies", str(path), "--threshold", "3.0"])
+        assert rc == 0
+        assert "anomalous slot" in capsys.readouterr().out
+
+    def test_rejects_partial(self, tmp_path, masked_tcm):
+        path = tmp_path / "partial.npz"
+        save_tcm(masked_tcm, path)
+        assert main(["anomalies", str(path)]) == 2
+
+
+class TestReportCommand:
+    def test_parser_accepts(self):
+        parser = build_parser()
+        args = parser.parse_args(["report", "out.md", "--profile", "quick"])
+        assert args.output == "out.md"

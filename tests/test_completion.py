@@ -1,0 +1,237 @@
+"""Tests for repro.core.completion (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.completion import CompletionResult, CompressiveSensingCompleter
+from repro.core.tcm import TrafficConditionMatrix
+from repro.datasets.masks import random_integrity_mask
+from repro.metrics.errors import nmae
+from tests.conftest import make_low_rank
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rank": 0},
+            {"lam": -1.0},
+            {"iterations": 0},
+            {"tol": 0.0},
+            {"clip_min": 5.0, "clip_max": 1.0},
+        ],
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CompressiveSensingCompleter(**kwargs)
+
+    def test_requires_mask_for_raw_array(self):
+        completer = CompressiveSensingCompleter()
+        with pytest.raises(ValueError, match="mask"):
+            completer.complete(np.ones((3, 3)))
+
+    def test_rejects_mask_with_tcm(self, masked_tcm):
+        completer = CompressiveSensingCompleter()
+        with pytest.raises(ValueError, match="implied"):
+            completer.complete(masked_tcm, mask=masked_tcm.mask)
+
+    def test_rejects_empty_mask(self):
+        completer = CompressiveSensingCompleter()
+        with pytest.raises(ValueError, match="no observed"):
+            completer.complete(np.zeros((3, 3)), np.zeros((3, 3), dtype=bool))
+
+
+class TestExactRecovery:
+    def test_recovers_exact_low_rank(self, low_rank_matrix):
+        mask = random_integrity_mask(low_rank_matrix.shape, 0.5, seed=1)
+        measured = np.where(mask, low_rank_matrix, 0.0)
+        completer = CompressiveSensingCompleter(
+            rank=2, lam=1e-6, iterations=200, seed=0
+        )
+        result = completer.complete(measured, mask)
+        err = nmae(low_rank_matrix, result.estimate, ~mask)
+        assert err < 0.01
+
+    def test_rank1_recovery(self):
+        x = make_low_rank(30, 20, 1, seed=3)
+        mask = random_integrity_mask(x.shape, 0.3, seed=2)
+        completer = CompressiveSensingCompleter(rank=1, lam=1e-6, iterations=150, seed=0)
+        result = completer.complete(np.where(mask, x, 0.0), mask)
+        assert nmae(x, result.estimate, ~mask) < 0.01
+
+    def test_complete_matrix_fit(self, low_rank_matrix):
+        mask = np.ones(low_rank_matrix.shape, dtype=bool)
+        completer = CompressiveSensingCompleter(rank=2, lam=1e-8, iterations=100, seed=0)
+        result = completer.complete(low_rank_matrix, mask)
+        assert np.allclose(result.estimate, low_rank_matrix, rtol=1e-3, atol=1e-3)
+
+
+class TestResultStructure:
+    @pytest.fixture()
+    def result(self, low_rank_matrix):
+        mask = random_integrity_mask(low_rank_matrix.shape, 0.6, seed=4)
+        completer = CompressiveSensingCompleter(rank=3, lam=0.1, iterations=25, seed=1)
+        return completer.complete(np.where(mask, low_rank_matrix, 0.0), mask)
+
+    def test_shapes(self, result, low_rank_matrix):
+        m, n = low_rank_matrix.shape
+        assert result.estimate.shape == (m, n)
+        assert result.left.shape == (m, 3)
+        assert result.right.shape == (n, 3)
+
+    def test_estimate_is_factor_product(self, result):
+        assert np.allclose(result.estimate, result.left @ result.right.T)
+
+    def test_objective_history_tracks_best(self, result):
+        assert result.objective == pytest.approx(min(result.objective_history))
+        assert result.iterations_run == len(result.objective_history)
+
+    def test_rank_bound_property(self, result):
+        assert result.rank_bound == 3
+
+    def test_objective_nonincreasing(self, result):
+        history = np.array(result.objective_history)
+        # ALS with exact inner solves must (weakly) decrease the objective.
+        assert np.all(np.diff(history) <= np.abs(history[:-1]) * 1e-6)
+
+    def test_fused_keeps_observations(self, low_rank_matrix):
+        mask = random_integrity_mask(low_rank_matrix.shape, 0.5, seed=5)
+        measured = np.where(mask, low_rank_matrix, 0.0)
+        completer = CompressiveSensingCompleter(rank=2, lam=0.1, iterations=20, seed=0)
+        result = completer.complete(measured, mask)
+        fused = result.fused(measured, mask)
+        assert np.allclose(fused[mask], measured[mask])
+        assert np.allclose(fused[~mask], result.estimate[~mask])
+
+
+class TestOptions:
+    def test_clipping(self, low_rank_matrix):
+        mask = random_integrity_mask(low_rank_matrix.shape, 0.4, seed=6)
+        completer = CompressiveSensingCompleter(
+            rank=2, lam=0.1, iterations=10, clip_min=3.0, clip_max=4.0, seed=0
+        )
+        result = completer.complete(np.where(mask, low_rank_matrix, 0.0), mask)
+        assert result.estimate.min() >= 3.0
+        assert result.estimate.max() <= 4.0
+
+    def test_seed_determinism(self, low_rank_matrix):
+        mask = random_integrity_mask(low_rank_matrix.shape, 0.5, seed=7)
+        measured = np.where(mask, low_rank_matrix, 0.0)
+        r1 = CompressiveSensingCompleter(rank=2, iterations=15, seed=9).complete(
+            measured, mask
+        )
+        r2 = CompressiveSensingCompleter(rank=2, iterations=15, seed=9).complete(
+            measured, mask
+        )
+        assert np.allclose(r1.estimate, r2.estimate)
+
+    def test_tol_early_stop(self, low_rank_matrix):
+        mask = random_integrity_mask(low_rank_matrix.shape, 0.6, seed=8)
+        measured = np.where(mask, low_rank_matrix, 0.0)
+        full = CompressiveSensingCompleter(rank=2, lam=1e-6, iterations=300, seed=0)
+        early = CompressiveSensingCompleter(
+            rank=2, lam=1e-6, iterations=300, tol=1e-4, seed=0
+        )
+        assert (
+            early.complete(measured, mask).iterations_run
+            < full.complete(measured, mask).iterations_run
+        )
+
+    def test_rank_capped_by_shape(self):
+        x = make_low_rank(5, 4, 1)
+        mask = np.ones(x.shape, dtype=bool)
+        completer = CompressiveSensingCompleter(rank=50, lam=0.1, iterations=5, seed=0)
+        result = completer.complete(x, mask)
+        assert result.rank_bound <= 4
+
+    def test_accepts_tcm_input(self, masked_tcm):
+        completer = CompressiveSensingCompleter(rank=2, iterations=15, seed=0)
+        result = completer.complete(masked_tcm)
+        assert result.estimate.shape == masked_tcm.shape
+
+    def test_unmasked_solver_runs(self, low_rank_matrix):
+        mask = random_integrity_mask(low_rank_matrix.shape, 0.7, seed=9)
+        completer = CompressiveSensingCompleter(
+            rank=2, lam=1.0, iterations=20, mask_aware=False, seed=0
+        )
+        result = completer.complete(np.where(mask, low_rank_matrix, 0.0), mask)
+        assert np.all(np.isfinite(result.estimate))
+
+    def test_mask_aware_beats_literal_on_missing_data(self, low_rank_matrix):
+        # The paper-literal solver treats missing cells as zeros and
+        # biases the estimate; the mask-aware solver must do better.
+        mask = random_integrity_mask(low_rank_matrix.shape, 0.4, seed=10)
+        measured = np.where(mask, low_rank_matrix, 0.0)
+        aware = CompressiveSensingCompleter(
+            rank=2, lam=0.1, iterations=60, mask_aware=True, seed=0
+        ).complete(measured, mask)
+        literal = CompressiveSensingCompleter(
+            rank=2, lam=0.1, iterations=60, mask_aware=False, seed=0
+        ).complete(measured, mask)
+        assert nmae(low_rank_matrix, aware.estimate, ~mask) < nmae(
+            low_rank_matrix, literal.estimate, ~mask
+        )
+
+
+class TestRestarts:
+    def test_restarts_validated(self):
+        with pytest.raises(ValueError):
+            CompressiveSensingCompleter(restarts=0)
+
+    def test_restarts_never_worse(self, low_rank_matrix):
+        mask = random_integrity_mask(low_rank_matrix.shape, 0.5, seed=11)
+        measured = np.where(mask, low_rank_matrix, 0.0)
+        single = CompressiveSensingCompleter(
+            rank=2, lam=1e-4, iterations=60, restarts=1, seed=0
+        ).complete(measured, mask)
+        multi = CompressiveSensingCompleter(
+            rank=2, lam=1e-4, iterations=60, restarts=4, seed=0
+        ).complete(measured, mask)
+        assert multi.objective <= single.objective + 1e-9
+
+    def test_restarts_counted_in_iterations_run(self, low_rank_matrix):
+        mask = random_integrity_mask(low_rank_matrix.shape, 0.5, seed=12)
+        measured = np.where(mask, low_rank_matrix, 0.0)
+        result = CompressiveSensingCompleter(
+            rank=2, lam=0.1, iterations=10, restarts=3, seed=0
+        ).complete(measured, mask)
+        assert result.iterations_run == 30
+
+    def test_escapes_local_minimum(self):
+        """The seed-0 instance where a single ALS run gets stuck."""
+        x = make_low_rank(20, 15, 2, seed=0)
+        mask = random_integrity_mask(x.shape, 0.6, seed=1)
+        measured = np.where(mask, x, 0.0)
+        multi = CompressiveSensingCompleter(
+            rank=2, lam=1e-4, iterations=120, restarts=3, seed=0
+        ).complete(measured, mask)
+        assert nmae(x, multi.estimate, ~mask) < 0.05
+
+
+class TestEdgeCases:
+    def test_single_observation(self):
+        values = np.zeros((4, 4))
+        values[1, 2] = 7.0
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 2] = True
+        completer = CompressiveSensingCompleter(rank=1, lam=0.1, iterations=10, seed=0)
+        result = completer.complete(values, mask)
+        assert np.all(np.isfinite(result.estimate))
+
+    def test_empty_column_gets_finite_estimate(self):
+        x = make_low_rank(10, 5, 2)
+        mask = np.ones(x.shape, dtype=bool)
+        mask[:, 3] = False
+        completer = CompressiveSensingCompleter(rank=2, lam=0.5, iterations=20, seed=0)
+        result = completer.complete(np.where(mask, x, 0.0), mask)
+        assert np.all(np.isfinite(result.estimate[:, 3]))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_any_seed_finite(self, seed):
+        x = make_low_rank(12, 9, 2, seed=1)
+        mask = random_integrity_mask(x.shape, 0.5, seed=2)
+        completer = CompressiveSensingCompleter(rank=2, lam=1.0, iterations=8, seed=seed)
+        result = completer.complete(np.where(mask, x, 0.0), mask)
+        assert np.all(np.isfinite(result.estimate))

@@ -1,0 +1,106 @@
+"""Tests for repro.traffic.congestion."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.congestion import (
+    CongestionIncident,
+    IncidentModel,
+    incident_speed_factor,
+)
+
+
+class TestCongestionIncident:
+    def test_active_window(self):
+        inc = CongestionIncident(100.0, 50.0, 0, {0: 0.5})
+        assert inc.active_at(100.0)
+        assert inc.active_at(149.9)
+        assert not inc.active_at(150.0)
+        assert not inc.active_at(99.9)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            CongestionIncident(0.0, 0.0, 0, {0: 0.5})
+
+    def test_rejects_bad_severity(self):
+        with pytest.raises(ValueError):
+            CongestionIncident(0.0, 10.0, 0, {0: 1.5})
+
+
+class TestIncidentModel:
+    def test_sample_count_scales_with_rate(self, small_network):
+        low = IncidentModel(small_network, rate_per_day=1.0)
+        high = IncidentModel(small_network, rate_per_day=50.0)
+        n_low = len(low.sample(0.0, 86_400.0, seed=0))
+        n_high = len(high.sample(0.0, 86_400.0, seed=0))
+        assert n_high > n_low
+
+    def test_zero_rate_yields_nothing(self, small_network):
+        model = IncidentModel(small_network, rate_per_day=0.0)
+        assert model.sample(0.0, 86_400.0, seed=0) == []
+
+    def test_incidents_sorted_and_in_window(self, small_network):
+        model = IncidentModel(small_network, rate_per_day=30.0)
+        incidents = model.sample(1000.0, 86_400.0, seed=1)
+        starts = [i.start_s for i in incidents]
+        assert starts == sorted(starts)
+        assert all(1000.0 <= s < 1000.0 + 86_400.0 for s in starts)
+
+    def test_spread_decays(self, small_network):
+        model = IncidentModel(
+            small_network, rate_per_day=50.0, spatial_decay=0.5, spread_hops=1
+        )
+        incidents = model.sample(0.0, 86_400.0, seed=2)
+        spread = next(i for i in incidents if len(i.affected) > 1)
+        core_sev = spread.affected[spread.core_segment]
+        for sid, sev in spread.affected.items():
+            if sid != spread.core_segment:
+                assert sev == pytest.approx(core_sev * 0.5)
+
+    def test_no_spread_with_zero_hops(self, small_network):
+        model = IncidentModel(small_network, rate_per_day=50.0, spread_hops=0)
+        incidents = model.sample(0.0, 86_400.0, seed=3)
+        assert all(len(i.affected) == 1 for i in incidents)
+
+    def test_deterministic_by_seed(self, small_network):
+        model = IncidentModel(small_network, rate_per_day=10.0)
+        a = model.sample(0.0, 86_400.0, seed=7)
+        b = model.sample(0.0, 86_400.0, seed=7)
+        assert [i.core_segment for i in a] == [i.core_segment for i in b]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate_per_day": -1},
+            {"mean_duration_s": 0},
+            {"severity_range": (0.9, 0.1)},
+            {"severity_range": (-0.1, 0.5)},
+            {"spatial_decay": 1.5},
+            {"spread_hops": -1},
+        ],
+    )
+    def test_bad_params_rejected(self, small_network, kwargs):
+        with pytest.raises(ValueError):
+            IncidentModel(small_network, **kwargs)
+
+
+class TestSpeedFactor:
+    def test_no_incidents(self):
+        assert incident_speed_factor([], 0, 0.0) == 1.0
+
+    def test_single_active_incident(self):
+        inc = CongestionIncident(0.0, 100.0, 3, {3: 0.4})
+        assert incident_speed_factor([inc], 3, 50.0) == pytest.approx(0.6)
+
+    def test_inactive_incident_ignored(self):
+        inc = CongestionIncident(0.0, 100.0, 3, {3: 0.4})
+        assert incident_speed_factor([inc], 3, 200.0) == 1.0
+
+    def test_unaffected_segment_ignored(self):
+        inc = CongestionIncident(0.0, 100.0, 3, {3: 0.4})
+        assert incident_speed_factor([inc], 9, 50.0) == 1.0
+
+    def test_overlapping_incidents_compose(self):
+        a = CongestionIncident(0.0, 100.0, 3, {3: 0.5})
+        b = CongestionIncident(0.0, 100.0, 3, {3: 0.5})
+        assert incident_speed_factor([a, b], 3, 10.0) == pytest.approx(0.25)

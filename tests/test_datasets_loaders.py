@@ -1,0 +1,40 @@
+"""Tests for repro.datasets.loaders."""
+
+import numpy as np
+import pytest
+
+from repro.core.tcm import TimeGrid, TrafficConditionMatrix
+from repro.datasets.loaders import load_tcm, save_tcm
+
+
+@pytest.fixture()
+def tcm():
+    values = np.random.default_rng(0).uniform(5, 60, (6, 4))
+    mask = np.random.default_rng(1).random((6, 4)) > 0.3
+    grid = TimeGrid(start_s=100.0, slot_s=900.0, num_slots=6)
+    return TrafficConditionMatrix(values, mask, grid=grid, segment_ids=[3, 1, 4, 7])
+
+
+class TestRoundTrip:
+    def test_values_and_mask(self, tcm, tmp_path):
+        path = tmp_path / "tcm.npz"
+        save_tcm(tcm, path)
+        back = load_tcm(path)
+        assert np.allclose(back.values, tcm.values)
+        assert np.array_equal(back.mask, tcm.mask)
+
+    def test_grid(self, tcm, tmp_path):
+        path = tmp_path / "tcm.npz"
+        save_tcm(tcm, path)
+        back = load_tcm(path)
+        assert back.grid == tcm.grid
+
+    def test_segment_ids(self, tcm, tmp_path):
+        path = tmp_path / "tcm.npz"
+        save_tcm(tcm, path)
+        assert load_tcm(path).segment_ids == [3, 1, 4, 7]
+
+    def test_integrity_preserved(self, tcm, tmp_path):
+        path = tmp_path / "tcm.npz"
+        save_tcm(tcm, path)
+        assert load_tcm(path).integrity == tcm.integrity

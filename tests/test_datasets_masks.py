@@ -1,0 +1,73 @@
+"""Tests for repro.datasets.masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.masks import random_integrity_mask, structured_missing_mask
+
+
+class TestRandomIntegrityMask:
+    def test_exact_count(self):
+        mask = random_integrity_mask((10, 10), 0.37, seed=0)
+        assert mask.sum() == 37
+
+    def test_bounds(self):
+        assert random_integrity_mask((5, 5), 0.0, seed=0).sum() == 0
+        assert random_integrity_mask((5, 5), 1.0, seed=0).sum() == 25
+
+    def test_deterministic(self):
+        a = random_integrity_mask((8, 8), 0.5, seed=3)
+        b = random_integrity_mask((8, 8), 0.5, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_base_mask_respected(self):
+        base = np.zeros((6, 6), dtype=bool)
+        base[:3] = True
+        mask = random_integrity_mask((6, 6), 0.4, seed=1, base_mask=base)
+        assert not np.any(mask & ~base)
+
+    def test_base_mask_caps_count(self):
+        base = np.zeros((4, 4), dtype=bool)
+        base[0, 0] = True
+        mask = random_integrity_mask((4, 4), 0.9, seed=2, base_mask=base)
+        assert mask.sum() == 1
+
+    def test_base_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            random_integrity_mask((4, 4), 0.5, base_mask=np.ones((2, 2), bool))
+
+    def test_rejects_bad_integrity(self):
+        with pytest.raises(ValueError):
+            random_integrity_mask((4, 4), 1.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(0.0, 1.0), st.integers(2, 20), st.integers(2, 20))
+    def test_integrity_matches_request(self, integrity, m, n):
+        mask = random_integrity_mask((m, n), integrity, seed=0)
+        assert mask.mean() == pytest.approx(integrity, abs=1.0 / (m * n))
+
+
+class TestStructuredMissingMask:
+    def test_target_integrity(self):
+        mask = structured_missing_mask((20, 30), 0.25, seed=0)
+        assert mask.mean() == pytest.approx(0.25, abs=0.01)
+
+    def test_zero_integrity(self):
+        assert structured_missing_mask((5, 5), 0.0, seed=0).sum() == 0
+
+    def test_heavier_column_skew_than_random(self):
+        random_mask = random_integrity_mask((100, 60), 0.2, seed=1)
+        structured = structured_missing_mask(
+            (100, 60), 0.2, seed=1, column_weight_spread=2.5
+        )
+        assert structured.mean(axis=0).std() > random_mask.mean(axis=0).std()
+
+    def test_rejects_negative_spread(self):
+        with pytest.raises(ValueError):
+            structured_missing_mask((5, 5), 0.5, column_weight_spread=-1)
+
+    def test_deterministic(self):
+        a = structured_missing_mask((10, 10), 0.3, seed=9)
+        b = structured_missing_mask((10, 10), 0.3, seed=9)
+        assert np.array_equal(a, b)

@@ -1,0 +1,73 @@
+"""Tests for repro.datasets.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    ProbeDataset,
+    SyntheticDatasetConfig,
+    build_probe_dataset,
+)
+from repro.roadnet.generators import grid_city
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    network = grid_city(4, 4, seed=0)
+    config = SyntheticDatasetConfig(days=0.5, num_vehicles=30, slot_s=1800.0)
+    return build_probe_dataset(network, config, seed=0)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"days": 0.0},
+            {"num_vehicles": 0},
+            {"slot_s": 1000.0},
+            {"slot_s": 450.0},
+        ],
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticDatasetConfig(**kwargs)
+
+
+class TestBuildProbeDataset:
+    def test_artifacts_consistent(self, dataset):
+        assert dataset.truth_tcm.shape == dataset.measurements.shape
+        assert dataset.truth_tcm.segment_ids == dataset.measurements.segment_ids
+        assert dataset.ground_truth.grid.slot_s == 1800.0
+        assert dataset.fine_truth.grid.slot_s == 900.0
+
+    def test_ground_truth_complete(self, dataset):
+        assert dataset.truth_tcm.is_complete
+
+    def test_measurements_partial(self, dataset):
+        assert 0.0 < dataset.measurements.integrity < 1.0
+
+    def test_reports_nonempty(self, dataset):
+        assert len(dataset.reports) > 0
+
+    def test_deterministic(self):
+        network = grid_city(3, 3, seed=1)
+        config = SyntheticDatasetConfig(days=0.25, num_vehicles=10, slot_s=900.0)
+        a = build_probe_dataset(network, config, seed=5)
+        b = build_probe_dataset(network, config, seed=5)
+        assert np.allclose(a.truth_tcm.values, b.truth_tcm.values)
+        assert np.array_equal(a.measurements.mask, b.measurements.mask)
+
+    def test_at_granularity(self, dataset):
+        coarse = dataset.at_granularity(3600.0)
+        assert coarse.ground_truth.grid.slot_s == 3600.0
+        assert coarse.measurements.grid.slot_s == 3600.0
+        assert coarse.reports is dataset.reports
+        # Coarser slots can only improve integrity.
+        assert coarse.measurements.integrity >= dataset.measurements.integrity
+
+    def test_measured_cells_track_truth(self, dataset):
+        mask = dataset.measurements.mask
+        truth = dataset.truth_tcm.values[mask]
+        measured = dataset.measurements.values[mask]
+        rel = np.abs(measured - truth) / truth
+        assert np.median(rel) < 0.25

@@ -1,0 +1,55 @@
+"""Tests for repro.mobility.dropout."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.dropout import LOSSLESS, DropoutModel
+from repro.roadnet.geometry import Point
+from repro.roadnet.segment import RoadSegment
+
+
+def make_segment(canyon: float) -> RoadSegment:
+    return RoadSegment(
+        segment_id=0,
+        start=0,
+        end=1,
+        start_point=Point(0, 0),
+        end_point=Point(100, 0),
+        length_m=100.0,
+        canyon_factor=canyon,
+    )
+
+
+class TestDropoutModel:
+    def test_loss_probability_composition(self):
+        model = DropoutModel(base_loss=0.1, canyon_loss=0.4)
+        assert model.loss_probability(make_segment(0.0)) == pytest.approx(0.1)
+        assert model.loss_probability(make_segment(1.0)) == pytest.approx(0.5)
+
+    def test_loss_probability_capped(self):
+        model = DropoutModel(base_loss=0.9, canyon_loss=0.9)
+        assert model.loss_probability(make_segment(1.0)) <= 0.99
+
+    def test_lossless_always_survives(self):
+        rng = np.random.default_rng(0)
+        seg = make_segment(1.0)
+        assert all(LOSSLESS.survives(seg, rng) for _ in range(100))
+
+    def test_survival_rate_matches_probability(self):
+        model = DropoutModel(base_loss=0.3, canyon_loss=0.0)
+        rng = np.random.default_rng(1)
+        seg = make_segment(0.0)
+        survived = sum(model.survives(seg, rng) for _ in range(5000))
+        assert survived / 5000 == pytest.approx(0.7, abs=0.03)
+
+    def test_canyon_increases_loss(self):
+        model = DropoutModel(base_loss=0.05, canyon_loss=0.5)
+        rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+        open_road = sum(model.survives(make_segment(0.0), rng_a) for _ in range(2000))
+        canyon = sum(model.survives(make_segment(1.0), rng_b) for _ in range(2000))
+        assert canyon < open_road
+
+    @pytest.mark.parametrize("kwargs", [{"base_loss": -0.1}, {"canyon_loss": 1.2}])
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DropoutModel(**kwargs)

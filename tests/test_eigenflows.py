@@ -1,0 +1,120 @@
+"""Tests for repro.core.eigenflows."""
+
+import numpy as np
+import pytest
+
+from repro.core.eigenflows import (
+    EigenflowType,
+    analyze_eigenflows,
+    classify_eigenflow,
+    has_spike,
+    reconstruct_from_types,
+)
+from tests.conftest import make_low_rank
+
+
+class TestHasSpike:
+    def test_flat_signal_no_spike(self):
+        assert not has_spike(np.ones(50))
+
+    def test_gaussian_noise_no_spike(self):
+        assert not has_spike(np.random.default_rng(0).normal(size=200))
+
+    def test_injected_spike_detected(self):
+        signal = np.random.default_rng(0).normal(size=200)
+        signal[37] += 30 * signal.std()
+        assert has_spike(signal)
+
+    def test_short_signal(self):
+        assert not has_spike(np.array([1.0]))
+
+    def test_threshold_configurable(self):
+        signal = np.zeros(100)
+        signal[3] = 1.0
+        # One outlier in a hundred zeros: z ~ 10 sigma.
+        assert has_spike(signal, threshold_sigmas=4.0)
+        assert not has_spike(signal, threshold_sigmas=20.0)
+
+
+class TestClassifyEigenflow:
+    def test_periodic_signal_is_type1(self):
+        t = np.arange(256)
+        u = np.sin(2 * np.pi * t / 32)
+        assert classify_eigenflow(u) == EigenflowType.PERIODIC
+
+    def test_spike_signal_is_type2(self):
+        u = np.random.default_rng(1).normal(size=256) * 0.1
+        u[100] = 10.0
+        assert classify_eigenflow(u) == EigenflowType.SPIKE
+
+    def test_noise_is_type3(self):
+        u = np.random.default_rng(2).normal(size=256)
+        assert classify_eigenflow(u) == EigenflowType.NOISE
+
+    def test_periodic_with_offset_still_type1(self):
+        # The DC bin must not mask the periodic spike test.
+        t = np.arange(256)
+        u = 5.0 + np.sin(2 * np.pi * t / 16)
+        assert classify_eigenflow(u) == EigenflowType.PERIODIC
+
+    def test_constant_offset_alone_is_not_periodic(self):
+        u = np.full(128, 3.0) + np.random.default_rng(3).normal(0, 0.1, 128)
+        assert classify_eigenflow(u) != EigenflowType.PERIODIC
+
+
+class TestAnalyzeEigenflows:
+    def test_reconstruct_all_components_recovers_matrix(self):
+        x = make_low_rank(24, 10, 3)
+        analysis = analyze_eigenflows(x)
+        full = analysis.reconstruct(range(analysis.num_flows))
+        assert np.allclose(full, x, atol=1e-8)
+
+    def test_type_counts_sum(self):
+        x = np.random.default_rng(4).normal(size=(30, 12))
+        analysis = analyze_eigenflows(x)
+        counts = analysis.type_counts()
+        assert sum(counts.values()) == analysis.num_flows
+
+    def test_max_flows(self):
+        x = np.random.default_rng(5).normal(size=(30, 12))
+        analysis = analyze_eigenflows(x, max_flows=4)
+        assert analysis.num_flows == 4
+        with pytest.raises(ValueError):
+            analyze_eigenflows(x, max_flows=0)
+
+    def test_empty_reconstruction_is_zero(self):
+        x = make_low_rank(10, 6, 2)
+        analysis = analyze_eigenflows(x)
+        zero = analysis.reconstruct([])
+        assert zero.shape == x.shape
+        assert np.all(zero == 0)
+
+    def test_indices_partition(self):
+        x = np.random.default_rng(6).normal(size=(40, 15))
+        analysis = analyze_eigenflows(x)
+        all_indices = sorted(
+            i for t in EigenflowType for i in analysis.indices_of_type(t)
+        )
+        assert all_indices == list(range(analysis.num_flows))
+
+    def test_type_reconstructions_sum_to_matrix(self):
+        x = make_low_rank(20, 8, 2) + np.random.default_rng(7).normal(
+            scale=0.01, size=(20, 8)
+        )
+        analysis = analyze_eigenflows(x)
+        total = sum(
+            reconstruct_from_types(analysis, t) for t in EigenflowType
+        )
+        assert np.allclose(total, x, atol=1e-8)
+
+
+class TestOnTrafficData:
+    def test_traffic_matrix_leading_flow_periodic(self, truth_tcm):
+        analysis = analyze_eigenflows(truth_tcm.values)
+        # The dominant eigenflow of a diurnal TCM must be periodic.
+        assert analysis.types[0] == EigenflowType.PERIODIC
+
+    def test_traffic_matrix_mostly_noise_tail(self, truth_tcm):
+        analysis = analyze_eigenflows(truth_tcm.values)
+        counts = analysis.type_counts()
+        assert counts[EigenflowType.NOISE] > counts[EigenflowType.PERIODIC]

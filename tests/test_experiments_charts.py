@@ -1,0 +1,86 @@
+"""Tests for repro.experiments.charts."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.charts import ascii_bar_chart, ascii_line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        text = ascii_line_chart(
+            [1, 2, 3, 4],
+            {"err": [0.5, 0.3, 0.2, 0.25]},
+            title="U-curve",
+        )
+        assert "U-curve" in text
+        assert "o=err" in text
+        assert text.count("o") >= 4
+
+    def test_multiple_series_distinct_marks(self):
+        text = ascii_line_chart(
+            [1, 2, 3],
+            {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+        )
+        assert "o=a" in text
+        assert "x=b" in text
+
+    def test_extremes_at_edges(self):
+        text = ascii_line_chart([0, 1], {"s": [0.0, 1.0]}, height=5, width=12)
+        rows = [l for l in text.splitlines() if "|" in l]
+        # Max lands on the top plot row, min on the bottom one.
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+
+    def test_constant_series_ok(self):
+        text = ascii_line_chart([0, 1, 2], {"flat": [2.0, 2.0, 2.0]})
+        assert "o" in text
+
+    def test_nan_skipped(self):
+        text = ascii_line_chart([0, 1, 2], {"s": [1.0, float("nan"), 2.0]})
+        plot_rows = [l for l in text.splitlines() if "|" in l]
+        assert sum(row.count("o") for row in plot_rows) == 2
+
+    def test_axis_labels(self):
+        text = ascii_line_chart([0.05, 0.95], {"s": [0.1, 0.9]})
+        assert "0.05" in text
+        assert "0.95" in text
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"x_values": [], "series": {"s": []}},
+            {"x_values": [1], "series": {}},
+            {"x_values": [1, 2], "series": {"s": [1.0]}},
+            {"x_values": [1], "series": {"s": [1.0]}, "width": 5},
+            {"x_values": [1], "series": {"s": [float("nan")]}},
+        ],
+    )
+    def test_bad_input_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ascii_line_chart(**kwargs)
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = ascii_bar_chart(["cs", "knn"], [0.1, 0.2], title="NMAE")
+        assert "NMAE" in text
+        assert "cs" in text and "knn" in text
+        assert "0.1" in text and "0.2" in text
+
+    def test_bars_proportional(self):
+        text = ascii_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert lines[0].count("#") * 2 == lines[1].count("#")
+
+    def test_nan_handled(self):
+        text = ascii_bar_chart(["a", "b"], [1.0, float("nan")])
+        assert "(n/a)" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart([], [])

@@ -1,0 +1,84 @@
+"""Tests for repro.experiments.config and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import (
+    AlgorithmSpec,
+    default_algorithms,
+    make_completer,
+)
+from repro.experiments.reporting import format_series, format_table
+
+
+class TestAlgorithmSpec:
+    def test_complete_normalizes_cs_result(self, masked_tcm):
+        spec = AlgorithmSpec("cs", lambda: make_completer(seed=0, iterations=10))
+        out = spec.complete(masked_tcm.values, masked_tcm.mask)
+        assert isinstance(out, np.ndarray)
+        assert out.shape == masked_tcm.shape
+
+    def test_plain_algorithm_passthrough(self, masked_tcm):
+        from repro.baselines import NaiveKNN
+
+        spec = AlgorithmSpec("knn", lambda: NaiveKNN(k=2))
+        out = spec.complete(masked_tcm.values, masked_tcm.mask)
+        assert out.shape == masked_tcm.shape
+
+
+class TestDefaultAlgorithms:
+    def test_four_with_mssa(self):
+        roster = default_algorithms()
+        assert [s.name for s in roster] == [
+            "compressive",
+            "naive-knn",
+            "correlation-knn",
+            "mssa",
+        ]
+
+    def test_three_without_mssa(self):
+        roster = default_algorithms(include_mssa=False)
+        assert "mssa" not in [s.name for s in roster]
+
+    def test_factories_fresh_instances(self):
+        spec = default_algorithms()[1]
+        assert spec.factory() is not spec.factory()
+
+
+class TestMakeCompleter:
+    def test_defaults(self):
+        c = make_completer()
+        assert c.rank == 2
+        assert c.clip_min == 0.0
+
+    def test_overrides(self):
+        c = make_completer(rank=5, lam=7.0)
+        assert c.rank == 5
+        assert c.lam == 7.0
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2.34567]], precision=2)
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bbbb" in lines[0]
+        assert "2.35" in lines[2]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        text = format_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]})
+        assert "s1" in text and "s2" in text
+        assert "0.3000" in text
+
+    def test_length_checked(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"s": [0.1]})

@@ -1,0 +1,65 @@
+"""Tests for repro.experiments.robustness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.robustness import RobustnessConfig, RobustnessResult, run_robustness
+
+
+class TestConfig:
+    def test_bad_integrity(self):
+        with pytest.raises(ValueError):
+            RobustnessConfig(integrity=0.0)
+
+    def test_bad_noise(self):
+        with pytest.raises(ValueError):
+            RobustnessConfig(noise_levels_kmh=(-1.0,))
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_robustness(
+            RobustnessConfig(
+                days=1.0,
+                noise_levels_kmh=(0.0, 4.0),
+                bias_levels_kmh=(0.0, -4.0),
+                seed=0,
+            )
+        )
+
+    def test_conditions_present(self, result):
+        labels = set(result.errors)
+        assert "uniform mask" in labels
+        assert "structured mask" in labels
+        assert "noise 4 km/h" in labels
+        assert "bias -4 km/h" in labels
+
+    def test_cs_best_under_uniform(self, result):
+        cell = result.errors["uniform mask"]
+        assert cell["compressive"] == min(cell.values())
+
+    def test_structured_mask_harder(self, result):
+        # Structured missingness (dark segments) is harder than uniform
+        # for the CS algorithm.
+        assert (
+            result.errors["structured mask"]["compressive"]
+            >= result.errors["uniform mask"]["compressive"]
+        )
+
+    def test_noise_hurts(self, result):
+        assert (
+            result.errors["noise 4 km/h"]["compressive"]
+            > result.errors["uniform mask"]["compressive"]
+        )
+
+    def test_bias_hurts(self, result):
+        assert (
+            result.errors["bias -4 km/h"]["compressive"]
+            > result.errors["uniform mask"]["compressive"]
+        )
+
+    def test_renders(self, result):
+        text = result.render()
+        assert "Robustness" in text
+        assert "uniform mask" in text

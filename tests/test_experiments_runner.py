@@ -1,0 +1,35 @@
+"""Tests for repro.experiments.runner (smoke at micro scale)."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRunAll:
+    def test_rejects_bad_profile(self):
+        with pytest.raises(ValueError):
+            runner.run_all(profile="huge")
+
+    @pytest.mark.slow
+    def test_quick_profile_produces_all_blocks(self):
+        blocks = runner.run_all(profile="quick", seed=0)
+        expected = {
+            "table1", "fig2", "fig3", "fig4", "fig5_to_7", "fig8",
+            "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "fig17", "fig18", "table2", "sampling_extension",
+            "robustness_extension", "streaming_extension",
+        }
+        assert expected <= set(blocks)
+        assert all(isinstance(text, str) and text for text in blocks.values())
+
+
+class TestMain:
+    def test_cli_flags_parse(self):
+        # argparse-level check only; the full run is the slow test above.
+        import argparse
+
+        parser = argparse.ArgumentParser()
+        parser.add_argument("--profile", choices=runner.PROFILES, default="quick")
+        parser.add_argument("--seed", type=int, default=0)
+        args = parser.parse_args(["--profile", "quick", "--seed", "3"])
+        assert args.seed == 3

@@ -1,0 +1,51 @@
+"""Tests for repro.experiments.seed_sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.seed_sensitivity import (
+    SeedSensitivityConfig,
+    run_seed_sensitivity,
+)
+
+
+class TestConfig:
+    def test_needs_multiple_seeds(self):
+        with pytest.raises(ValueError):
+            SeedSensitivityConfig(num_seeds=1)
+
+    def test_integrity_checked(self):
+        with pytest.raises(ValueError):
+            SeedSensitivityConfig(integrity=1.0)
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_seed_sensitivity(
+            SeedSensitivityConfig(
+                days=1.0, num_seeds=3, include_mssa=False, base_seed=0
+            )
+        )
+
+    def test_samples_per_algorithm(self, result):
+        for samples in result.errors.values():
+            assert len(samples) == 3
+            assert all(np.isfinite(s) for s in samples)
+
+    def test_cs_wins_majority(self, result):
+        assert result.cs_win_fraction() >= 2 / 3
+
+    def test_cs_mean_best(self, result):
+        means = {name: result.mean(name) for name in result.errors}
+        assert means["compressive"] == min(means.values())
+
+    def test_worlds_differ(self, result):
+        # Different seeds must give genuinely different errors.
+        samples = result.errors["compressive"]
+        assert len(set(round(s, 6) for s in samples)) > 1
+
+    def test_renders(self, result):
+        text = result.render()
+        assert "Seed sensitivity" in text
+        assert "CS wins" in text

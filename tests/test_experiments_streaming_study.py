@@ -1,0 +1,45 @@
+"""Tests for repro.experiments.streaming_study."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.streaming_study import (
+    StreamingStudyConfig,
+    run_streaming_study,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_streaming_study(
+        StreamingStudyConfig(
+            days=0.25,
+            num_vehicles=60,
+            grid_rows=4,
+            grid_cols=4,
+            window_slots=8,
+            seed=0,
+        )
+    )
+
+
+class TestStreamingStudy:
+    def test_all_slots_estimated(self, result):
+        assert result.num_slots == 24  # 0.25 days at 15 min
+
+    def test_accuracies_finite(self, result):
+        assert np.isfinite(result.streaming_nmae)
+        assert np.isfinite(result.batch_nmae)
+
+    def test_live_estimates_reasonable(self, result):
+        # Live (past-only) estimates are worse than batch but usable.
+        assert result.streaming_nmae < 0.8
+        assert result.batch_nmae <= result.streaming_nmae * 1.5
+
+    def test_warm_start_cheaper(self, result):
+        assert result.warm_seconds < result.cold_seconds
+
+    def test_renders(self, result):
+        text = result.render()
+        assert "Streaming extension study" in text
+        assert "speedup" in text

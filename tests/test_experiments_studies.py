@@ -1,0 +1,315 @@
+"""Tests for the experiment drivers (small-scale runs of every study).
+
+Each test runs the driver at a deliberately reduced scale and asserts
+the paper's qualitative shape, not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import AlgorithmSpec, make_completer
+from repro.experiments.error_cdf import ErrorCdfConfig, run_error_cdf
+from repro.experiments.error_vs_integrity import (
+    ErrorVsIntegrityConfig,
+    build_city_truth,
+    run_error_vs_integrity,
+)
+from repro.experiments.integrity_study import (
+    IntegrityStudyConfig,
+    run_integrity_study,
+)
+from repro.experiments.matrix_selection_study import (
+    MatrixSelectionConfig,
+    run_matrix_selection,
+)
+from repro.experiments.param_sensitivity import (
+    ParamSensitivityConfig,
+    run_algorithm2,
+    run_param_sensitivity,
+)
+from repro.experiments.runtimes import RuntimeStudyConfig, run_runtime_study
+from repro.experiments.sampling_study import SamplingStudyConfig, run_sampling_study
+from repro.experiments.structure_study import (
+    StructureStudyConfig,
+    run_structure_study,
+)
+
+
+@pytest.fixture(scope="module")
+def integrity_result():
+    return run_integrity_study(
+        IntegrityStudyConfig(
+            fleet_sizes=(200, 600),  # scaled to 10 / 30 vehicles
+            duration_days=0.5,
+            scale=0.05,
+            seed=0,
+        )
+    )
+
+
+class TestIntegrityStudy:
+    def test_integrity_grows_with_fleet(self, integrity_result):
+        for gran in integrity_result.config.granularities_s:
+            small = integrity_result.table1[(gran, 200)]
+            large = integrity_result.table1[(gran, 600)]
+            assert large > small
+
+    def test_integrity_grows_with_granularity(self, integrity_result):
+        grans = sorted(integrity_result.config.granularities_s)
+        for size in (200, 600):
+            values = [integrity_result.table1[(g, size)] for g in grans]
+            assert values == sorted(values)
+
+    def test_renders(self, integrity_result):
+        assert "Table 1" in integrity_result.render_table1()
+        assert "Figure 2" in integrity_result.render_road_cdf()
+        assert "Figure 3" in integrity_result.render_slot_cdf()
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            IntegrityStudyConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            IntegrityStudyConfig(fleet_sizes=())
+
+
+class TestStructureStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_structure_study(StructureStudyConfig(days=2.0, seed=0))
+
+    def test_sharp_knee(self, result):
+        # Figure 4: the first few components dominate.
+        assert result.spectrum.knee_sharpness(5) > 0.9
+        assert result.spectrum.magnitudes[5] < 0.2
+
+    def test_rank5_reconstruction_close(self, result):
+        # Figure 6: rank-5 reconstruction sketches the original series
+        # (paper reports RMSE ~9.67 km/h on its data).
+        assert result.reconstruction_rmse < 15.0
+
+    def test_type1_carries_information(self, result):
+        from repro.core.eigenflows import EigenflowType
+        from repro.metrics.errors import rmse
+
+        truth = result.segment_series[None]
+        err_periodic = rmse(truth, result.type_series[EigenflowType.PERIODIC][None])
+        err_noise = rmse(truth, result.type_series[EigenflowType.NOISE][None])
+        assert err_periodic < err_noise
+
+    def test_leading_flow_periodic(self, result):
+        from repro.core.eigenflows import EigenflowType
+
+        assert result.analysis.types[0] == EigenflowType.PERIODIC
+
+    def test_renders(self, result):
+        assert "Figure 4" in result.render_spectrum()
+        assert "Figure 8" in result.render_type_occurrence()
+        assert "reconstruction" in result.render_reconstruction_summary()
+
+    def test_segment_index_validated(self, truth_tcm):
+        with pytest.raises(ValueError):
+            run_structure_study(
+                StructureStudyConfig(segment_index=10_000), tcm=truth_tcm
+            )
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return run_error_vs_integrity(
+        ErrorVsIntegrityConfig(
+            city="shanghai",
+            days=2.0,
+            granularities_s=(1800.0,),
+            integrities=(0.1, 0.3, 0.6),
+            seed=0,
+        )
+    )
+
+
+class TestErrorVsIntegrity:
+    def test_cs_best_everywhere(self, sweep_result):
+        for cell in sweep_result.errors.values():
+            assert cell["compressive"] == min(cell.values())
+
+    def test_naive_knn_worst_at_low_integrity(self, sweep_result):
+        cell = sweep_result.errors[(1800.0, 0.1)]
+        assert cell["naive-knn"] == max(cell.values())
+
+    def test_cs_error_decreases_with_integrity(self, sweep_result):
+        errs = [
+            sweep_result.errors[(1800.0, i)]["compressive"] for i in (0.1, 0.3, 0.6)
+        ]
+        assert errs[0] >= errs[1] >= errs[2]
+
+    def test_cs_relatively_flat(self, sweep_result):
+        errs = sweep_result.series_for(1800.0)["compressive"]
+        # "Relatively insensitive to integrity": < 2x spread over the sweep.
+        assert max(errs) < 2.0 * min(errs)
+
+    def test_renders(self, sweep_result):
+        assert "Figure 11" in sweep_result.render()
+
+    def test_shenzhen_excludes_mssa(self):
+        config = ErrorVsIntegrityConfig(city="shenzhen")
+        assert not config.mssa_included
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            ErrorVsIntegrityConfig(city="beijing")
+        with pytest.raises(ValueError):
+            ErrorVsIntegrityConfig(integrities=(0.0,))
+
+
+class TestGranularityEffect:
+    def test_finer_granularity_higher_error(self):
+        result = run_error_vs_integrity(
+            ErrorVsIntegrityConfig(
+                city="shanghai",
+                days=2.0,
+                granularities_s=(900.0, 3600.0),
+                integrities=(0.2,),
+                seed=0,
+            ),
+            algorithms=[
+                AlgorithmSpec("compressive", lambda: make_completer(seed=0))
+            ],
+        )
+        fine = result.errors[(900.0, 0.2)]["compressive"]
+        coarse = result.errors[(3600.0, 0.2)]["compressive"]
+        assert fine > coarse
+
+
+class TestErrorCdf:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_error_cdf(
+            ErrorCdfConfig(days=2.0, granularities_s=(900.0, 3600.0), seed=0)
+        )
+
+    def test_cdf_monotone(self, result):
+        thresholds = [0.1, 0.2, 0.4, 0.8]
+        values = result.cdf_at(900.0, thresholds)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_coarser_granularity_tighter_errors(self, result):
+        # Figure 13: at every threshold the 60-min CDF dominates.
+        thresholds = [0.1, 0.25, 0.5]
+        fine = result.cdf_at(900.0, thresholds)
+        coarse = result.cdf_at(3600.0, thresholds)
+        assert np.all(coarse >= fine - 0.02)
+
+    def test_majority_small_errors(self, result):
+        # The paper's checkpoint: ~80 % of elements below ~0.38 even at
+        # the finest granularity.
+        assert result.cdf_at(900.0, [0.38])[0] > 0.8
+
+    def test_renders(self, result):
+        assert "Figure 13" in result.render()
+
+
+class TestParamSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_param_sensitivity(
+            ParamSensitivityConfig(
+                days=2.0,
+                rank_sweep=(1, 2, 8, 32),
+                lambda_sweep=(0.001, 1.0, 10.0, 2000.0),
+                seed=0,
+            )
+        )
+
+    def test_small_rank_optimal(self, result):
+        # Figure 15: the best rank is small; large ranks overfit.
+        assert result.best_rank <= 4
+        assert result.rank_errors[32] > result.rank_errors[result.best_rank]
+
+    def test_lambda_u_shape(self, result):
+        # Figure 16: extremes are worse than the middle.
+        mid_best = min(result.lambda_errors[1.0], result.lambda_errors[10.0])
+        assert result.lambda_errors[0.001] > mid_best
+        assert result.lambda_errors[2000.0] > mid_best
+
+    def test_renders(self, result):
+        assert "Figure 15" in result.render_rank()
+        assert "Figure 16" in result.render_lambda()
+
+
+class TestAlgorithm2Driver:
+    def test_tunes_reasonable_parameters(self):
+        from repro.core.tuning import GeneticTuner
+
+        tuner = GeneticTuner(
+            rank_bounds=(1, 8),
+            population_size=5,
+            generations=2,
+            completer_iterations=10,
+            seed=0,
+        )
+        result = run_algorithm2(days=1.0, seed=0, tuner=tuner)
+        assert 1 <= result.rank <= 8
+        assert np.isfinite(result.fitness)
+
+
+class TestMatrixSelection:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_matrix_selection(
+            MatrixSelectionConfig(days=2.0, integrity=0.3, include_mssa=False, seed=0)
+        )
+
+    def test_all_sets_scored(self, result):
+        assert len(result.errors) == 5
+
+    def test_cs_improves_with_matrix_size(self, result):
+        # Section 4.5's headline: larger matrices help the CS algorithm.
+        small = result.errors["set1-connected"]["compressive"]
+        large = result.errors["set2-two-blocks"]["compressive"]
+        assert large < small
+
+    def test_renders(self, result):
+        assert "Figure" in result.render()
+
+
+class TestRuntimes:
+    def test_ordering(self):
+        result = run_runtime_study(
+            RuntimeStudyConfig(days=1.0, mssa_iterations=1, seed=0)
+        )
+        for gran in result.config.granularities_s:
+            knn = result.seconds["Naive KNN"][gran]
+            cs = result.seconds["Compressive"][gran]
+            mssa = result.seconds["MSSA"][gran]
+            assert knn < cs < mssa
+        assert "Table 2" in result.render()
+
+
+class TestSamplingStudy:
+    def test_integrity_grows_with_fleet(self):
+        result = run_sampling_study(
+            SamplingStudyConfig(
+                days=0.25,
+                fleet_sizes=(20, 80),
+                reporting_intervals_s=(120.0,),
+                grid_rows=4,
+                grid_cols=4,
+                seed=0,
+            )
+        )
+        by_fleet = {p.fleet_size: p for p in result.points}
+        assert by_fleet[80].integrity > by_fleet[20].integrity
+        assert "Sampling" in result.render()
+
+    def test_shorter_interval_more_coverage(self):
+        result = run_sampling_study(
+            SamplingStudyConfig(
+                days=0.25,
+                fleet_sizes=(40,),
+                reporting_intervals_s=(60.0, 300.0),
+                grid_rows=4,
+                grid_cols=4,
+                seed=0,
+            )
+        )
+        by_interval = {p.interval_s: p for p in result.points}
+        assert by_interval[60.0].integrity >= by_interval[300.0].integrity

@@ -1,0 +1,82 @@
+"""Tests for repro.mobility.fleet."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.fleet import FleetConfig, FleetSimulator, simulate_fleet
+
+
+class TestFleetConfig:
+    def test_rejects_zero_vehicles(self):
+        with pytest.raises(ValueError):
+            FleetConfig(num_vehicles=0)
+
+
+class TestFleetSimulator:
+    def test_all_vehicles_present(self, ground_truth):
+        sim = FleetSimulator(ground_truth, FleetConfig(num_vehicles=12), seed=0)
+        batch = sim.run(0.0, 4 * 3600.0)
+        assert batch.num_vehicles >= 10  # a couple may fail to report
+
+    def test_vehicle_ids_dense(self, ground_truth):
+        sim = FleetSimulator(ground_truth, FleetConfig(num_vehicles=8), seed=1)
+        batch = sim.run(0.0, 4 * 3600.0)
+        assert set(np.unique(batch.vehicle_ids)) <= set(range(8))
+
+    def test_deterministic_by_seed(self, ground_truth):
+        a = FleetSimulator(ground_truth, FleetConfig(num_vehicles=5), seed=3).run(
+            0.0, 2 * 3600.0
+        )
+        b = FleetSimulator(ground_truth, FleetConfig(num_vehicles=5), seed=3).run(
+            0.0, 2 * 3600.0
+        )
+        assert len(a) == len(b)
+        assert np.allclose(a.times_s, b.times_s)
+        assert np.array_equal(a.segment_ids, b.segment_ids)
+
+    def test_seed_changes_output(self, ground_truth):
+        a = FleetSimulator(ground_truth, FleetConfig(num_vehicles=5), seed=3).run(
+            0.0, 2 * 3600.0
+        )
+        b = FleetSimulator(ground_truth, FleetConfig(num_vehicles=5), seed=4).run(
+            0.0, 2 * 3600.0
+        )
+        assert len(a) != len(b) or not np.allclose(a.times_s, b.times_s)
+
+    def test_defaults_to_full_window(self, ground_truth):
+        sim = FleetSimulator(ground_truth, FleetConfig(num_vehicles=3), seed=5)
+        batch = sim.run()
+        assert batch.times_s.max() < ground_truth.grid.end_s
+
+    def test_build_vehicles_count(self, ground_truth):
+        sim = FleetSimulator(ground_truth, FleetConfig(num_vehicles=6), seed=0)
+        assert len(sim.build_vehicles()) == 6
+
+    def test_more_vehicles_more_reports(self, ground_truth):
+        small = FleetSimulator(ground_truth, FleetConfig(num_vehicles=4), seed=0).run(
+            0.0, 3 * 3600.0
+        )
+        large = FleetSimulator(ground_truth, FleetConfig(num_vehicles=16), seed=0).run(
+            0.0, 3 * 3600.0
+        )
+        assert len(large) > len(small)
+
+
+class TestSimulateFleet:
+    def test_one_call(self, ground_truth):
+        batch = simulate_fleet(ground_truth, num_vehicles=4, seed=0)
+        assert len(batch) > 0
+
+    def test_conflicting_config_rejected(self, ground_truth):
+        with pytest.raises(ValueError, match="disagrees"):
+            simulate_fleet(
+                ground_truth,
+                num_vehicles=4,
+                config=FleetConfig(num_vehicles=8),
+            )
+
+    def test_matching_config_ok(self, ground_truth):
+        batch = simulate_fleet(
+            ground_truth, num_vehicles=4, config=FleetConfig(num_vehicles=4), seed=0
+        )
+        assert len(batch) > 0

@@ -1,0 +1,105 @@
+"""Tests for repro.roadnet.generators."""
+
+import numpy as np
+import pytest
+
+from repro.roadnet.generators import (
+    grid_city,
+    ring_radial_city,
+    shanghai_downtown_like,
+    shanghai_inner_like,
+    shenzhen_downtown_like,
+)
+from repro.roadnet.segment import RoadCategory
+
+
+class TestGridCity:
+    def test_segment_count(self):
+        # (rows*(cols-1) + cols*(rows-1)) streets, two directions each.
+        net = grid_city(3, 4, seed=0)
+        streets = 3 * 3 + 4 * 2
+        assert net.num_segments == streets * 2
+        assert net.num_intersections == 12
+
+    def test_unidirectional(self):
+        net = grid_city(3, 3, bidirectional=False, seed=0)
+        assert net.num_segments == (3 * 2 + 3 * 2)
+
+    def test_strongly_connected(self):
+        assert grid_city(4, 4, seed=0).is_strongly_connected()
+
+    def test_deterministic_by_seed(self):
+        a = grid_city(3, 3, seed=5)
+        b = grid_city(3, 3, seed=5)
+        assert [s.length_m for s in a.segments()] == [
+            s.length_m for s in b.segments()
+        ]
+
+    def test_rejects_tiny_lattice(self):
+        with pytest.raises(ValueError):
+            grid_city(1, 5)
+
+    def test_has_arterials_and_locals(self):
+        net = grid_city(6, 6, arterial_every=3, seed=0)
+        cats = {s.category for s in net.segments()}
+        assert RoadCategory.ARTERIAL in cats
+        assert len(cats) >= 2
+
+    def test_canyon_factors_valid(self):
+        net = grid_city(5, 5, seed=1)
+        factors = [s.canyon_factor for s in net.segments()]
+        assert all(0.0 <= f <= 1.0 for f in factors)
+
+    def test_canyon_stronger_downtown(self):
+        net = grid_city(9, 9, seed=0)
+        center = net.centroid()
+        inner, outer = [], []
+        for seg in net.segments():
+            mid_x = (seg.start_point.x + seg.end_point.x) / 2
+            mid_y = (seg.start_point.y + seg.end_point.y) / 2
+            r = np.hypot(mid_x - center.x, mid_y - center.y)
+            (inner if r < 400 else outer).append(seg.canyon_factor)
+        assert np.mean(inner) > np.mean(outer)
+
+
+class TestRingRadialCity:
+    def test_counts(self):
+        net = ring_radial_city(rings=2, radials=6, seed=0)
+        assert net.num_intersections == 1 + 2 * 6
+        # Each (ring, radial) contributes one arc + one spoke, both ways.
+        assert net.num_segments == 2 * 6 * 2 * 2
+
+    def test_strongly_connected(self):
+        assert ring_radial_city(3, 8, seed=0).is_strongly_connected()
+
+    def test_rejects_too_few_radials(self):
+        with pytest.raises(ValueError):
+            ring_radial_city(2, 2)
+
+
+class TestNamedCities:
+    def test_shanghai_downtown_exact_size(self):
+        assert shanghai_downtown_like(seed=0).num_segments == 221
+
+    def test_shenzhen_downtown_exact_size(self):
+        assert shenzhen_downtown_like(seed=1).num_segments == 198
+
+    @pytest.mark.slow
+    def test_shanghai_inner_exact_size(self):
+        assert shanghai_inner_like(seed=0).num_segments == 5_812
+
+    def test_downtown_ids_dense(self):
+        net = shanghai_downtown_like(seed=0)
+        assert net.segment_ids == list(range(221))
+
+    def test_downtown_mostly_connected(self):
+        # Trimming may leave a few one-way stubs; the bulk of the
+        # network must remain mutually reachable for routing.
+        import networkx as nx
+
+        net = shanghai_downtown_like(seed=0)
+        graph = nx.DiGraph()
+        for seg in net.segments():
+            graph.add_edge(seg.start, seg.end)
+        largest = max(nx.strongly_connected_components(graph), key=len)
+        assert len(largest) >= 0.9 * net.num_intersections

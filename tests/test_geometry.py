@@ -1,0 +1,132 @@
+"""Tests for repro.roadnet.geometry."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.roadnet.geometry import (
+    Point,
+    haversine_m,
+    heading_deg,
+    interpolate,
+    local_projection,
+    point_segment_distance,
+    project_to_segment,
+)
+
+coords = st.floats(
+    min_value=-10_000, max_value=10_000, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Point(1, 2), Point(-3, 7)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_translate(self):
+        p = Point(1, 1).translated(2, -1)
+        assert (p.x, p.y) == (3, 0)
+
+    @given(coords, coords)
+    def test_distance_to_self_zero(self, x, y):
+        assert Point(x, y).distance_to(Point(x, y)) == 0.0
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(121.47, 31.23, 121.47, 31.23) == 0.0
+
+    def test_one_degree_latitude(self):
+        # One degree of latitude is ~111.2 km everywhere.
+        d = haversine_m(0.0, 0.0, 0.0, 1.0)
+        assert d == pytest.approx(111_195, rel=0.01)
+
+    def test_symmetric(self):
+        d1 = haversine_m(121.4, 31.2, 121.5, 31.3)
+        d2 = haversine_m(121.5, 31.3, 121.4, 31.2)
+        assert d1 == pytest.approx(d2)
+
+
+class TestLocalProjection:
+    def test_center_maps_to_origin(self):
+        proj = local_projection(121.47, 31.23)
+        p = proj.to_xy(121.47, 31.23)
+        assert (p.x, p.y) == pytest.approx((0.0, 0.0))
+
+    def test_round_trip(self):
+        proj = local_projection(121.47, 31.23)
+        lon, lat = proj.to_lonlat(proj.to_xy(121.52, 31.30))
+        assert lon == pytest.approx(121.52, abs=1e-9)
+        assert lat == pytest.approx(31.30, abs=1e-9)
+
+    def test_consistent_with_haversine(self):
+        proj = local_projection(121.47, 31.23)
+        p = proj.to_xy(121.50, 31.25)
+        d_proj = p.distance_to(Point(0, 0))
+        d_hav = haversine_m(121.47, 31.23, 121.50, 31.25)
+        assert d_proj == pytest.approx(d_hav, rel=0.002)
+
+    def test_rejects_bad_center(self):
+        with pytest.raises(ValueError):
+            local_projection(190.0, 0.0)
+        with pytest.raises(ValueError):
+            local_projection(0.0, 95.0)
+
+
+class TestSegmentProjection:
+    def test_projects_to_interior(self):
+        closest, s = project_to_segment(Point(5, 3), Point(0, 0), Point(10, 0))
+        assert (closest.x, closest.y) == pytest.approx((5, 0))
+        assert s == pytest.approx(0.5)
+
+    def test_clamps_before_start(self):
+        closest, s = project_to_segment(Point(-5, 1), Point(0, 0), Point(10, 0))
+        assert s == 0.0
+        assert (closest.x, closest.y) == (0, 0)
+
+    def test_clamps_after_end(self):
+        _, s = project_to_segment(Point(15, 1), Point(0, 0), Point(10, 0))
+        assert s == 1.0
+
+    def test_degenerate_segment(self):
+        closest, s = project_to_segment(Point(1, 1), Point(2, 2), Point(2, 2))
+        assert s == 0.0
+        assert (closest.x, closest.y) == (2, 2)
+
+    def test_distance(self):
+        d = point_segment_distance(Point(5, 3), Point(0, 0), Point(10, 0))
+        assert d == pytest.approx(3.0)
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_distance_never_exceeds_endpoint_distance(self, px, py, ax, ay, bx, by):
+        p, a, b = Point(px, py), Point(ax, ay), Point(bx, by)
+        d = point_segment_distance(p, a, b)
+        assert d <= p.distance_to(a) + 1e-6
+        assert d <= p.distance_to(b) + 1e-6
+
+
+class TestInterpolate:
+    def test_midpoint(self):
+        p = interpolate(Point(0, 0), Point(10, 20), 0.5)
+        assert (p.x, p.y) == pytest.approx((5, 10))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            interpolate(Point(0, 0), Point(1, 1), 1.5)
+
+
+class TestHeading:
+    def test_north(self):
+        assert heading_deg(Point(0, 0), Point(0, 1)) == pytest.approx(0.0)
+
+    def test_east(self):
+        assert heading_deg(Point(0, 0), Point(1, 0)) == pytest.approx(90.0)
+
+    def test_range(self):
+        h = heading_deg(Point(0, 0), Point(-1, -1))
+        assert 0.0 <= h < 360.0

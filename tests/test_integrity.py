@@ -1,0 +1,99 @@
+"""Tests for repro.probes.integrity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tcm import TrafficConditionMatrix
+from repro.probes.integrity import (
+    IntegrityReport,
+    cdf_at,
+    empirical_cdf,
+    integrity_summary,
+)
+
+
+class TestEmpiricalCdf:
+    def test_basic(self):
+        x, f = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert list(f) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        x, f = empirical_cdf([])
+        assert x.size == 0 and f.size == 0
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=50))
+    def test_monotone_and_bounded(self, samples):
+        _, f = empirical_cdf(samples)
+        assert np.all(np.diff(f) >= 0)
+        assert f[-1] == pytest.approx(1.0)
+
+
+class TestCdfAt:
+    def test_thresholds(self):
+        out = cdf_at([1.0, 2.0, 3.0, 4.0], [0.0, 2.5, 10.0])
+        assert list(out) == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_empty_samples(self):
+        assert list(cdf_at([], [1.0])) == [0.0]
+
+
+class TestIntegritySummary:
+    @pytest.fixture()
+    def report(self):
+        mask = np.array(
+            [
+                [True, False, False],
+                [True, True, False],
+            ]
+        )
+        tcm = TrafficConditionMatrix(np.ones((2, 3)), mask)
+        return integrity_summary(tcm)
+
+    def test_overall(self, report):
+        assert report.overall == pytest.approx(3 / 6)
+
+    def test_road_integrity(self, report):
+        assert list(report.road_integrity) == pytest.approx([1.0, 0.5, 0.0])
+
+    def test_slot_integrity(self, report):
+        assert list(report.slot_integrity) == pytest.approx([1 / 3, 2 / 3])
+
+    def test_roads_below(self, report):
+        assert report.roads_below(0.5) == pytest.approx(2 / 3)
+        assert report.roads_below(1.0) == 1.0
+
+    def test_slots_below(self, report):
+        assert report.slots_below(0.4) == pytest.approx(0.5)
+
+    def test_roads_near_zero(self, report):
+        assert report.roads_near_zero() == pytest.approx(1 / 3)
+
+    def test_cdfs(self, report):
+        x, f = report.road_cdf()
+        assert x.size == 3
+        x, f = report.slot_cdf()
+        assert x.size == 2
+
+    def test_empty_edge_cases(self):
+        empty = IntegrityReport(0.0, np.array([]), np.array([]))
+        assert empty.roads_below(0.5) == 0.0
+        assert empty.slots_below(0.5) == 0.0
+
+
+class TestOnSimulatedData:
+    def test_more_vehicles_higher_integrity(self, ground_truth):
+        from repro.mobility.fleet import FleetConfig, FleetSimulator
+        from repro.probes.aggregation import aggregate_reports
+
+        def integrity(n):
+            batch = FleetSimulator(
+                ground_truth, FleetConfig(num_vehicles=n), seed=0
+            ).run(0.0, 6 * 3600.0)
+            tcm = aggregate_reports(
+                batch, ground_truth.grid, ground_truth.network.segment_ids
+            )
+            return tcm.integrity
+
+        assert integrity(30) > integrity(5)

@@ -1,0 +1,149 @@
+"""Tests for repro.probes.mapmatch."""
+
+import numpy as np
+import pytest
+
+from repro.probes.mapmatch import GridIndex, MapMatcher
+from repro.probes.report import ProbeReport, ReportBatch
+from repro.roadnet.geometry import Point
+
+
+class TestGridIndex:
+    def test_candidates_near_segment(self, small_network):
+        index = GridIndex(small_network, cell_m=300.0)
+        seg = small_network.segment(0)
+        mid = seg.point_at(0.5)
+        candidates = index.candidates(mid)
+        assert seg.segment_id in candidates
+
+    def test_every_segment_registered(self, small_network):
+        index = GridIndex(small_network, cell_m=250.0)
+        registered = set()
+        for ids in index._cells.values():
+            registered.update(ids)
+        assert registered == set(small_network.segment_ids)
+
+    def test_num_cells_positive(self, small_network):
+        assert GridIndex(small_network).num_cells > 0
+
+    def test_rejects_bad_params(self, small_network):
+        with pytest.raises(ValueError):
+            GridIndex(small_network, cell_m=0.0)
+        with pytest.raises(ValueError):
+            GridIndex(small_network, pad_m=-1.0)
+
+
+class TestMapMatcher:
+    def test_exact_point_matches(self, small_network):
+        matcher = MapMatcher(small_network, max_distance_m=30.0)
+        seg = small_network.segment(5)
+        assert matcher.match_point(seg.point_at(0.4)) in (
+            seg.segment_id,
+            # The opposite-direction twin shares the geometry.
+            *small_network.adjacent_segments(seg.segment_id),
+        )
+
+    def test_offset_point_matches_nearby(self, small_network):
+        matcher = MapMatcher(small_network, max_distance_m=30.0)
+        seg = small_network.segment(0)
+        p = seg.point_at(0.5)
+        matched = matcher.match_point(Point(p.x + 10.0, p.y + 10.0))
+        assert matched >= 0
+
+    def test_far_point_rejected(self, small_network):
+        matcher = MapMatcher(small_network, max_distance_m=30.0)
+        min_x, min_y, _, _ = small_network.bounding_box()
+        assert matcher.match_point(Point(min_x - 5000.0, min_y - 5000.0)) == -1
+
+    def test_match_batch(self, small_network):
+        seg = small_network.segment(3)
+        p = seg.point_at(0.5)
+        reports = [
+            ProbeReport(0, 0.0, p.x, p.y, 30.0),
+            ProbeReport(0, 1.0, p.x + 9999.0, p.y, 30.0),
+        ]
+        matched = MapMatcher(small_network, max_distance_m=30.0).match_batch(
+            ReportBatch(reports)
+        )
+        assert matched.segment_ids[0] >= 0
+        assert matched.segment_ids[1] == -1
+
+    def test_match_rate(self, small_network):
+        seg = small_network.segment(3)
+        p = seg.point_at(0.5)
+        reports = [ProbeReport(0, float(i), p.x, p.y, 30.0) for i in range(4)]
+        matcher = MapMatcher(small_network, max_distance_m=30.0)
+        assert matcher.match_rate(ReportBatch(reports)) == 1.0
+        assert matcher.match_rate(ReportBatch([])) == 0.0
+
+    def test_heading_separates_direction_twins(self, small_network):
+        """A heading matches the correct direction of a two-way street."""
+        from repro.roadnet.geometry import heading_deg as course_of
+
+        seg = small_network.segment(0)
+        reverse = small_network.segment_between(seg.end, seg.start)
+        assert reverse is not None
+        p = seg.point_at(0.5)
+        matcher = MapMatcher(small_network, max_distance_m=30.0)
+        forward_course = course_of(seg.start_point, seg.end_point)
+        backward_course = (forward_course + 180.0) % 360.0
+        assert matcher.match_point(p, heading=forward_course) == seg.segment_id
+        assert matcher.match_point(p, heading=backward_course) == reverse.segment_id
+
+    def test_heading_nan_behaves_like_no_heading(self, small_network):
+        matcher = MapMatcher(small_network, max_distance_m=30.0)
+        p = small_network.segment(3).point_at(0.5)
+        assert matcher.match_point(p, heading=float("nan")) == matcher.match_point(p)
+
+    def test_heading_never_unmatches_within_radius(self, small_network):
+        """Heading only re-ranks; it cannot push a fix out of the gate."""
+        matcher = MapMatcher(small_network, max_distance_m=30.0)
+        p = small_network.segment(3).point_at(0.5)
+        for heading in (0.0, 90.0, 180.0, 270.0):
+            assert matcher.match_point(p, heading=heading) >= 0
+
+    def test_heading_penalty_validated(self, small_network):
+        with pytest.raises(ValueError):
+            MapMatcher(small_network, heading_penalty_m=-1.0)
+
+    def test_directional_match_rate_on_simulated_reports(self, ground_truth):
+        """With headings, the matcher recovers the *directed* segment."""
+        from repro.mobility.fleet import FleetConfig, FleetSimulator
+        from repro.mobility.reporting import ReportingConfig
+
+        config = FleetConfig(
+            num_vehicles=5,
+            reporting=ReportingConfig(position_noise_m=0.0),
+        )
+        batch = FleetSimulator(ground_truth, config, seed=0).run(0.0, 2 * 3600.0)
+        driving = ReportBatch([r for r in batch if r.segment_id >= 0])
+        matched = MapMatcher(ground_truth.network, max_distance_m=25.0).match_batch(
+            driving
+        )
+        exact = np.mean(matched.segment_ids == driving.segment_ids)
+        assert exact > 0.9  # direction twins resolved, not just geometry
+
+    def test_matches_simulated_reports(self, ground_truth):
+        """End to end: simulator positions must map-match back to their segment."""
+        from repro.mobility.fleet import FleetConfig, FleetSimulator
+        from repro.mobility.reporting import ReportingConfig
+
+        config = FleetConfig(
+            num_vehicles=5,
+            reporting=ReportingConfig(position_noise_m=0.0),
+        )
+        batch = FleetSimulator(ground_truth, config, seed=0).run(0.0, 2 * 3600.0)
+        driving = ReportBatch([r for r in batch if r.segment_id >= 0])
+        matcher = MapMatcher(ground_truth.network, max_distance_m=25.0)
+        matched = matcher.match_batch(driving)
+        agree = 0
+        for true, found in zip(driving.segment_ids, matched.segment_ids):
+            seg = ground_truth.network.segment(int(true))
+            # The opposite-direction twin is geometrically identical, so
+            # matching either direction counts as correct.
+            twins = {true}
+            reverse = ground_truth.network.segment_between(seg.end, seg.start)
+            if reverse is not None:
+                twins.add(reverse.segment_id)
+            agree += int(found in twins)
+        assert agree / max(1, len(driving)) > 0.95

@@ -1,0 +1,106 @@
+"""Tests for repro.core.matrix_selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.completion import CompressiveSensingCompleter
+from repro.core.matrix_selection import (
+    SegmentSet,
+    SegmentSetBuilder,
+    build_paper_sets,
+)
+from repro.datasets.masks import random_integrity_mask
+
+
+class TestSegmentSet:
+    def test_requires_anchor(self):
+        with pytest.raises(ValueError, match="anchor"):
+            SegmentSet("s", anchor=5, segment_ids=[1, 2])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            SegmentSet("s", anchor=1, segment_ids=[1, 2, 2])
+
+    def test_size(self):
+        assert SegmentSet("s", 1, [1, 2, 3]).size == 3
+
+
+class TestSegmentSetBuilder:
+    def test_unknown_anchor_rejected(self, small_network):
+        with pytest.raises(ValueError):
+            SegmentSetBuilder(small_network, anchor=10_000)
+
+    def test_directly_connected(self, small_network):
+        builder = SegmentSetBuilder(small_network, anchor=0)
+        s = builder.directly_connected(count=4, seed=0)
+        assert 0 in s.segment_ids
+        adjacent = small_network.adjacent_segments(0)
+        assert set(s.segment_ids) - {0} <= adjacent
+
+    def test_within_blocks_excludes_direct(self, small_network):
+        builder = SegmentSetBuilder(small_network, anchor=0)
+        s = builder.within_blocks(hops=2, count=50, seed=0)
+        direct = small_network.adjacent_segments(0)
+        assert not (set(s.segment_ids) - {0}) & direct
+
+    def test_random_remote_outside_neighbourhood(self, small_network):
+        builder = SegmentSetBuilder(small_network, anchor=0)
+        near = small_network.segments_within_hops(0, 2)
+        s = builder.random_remote(count=5, hops_excluded=2, seed=0)
+        assert not (set(s.segment_ids) - {0}) & near
+
+    def test_random_remote_insufficient_pool(self, small_network):
+        builder = SegmentSetBuilder(small_network, anchor=0)
+        with pytest.raises(ValueError):
+            builder.random_remote(count=10_000, seed=0)
+
+    def test_subsample(self, small_network):
+        builder = SegmentSetBuilder(small_network, anchor=0)
+        base = builder.within_blocks(hops=2, count=12, seed=0)
+        sub = builder.subsample(base, count=4, name="sub", seed=0)
+        assert sub.size == 5
+        assert set(sub.segment_ids) <= set(base.segment_ids)
+
+    def test_subsample_pool_checked(self, small_network):
+        builder = SegmentSetBuilder(small_network, anchor=0)
+        base = builder.directly_connected(count=3, seed=0)
+        with pytest.raises(ValueError):
+            builder.subsample(base, count=50, name="x", seed=0)
+
+
+class TestBuildPaperSets:
+    def test_five_sets(self, small_network):
+        sets = build_paper_sets(small_network, anchor=0, seed=0)
+        assert len(sets) == 5
+        assert all(0 in s.segment_ids for s in sets)
+
+    def test_set_sizes_ordered(self, small_network):
+        sets = build_paper_sets(small_network, anchor=0, seed=0)
+        by_name = {s.name: s for s in sets}
+        assert by_name["set2-two-blocks"].size > by_name["set1-connected"].size
+        assert by_name["set3-random-remote"].size >= by_name["set2-two-blocks"].size
+
+    def test_deterministic(self, small_network):
+        a = build_paper_sets(small_network, anchor=0, seed=3)
+        b = build_paper_sets(small_network, anchor=0, seed=3)
+        assert [s.segment_ids for s in a] == [s.segment_ids for s in b]
+
+
+class TestBestByValidation:
+    def test_scores_all_candidates(self, small_network, truth_tcm):
+        builder = SegmentSetBuilder(small_network, anchor=0)
+        sets = [
+            builder.directly_connected(count=5, seed=0),
+            builder.within_blocks(hops=2, count=10, seed=0),
+        ]
+        mask = random_integrity_mask(truth_tcm.shape, 0.6, seed=0)
+        masked = truth_tcm.with_mask(mask)
+        completer = CompressiveSensingCompleter(rank=1, lam=1.0, iterations=15, seed=0)
+        scores = builder.best_by_validation(masked, sets, completer=completer, seed=0)
+        assert set(scores) == {s.name for s in sets}
+        assert all(np.isfinite(v) or np.isnan(v) for v in scores.values())
+
+    def test_validation_fraction_checked(self, small_network, truth_tcm):
+        builder = SegmentSetBuilder(small_network, anchor=0)
+        with pytest.raises(ValueError):
+            builder.best_by_validation(truth_tcm, [], validation_fraction=0.0)

@@ -1,0 +1,121 @@
+"""Tests for repro.metrics.errors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.errors import estimate_error, nmae, relative_errors, rmse
+
+matrix_values = arrays(
+    dtype=np.float64,
+    shape=(4, 5),
+    elements=st.floats(0.1, 100.0, allow_nan=False),
+)
+
+
+class TestNmae:
+    def test_perfect_estimate_zero(self):
+        x = np.random.default_rng(0).uniform(1, 10, (3, 3))
+        assert nmae(x, x) == 0.0
+
+    def test_definition(self):
+        x = np.array([[2.0, 4.0]])
+        x_hat = np.array([[1.0, 6.0]])
+        # (|2-1| + |4-6|) / (2 + 4) = 3/6
+        assert nmae(x, x_hat) == pytest.approx(0.5)
+
+    def test_eval_mask_restricts(self):
+        x = np.array([[2.0, 4.0]])
+        x_hat = np.array([[1.0, 4.0]])
+        mask = np.array([[False, True]])
+        assert nmae(x, x_hat, mask) == 0.0
+
+    def test_empty_mask_nan(self):
+        x = np.ones((2, 2))
+        assert np.isnan(nmae(x, x, np.zeros((2, 2), dtype=bool)))
+
+    def test_zero_denominator(self):
+        x = np.zeros((2, 2))
+        assert nmae(x, np.ones((2, 2))) == float("inf")
+        assert nmae(x, x) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            nmae(np.ones((2, 2)), np.ones((3, 2)))
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            nmae(np.ones((2, 2)), np.ones((2, 2)), np.ones((3, 3), dtype=bool))
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrix_values, matrix_values)
+    def test_nonnegative(self, x, x_hat):
+        assert nmae(x, x_hat) >= 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrix_values)
+    def test_scale_invariant(self, x):
+        x_hat = x * 1.1
+        assert nmae(3.0 * x, 3.0 * x_hat) == pytest.approx(nmae(x, x_hat))
+
+
+class TestEstimateError:
+    def test_scores_only_missing(self):
+        x = np.array([[10.0, 20.0]])
+        x_hat = np.array([[0.0, 20.0]])  # wrong on observed cell only
+        observed = np.array([[True, False]])
+        assert estimate_error(x, x_hat, observed) == 0.0
+
+    def test_truth_availability_respected(self):
+        x = np.array([[10.0, 20.0, 30.0]])
+        x_hat = np.array([[10.0, 0.0, 30.0]])
+        observed = np.array([[True, False, False]])
+        available = np.array([[True, False, True]])
+        # Cell 1 is missing from truth too; only cell 2 is scored.
+        assert estimate_error(x, x_hat, observed, available) == 0.0
+
+
+class TestRelativeErrors:
+    def test_basic(self):
+        x = np.array([[10.0, 20.0]])
+        x_hat = np.array([[11.0, 10.0]])
+        errs = relative_errors(x, x_hat)
+        assert sorted(errs) == pytest.approx([0.1, 0.5])
+
+    def test_skips_tiny_truth(self):
+        x = np.array([[1e-12, 10.0]])
+        x_hat = np.array([[5.0, 10.0]])
+        errs = relative_errors(x, x_hat)
+        assert errs.size == 1
+
+    def test_mask_applied(self):
+        x = np.full((2, 2), 10.0)
+        x_hat = np.full((2, 2), 12.0)
+        mask = np.array([[True, False], [False, False]])
+        assert relative_errors(x, x_hat, mask).size == 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            relative_errors(np.ones((2, 2)), np.ones((2, 3)))
+
+
+class TestRmse:
+    def test_basic(self):
+        x = np.array([[0.0, 0.0]])
+        x_hat = np.array([[3.0, 4.0]])
+        assert rmse(x, x_hat) == pytest.approx(np.sqrt(12.5))
+
+    def test_perfect(self):
+        x = np.random.default_rng(1).normal(size=(3, 3))
+        assert rmse(x, x) == 0.0
+
+    def test_empty_mask_nan(self):
+        assert np.isnan(rmse(np.ones((2, 2)), np.ones((2, 2)), np.zeros((2, 2), bool)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrix_values, matrix_values)
+    def test_rmse_at_least_mean_error(self, x, x_hat):
+        # RMSE >= MAE always.
+        mae = np.abs(x - x_hat).mean()
+        assert rmse(x, x_hat) >= mae - 1e-9

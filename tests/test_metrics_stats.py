@@ -1,0 +1,49 @@
+"""Tests for repro.metrics.stats."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import cdf_points, quantiles, summarize
+
+
+class TestCdfPoints:
+    def test_basic(self):
+        out = cdf_points([1, 2, 3, 4], [2.5])
+        assert list(out) == [0.5]
+
+    def test_empty(self):
+        assert list(cdf_points([], [1.0, 2.0])) == [0.0, 0.0]
+
+    def test_monotone_over_grid(self):
+        samples = np.random.default_rng(0).uniform(0, 1, 100)
+        grid = np.linspace(0, 1, 11)
+        out = cdf_points(samples, grid)
+        assert np.all(np.diff(out) >= 0)
+
+
+class TestQuantiles:
+    def test_median(self):
+        q = quantiles([1.0, 2.0, 3.0], (0.5,))
+        assert q[0.5] == 2.0
+
+    def test_empty(self):
+        q = quantiles([], (0.5, 0.9))
+        assert all(np.isnan(v) for v in q.values())
+
+    def test_default_keys(self):
+        q = quantiles(np.arange(100.0))
+        assert set(q) == {0.5, 0.8, 0.9, 0.95}
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["mean"] == 2.0
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["median"] == 2.0
+        assert s["std"] == pytest.approx(np.std([1, 2, 3]))
+
+    def test_empty(self):
+        s = summarize([])
+        assert all(np.isnan(v) for v in s.values())

@@ -1,0 +1,145 @@
+"""Tests for repro.roadnet.network."""
+
+import pytest
+
+from repro.roadnet.geometry import Point
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.segment import Intersection, RoadSegment
+
+
+def line_network(n_nodes=4, bidirectional=True):
+    """A simple line of intersections 0-1-2-...-(n-1), 100 m apart."""
+    nodes = [Intersection(i, Point(i * 100.0, 0.0)) for i in range(n_nodes)]
+    segments = []
+    sid = 0
+    for i in range(n_nodes - 1):
+        pairs = [(i, i + 1), (i + 1, i)] if bidirectional else [(i, i + 1)]
+        for a, b in pairs:
+            segments.append(
+                RoadSegment(
+                    segment_id=sid,
+                    start=a,
+                    end=b,
+                    start_point=nodes[a].location,
+                    end_point=nodes[b].location,
+                    length_m=100.0,
+                )
+            )
+            sid += 1
+    return RoadNetwork(nodes, segments, name="line")
+
+
+class TestConstruction:
+    def test_counts(self):
+        net = line_network(4)
+        assert net.num_intersections == 4
+        assert net.num_segments == 6
+
+    def test_duplicate_intersection_rejected(self):
+        nodes = [Intersection(0, Point(0, 0)), Intersection(0, Point(1, 1))]
+        with pytest.raises(ValueError, match="duplicate"):
+            RoadNetwork(nodes, [])
+
+    def test_duplicate_segment_rejected(self):
+        nodes = [Intersection(0, Point(0, 0)), Intersection(1, Point(100, 0))]
+        seg = RoadSegment(0, 0, 1, nodes[0].location, nodes[1].location, 100.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            RoadNetwork(nodes, [seg, seg])
+
+    def test_unknown_endpoint_rejected(self):
+        nodes = [Intersection(0, Point(0, 0)), Intersection(1, Point(100, 0))]
+        seg = RoadSegment(0, 0, 5, nodes[0].location, nodes[1].location, 100.0)
+        with pytest.raises(ValueError, match="unknown"):
+            RoadNetwork(nodes, [seg])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            RoadNetwork([Intersection(0, Point(0, 0))], [])
+
+    def test_segment_ids_sorted(self):
+        net = line_network(4)
+        assert net.segment_ids == sorted(net.segment_ids)
+
+
+class TestRouting:
+    def test_shortest_path_nodes(self):
+        net = line_network(4)
+        assert net.shortest_path_nodes(0, 3) == [0, 1, 2, 3]
+
+    def test_shortest_path_segments(self):
+        net = line_network(4)
+        route = net.shortest_path_segments(0, 3)
+        assert [s.start for s in route] == [0, 1, 2]
+        assert [s.end for s in route] == [1, 2, 3]
+
+    def test_path_length(self):
+        net = line_network(4)
+        assert net.path_length_m([0, 1, 2]) == pytest.approx(200.0)
+
+    def test_path_length_rejects_missing_edge(self):
+        net = line_network(4)
+        with pytest.raises(ValueError):
+            net.path_length_m([0, 2])
+
+    def test_strong_connectivity(self):
+        assert line_network(4, bidirectional=True).is_strongly_connected()
+        assert not line_network(4, bidirectional=False).is_strongly_connected()
+
+    def test_segment_between(self):
+        net = line_network(3)
+        assert net.segment_between(0, 1) is not None
+        assert net.segment_between(0, 2) is None
+
+
+class TestNeighbourhoods:
+    def test_adjacent_segments(self):
+        net = line_network(4)
+        seg01 = net.segment_between(0, 1)
+        adjacent = net.adjacent_segments(seg01.segment_id)
+        # Reverse (1->0) plus both directions of 1-2 touch it.
+        assert net.segment_between(1, 0).segment_id in adjacent
+        assert net.segment_between(1, 2).segment_id in adjacent
+        assert seg01.segment_id not in adjacent
+
+    def test_within_hops_grows(self):
+        net = line_network(6)
+        sid = net.segment_between(0, 1).segment_id
+        one = net.segments_within_hops(sid, 1)
+        two = net.segments_within_hops(sid, 2)
+        assert one <= two
+        assert len(two) > len(one)
+
+    def test_within_hops_excludes_anchor(self):
+        net = line_network(4)
+        sid = net.segment_between(1, 2).segment_id
+        assert sid not in net.segments_within_hops(sid, 2)
+
+    def test_negative_hops_rejected(self):
+        net = line_network(3)
+        with pytest.raises(ValueError):
+            net.segments_within_hops(0, -1)
+
+
+class TestSpatial:
+    def test_nearest_segment(self):
+        net = line_network(4)
+        seg = net.nearest_segment(Point(150.0, 5.0))
+        assert {seg.start, seg.end} == {1, 2}
+
+    def test_nearest_respects_max_distance(self):
+        net = line_network(4)
+        assert net.nearest_segment(Point(150.0, 500.0), max_distance_m=50.0) is None
+
+    def test_bounding_box(self):
+        net = line_network(4)
+        assert net.bounding_box() == (0.0, 0.0, 300.0, 0.0)
+
+    def test_centroid(self):
+        c = line_network(3).centroid()
+        assert c.x == pytest.approx(100.0)
+        assert c.y == pytest.approx(0.0)
+
+    def test_outgoing_segments(self):
+        net = line_network(4)
+        outs = net.outgoing_segments(1)
+        assert {s.end for s in outs} == {0, 2}

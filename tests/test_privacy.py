@@ -1,0 +1,122 @@
+"""Tests for repro.probes.privacy."""
+
+import numpy as np
+import pytest
+
+from repro.probes.privacy import (
+    PseudonymRotator,
+    TripLineDeployment,
+    privacy_impact,
+)
+from repro.probes.report import ProbeReport, ReportBatch
+
+
+def report(vid, t, seg=0, speed=30.0):
+    return ProbeReport(vehicle_id=vid, time_s=t, x=0.0, y=0.0, speed_kmh=speed, segment_id=seg)
+
+
+class TestPseudonymRotator:
+    def test_stable_within_epoch(self):
+        rotator = PseudonymRotator(rotation_s=3600.0, seed=0)
+        a = rotator.pseudonym(7, 100.0)
+        b = rotator.pseudonym(7, 200.0)
+        assert a == b
+
+    def test_rotates_across_epochs(self):
+        rotator = PseudonymRotator(rotation_s=60.0, seed=0)
+        # Far apart in time: must be different pseudonyms.
+        assert rotator.pseudonym(7, 0.0) != rotator.pseudonym(7, 10_000.0)
+
+    def test_vehicles_never_collide(self):
+        rotator = PseudonymRotator(rotation_s=3600.0, seed=0)
+        pseudos = {rotator.pseudonym(v, 100.0) for v in range(50)}
+        assert len(pseudos) == 50
+
+    def test_anonymize_preserves_payload(self):
+        rotator = PseudonymRotator(rotation_s=3600.0, seed=0)
+        batch = ReportBatch([report(1, 10.0, seg=3, speed=42.0)])
+        out = rotator.anonymize(batch)
+        assert len(out) == 1
+        assert out[0].segment_id == 3
+        assert out[0].speed_kmh == 42.0
+
+    def test_anonymize_breaks_long_linkage(self):
+        rotator = PseudonymRotator(rotation_s=600.0, seed=0)
+        batch = ReportBatch([report(1, t * 300.0) for t in range(20)])
+        out = rotator.anonymize(batch)
+        # One real vehicle appears as several pseudonymous ones.
+        assert out.num_vehicles > 1
+
+    def test_aggregation_unchanged(self, ground_truth):
+        """TCM aggregation only uses (slot, segment, speed): identical."""
+        from repro.mobility.fleet import FleetConfig, FleetSimulator
+        from repro.probes.aggregation import aggregate_reports
+
+        batch = FleetSimulator(
+            ground_truth, FleetConfig(num_vehicles=10), seed=0
+        ).run(0.0, 4 * 3600.0)
+        anon = PseudonymRotator(rotation_s=1800.0, seed=1).anonymize(batch)
+        grid = ground_truth.grid
+        ids = ground_truth.network.segment_ids
+        raw_tcm = aggregate_reports(batch, grid, ids)
+        anon_tcm = aggregate_reports(anon, grid, ids)
+        assert np.array_equal(raw_tcm.mask, anon_tcm.mask)
+        assert np.allclose(raw_tcm.values, anon_tcm.values)
+
+    def test_bad_rotation_rejected(self):
+        with pytest.raises(ValueError):
+            PseudonymRotator(rotation_s=0.0)
+
+
+class TestTripLineDeployment:
+    def test_sample_fraction(self, small_network):
+        deployment = TripLineDeployment.sample(small_network, 0.5, seed=0)
+        assert deployment.num_lines == round(0.5 * small_network.num_segments)
+
+    def test_full_deployment(self, small_network):
+        deployment = TripLineDeployment.sample(small_network, 1.0, seed=0)
+        assert deployment.num_lines == small_network.num_segments
+
+    def test_filter_keeps_instrumented_only(self, small_network):
+        deployment = TripLineDeployment(segment_ids=frozenset({3}))
+        batch = ReportBatch([report(0, 1.0, seg=3), report(0, 2.0, seg=4),
+                             report(0, 3.0, seg=-1)])
+        out = deployment.filter(batch)
+        assert len(out) == 1
+        assert out[0].segment_id == 3
+
+    def test_zero_fraction_suppresses_all(self, small_network):
+        deployment = TripLineDeployment.sample(small_network, 0.0, seed=0)
+        batch = ReportBatch([report(0, 1.0, seg=s) for s in range(5)])
+        assert len(deployment.filter(batch)) == 0
+
+    def test_bad_fraction_rejected(self, small_network):
+        with pytest.raises(ValueError):
+            TripLineDeployment.sample(small_network, 1.5)
+
+
+class TestPrivacyImpact:
+    def test_coverage_monotone_in_deployment(self, ground_truth):
+        from repro.mobility.fleet import FleetConfig, FleetSimulator
+
+        batch = FleetSimulator(
+            ground_truth, FleetConfig(num_vehicles=30), seed=0
+        ).run()
+        results = privacy_impact(
+            ground_truth, batch, fractions=(1.0, 0.5, 0.2), seed=0
+        )
+        assert [r.deployment_fraction for r in results] == [1.0, 0.5, 0.2]
+        integrities = [r.integrity for r in results]
+        assert integrities == sorted(integrities, reverse=True)
+        kept = [r.reports_kept for r in results]
+        assert kept == sorted(kept, reverse=True)
+
+    def test_estimation_survives_partial_deployment(self, ground_truth):
+        from repro.mobility.fleet import FleetConfig, FleetSimulator
+
+        batch = FleetSimulator(
+            ground_truth, FleetConfig(num_vehicles=40), seed=1
+        ).run()
+        results = privacy_impact(ground_truth, batch, fractions=(0.5,), seed=0)
+        assert np.isfinite(results[0].estimate_nmae)
+        assert results[0].estimate_nmae < 1.0

@@ -1,0 +1,100 @@
+"""Tests for repro.probes.report."""
+
+import numpy as np
+import pytest
+
+from repro.probes.report import ProbeReport, ReportBatch
+
+
+def make_reports():
+    return [
+        ProbeReport(vehicle_id=1, time_s=30.0, x=0.0, y=0.0, speed_kmh=20.0, segment_id=3),
+        ProbeReport(vehicle_id=2, time_s=10.0, x=1.0, y=1.0, speed_kmh=0.5, segment_id=-1),
+        ProbeReport(vehicle_id=1, time_s=20.0, x=2.0, y=2.0, speed_kmh=35.0, segment_id=4),
+    ]
+
+
+class TestProbeReport:
+    def test_has_segment(self):
+        assert ProbeReport(0, 0.0, 0, 0, 10.0, segment_id=5).has_segment
+        assert not ProbeReport(0, 0.0, 0, 0, 10.0).has_segment
+
+    def test_default_segment_unknown(self):
+        assert ProbeReport(0, 0.0, 0, 0, 10.0).segment_id == -1
+
+    def test_heading_optional(self):
+        bare = ProbeReport(0, 0.0, 0, 0, 10.0)
+        assert not bare.has_heading
+        with_heading = ProbeReport(0, 0.0, 0, 0, 10.0, heading_deg=90.0)
+        assert with_heading.has_heading
+        assert with_heading.heading_deg == 90.0
+
+    def test_batch_headings_column(self):
+        batch = ReportBatch(
+            [
+                ProbeReport(0, 0.0, 0, 0, 10.0, heading_deg=45.0),
+                ProbeReport(0, 1.0, 0, 0, 10.0),
+            ]
+        )
+        assert batch.headings_deg[0] == 45.0
+        assert np.isnan(batch.headings_deg[1])
+
+
+class TestReportBatch:
+    def test_sorted_by_time(self):
+        batch = ReportBatch(make_reports())
+        assert list(batch.times_s) == [10.0, 20.0, 30.0]
+
+    def test_len_and_iter(self):
+        batch = ReportBatch(make_reports())
+        assert len(batch) == 3
+        assert len(list(batch)) == 3
+
+    def test_getitem(self):
+        batch = ReportBatch(make_reports())
+        assert batch[0].time_s == 10.0
+
+    def test_columnar_arrays(self):
+        batch = ReportBatch(make_reports())
+        assert batch.vehicle_ids.dtype == np.int64
+        assert list(batch.segment_ids) == [-1, 4, 3]
+
+    def test_empty_batch(self):
+        batch = ReportBatch([])
+        assert len(batch) == 0
+        assert batch.num_vehicles == 0
+        assert batch.time_span_s() == 0.0
+        assert batch.times_s.shape == (0,)
+
+    def test_num_vehicles(self):
+        assert ReportBatch(make_reports()).num_vehicles == 2
+
+    def test_time_span(self):
+        assert ReportBatch(make_reports()).time_span_s() == 20.0
+
+    def test_for_vehicle(self):
+        sub = ReportBatch(make_reports()).for_vehicle(1)
+        assert len(sub) == 2
+        assert all(r.vehicle_id == 1 for r in sub)
+
+    def test_filter_speed(self):
+        fast = ReportBatch(make_reports()).filter_speed(5.0)
+        assert len(fast) == 2
+        assert all(r.speed_kmh >= 5.0 for r in fast)
+
+    def test_with_matched_segments(self):
+        batch = ReportBatch(make_reports())
+        matched = batch.with_matched_segments([7, 8, 9])
+        assert list(matched.segment_ids) == [7, 8, 9]
+
+    def test_with_matched_segments_length_checked(self):
+        with pytest.raises(ValueError):
+            ReportBatch(make_reports()).with_matched_segments([1, 2])
+
+    def test_subsample_vehicles(self):
+        sub = ReportBatch(make_reports()).subsample_vehicles([2])
+        assert len(sub) == 1
+        assert sub[0].vehicle_id == 2
+
+    def test_subsample_empty_set(self):
+        assert len(ReportBatch(make_reports()).subsample_vehicles([])) == 0

@@ -1,0 +1,83 @@
+"""Tests for repro.traffic.profiles."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.profiles import (
+    DAY_S,
+    WEEK_S,
+    business_hours_profile,
+    commuter_profile,
+    night_activity_profile,
+    profile_matrix,
+    standard_modes,
+)
+
+
+class TestCommuterProfile:
+    def test_rush_hour_peaks(self):
+        p = commuter_profile()
+        # Monday 08:00 and 18:00 beat Monday 03:00.
+        assert p.intensity(8 * 3600) > p.intensity(3 * 3600)
+        assert p.intensity(18 * 3600) > p.intensity(3 * 3600)
+
+    def test_weekend_weaker(self):
+        p = commuter_profile()
+        monday_8am = p.intensity(8 * 3600)
+        saturday_8am = p.intensity(5 * DAY_S + 8 * 3600)
+        assert saturday_8am < monday_8am
+
+    def test_weekly_periodicity(self):
+        p = commuter_profile()
+        t = 2 * DAY_S + 7.5 * 3600
+        assert p.intensity(t) == pytest.approx(p.intensity(t + WEEK_S))
+
+    def test_range(self):
+        p = commuter_profile()
+        samples = p.sample(np.linspace(0, WEEK_S, 500))
+        assert np.all(samples >= 0.0)
+        assert np.all(samples <= 1.0)
+
+
+class TestBusinessHoursProfile:
+    def test_midday_plateau(self):
+        p = business_hours_profile()
+        assert p.intensity(12 * 3600) == pytest.approx(p.intensity(14 * 3600))
+
+    def test_night_low(self):
+        p = business_hours_profile()
+        assert p.intensity(2 * 3600) < 0.2
+
+
+class TestNightActivityProfile:
+    def test_evening_peak(self):
+        p = night_activity_profile()
+        assert p.intensity(5 * DAY_S + 21.5 * 3600) > p.intensity(
+            5 * DAY_S + 10 * 3600
+        )
+
+    def test_weekend_stronger(self):
+        p = night_activity_profile()
+        friday_night = p.intensity(4 * DAY_S + 21.5 * 3600)
+        saturday_night = p.intensity(5 * DAY_S + 21.5 * 3600)
+        assert saturday_night > friday_night
+
+
+class TestStandardModes:
+    def test_three_modes(self):
+        modes = standard_modes()
+        assert len(modes) == 3
+        assert len({m.name for m in modes}) == 3
+
+
+class TestProfileMatrix:
+    def test_shape(self):
+        times = np.linspace(0, DAY_S, 24)
+        matrix = profile_matrix(standard_modes(), times)
+        assert matrix.shape == (24, 3)
+
+    def test_values_in_range(self):
+        times = np.linspace(0, WEEK_S, 200)
+        matrix = profile_matrix(standard_modes(), times)
+        assert matrix.min() >= 0.0
+        assert matrix.max() <= 1.0

@@ -1,0 +1,134 @@
+"""Property-based tests for the streaming estimator and shift schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.streaming import StreamingEstimator
+from repro.mobility.shifts import ShiftSchedule
+from repro.probes.report import ProbeReport
+
+fast_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+report_lists = st.lists(
+    st.tuples(
+        st.floats(0.0, 3600.0),   # time within an hour
+        st.integers(0, 3),         # segment
+        st.floats(5.0, 80.0),      # speed
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def to_reports(raw):
+    return [
+        ProbeReport(i, t, 0.0, 0.0, speed, seg)
+        for i, (t, seg, speed) in enumerate(sorted(raw))
+    ]
+
+
+class TestStreamingInvariants:
+    @fast_settings
+    @given(report_lists)
+    def test_slot_count_matches_time_span(self, raw):
+        streamer = StreamingEstimator(
+            [0, 1, 2, 3], slot_s=600.0, window_slots=4,
+            cold_iterations=5, warm_iterations=2, seed=0,
+        )
+        streamer.ingest_many(to_reports(raw))
+        streamer.flush()
+        last_time = max(t for t, _, _ in raw)
+        expected_slots = int(last_time // 600.0) + 1
+        assert len(streamer.estimates) == expected_slots
+
+    @fast_settings
+    @given(report_lists)
+    def test_slot_starts_contiguous(self, raw):
+        streamer = StreamingEstimator(
+            [0, 1, 2, 3], slot_s=600.0, window_slots=4,
+            cold_iterations=5, warm_iterations=2, seed=0,
+        )
+        streamer.ingest_many(to_reports(raw))
+        streamer.flush()
+        starts = [e.slot_start_s for e in streamer.estimates]
+        assert starts == [600.0 * i for i in range(len(starts))]
+
+    @fast_settings
+    @given(report_lists)
+    def test_estimates_finite_and_nonnegative(self, raw):
+        streamer = StreamingEstimator(
+            [0, 1, 2, 3], slot_s=600.0, window_slots=4,
+            cold_iterations=5, warm_iterations=2, seed=0,
+        )
+        streamer.ingest_many(to_reports(raw))
+        streamer.flush()
+        for est in streamer.estimates:
+            assert np.all(np.isfinite(est.speeds_kmh))
+            assert np.all(est.speeds_kmh >= 0.0)
+            assert 0.0 <= est.observed_fraction <= 1.0
+
+    @fast_settings
+    @given(report_lists)
+    def test_observed_slot_average_published(self, raw):
+        """Where a slot observed a segment, the published value is the
+        aggregation-filtered report mean, not the model output."""
+        streamer = StreamingEstimator(
+            [0, 1, 2, 3], slot_s=600.0, window_slots=4,
+            cold_iterations=5, warm_iterations=2,
+            min_speed_kmh=2.0, seed=0,
+        )
+        streamer.ingest_many(to_reports(raw))
+        streamer.flush()
+        for t, seg, speed in raw:
+            if speed < 2.0:
+                continue
+            slot = int(t // 600.0)
+            expected = np.mean(
+                [s for (tt, sg, s) in raw
+                 if sg == seg and int(tt // 600.0) == slot and s >= 2.0]
+            )
+            published = streamer.estimates[slot].speeds_kmh[seg]
+            assert published == pytest.approx(expected)
+
+
+class TestShiftScheduleProperties:
+    @fast_settings
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=24, max_size=24),
+        st.floats(0.0, 7 * 86_400.0),
+    )
+    def test_duty_fraction_bounded(self, duty, t):
+        schedule = ShiftSchedule(tuple(duty))
+        assert 0.0 <= schedule.duty_fraction(t) <= 1.0
+
+    @fast_settings
+    @given(st.lists(st.floats(0.0, 1.0), min_size=24, max_size=24))
+    def test_windows_partition_monotone_in_phase(self, duty):
+        """A lower-phase vehicle is on duty whenever a higher one is."""
+        schedule = ShiftSchedule(tuple(duty))
+        low = schedule.duty_windows(0.1, 0.0, 86_400.0)
+        high = schedule.duty_windows(0.9, 0.0, 86_400.0)
+
+        def total(windows):
+            return sum(e - s for s, e in windows)
+
+        assert total(low) >= total(high)
+
+    @fast_settings
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=24, max_size=24),
+        st.floats(0.0, 0.999),
+    )
+    def test_windows_within_range_and_ordered(self, duty, phase):
+        schedule = ShiftSchedule(tuple(duty))
+        windows = schedule.duty_windows(phase, 1000.0, 90_000.0)
+        prev_end = 1000.0
+        for start, end in windows:
+            assert 1000.0 <= start < end <= 90_000.0
+            assert start >= prev_end
+            prev_end = end

@@ -1,0 +1,167 @@
+"""Rendering coverage: every result object's render output is well formed.
+
+The benchmark harness prints these; a formatting regression should fail
+a fast unit test rather than a ten-minute bench run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.error_vs_integrity import (
+    ErrorVsIntegrityConfig,
+    ErrorVsIntegrityResult,
+)
+from repro.experiments.matrix_selection_study import MatrixSelectionResult
+from repro.experiments.robustness import RobustnessConfig, RobustnessResult
+from repro.experiments.runtimes import RuntimeStudyConfig, RuntimeStudyResult
+from repro.experiments.sampling_study import (
+    SamplingPoint,
+    SamplingStudyConfig,
+    SamplingStudyResult,
+)
+from repro.experiments.seed_sensitivity import (
+    SeedSensitivityConfig,
+    SeedSensitivityResult,
+)
+from repro.experiments.streaming_study import (
+    StreamingStudyConfig,
+    StreamingStudyResult,
+)
+
+
+class TestErrorVsIntegrityRender:
+    def test_table_and_chart_present(self):
+        config = ErrorVsIntegrityConfig(
+            granularities_s=(1800.0,), integrities=(0.1, 0.5)
+        )
+        result = ErrorVsIntegrityResult(
+            errors={
+                (1800.0, 0.1): {"compressive": 0.15, "naive-knn": 0.25},
+                (1800.0, 0.5): {"compressive": 0.10, "naive-knn": 0.20},
+            },
+            config=config,
+        )
+        text = result.render()
+        assert "Figure 11" in text
+        assert "integrity" in text
+        assert "o=compressive" in text  # the ASCII chart legend
+
+    def test_series_extraction(self):
+        config = ErrorVsIntegrityConfig(
+            granularities_s=(900.0,), integrities=(0.2, 0.4)
+        )
+        result = ErrorVsIntegrityResult(
+            errors={
+                (900.0, 0.2): {"compressive": 0.3},
+                (900.0, 0.4): {"compressive": 0.2},
+            },
+            config=config,
+        )
+        assert result.series_for(900.0) == {"compressive": [0.3, 0.2]}
+        assert result.algorithm_names() == ["compressive"]
+
+
+class TestRuntimeRender:
+    def test_scientific_notation(self):
+        config = RuntimeStudyConfig(granularities_s=(900.0,))
+        result = RuntimeStudyResult(
+            seconds={"Naive KNN": {900.0: 0.0123}, "MSSA": {900.0: 45.6}},
+            config=config,
+        )
+        text = result.render()
+        assert "1.23e-02" in text
+        assert "4.56e+01" in text
+
+
+class TestSamplingRender:
+    def test_rows(self):
+        config = SamplingStudyConfig(fleet_sizes=(10,), reporting_intervals_s=(60.0,))
+        result = SamplingStudyResult(
+            points=[SamplingPoint(10, 60.0, 0.25, 0.1, 0.2)],
+            config=config,
+        )
+        text = result.render()
+        assert "0.250" in text and "0.1000" in text
+
+
+class TestRobustnessRender:
+    def test_conditions_listed(self):
+        result = RobustnessResult(
+            errors={"uniform mask": {"compressive": 0.1, "naive-knn": 0.2}},
+            config=RobustnessConfig(),
+        )
+        text = result.render()
+        assert "uniform mask" in text
+        assert "compressive" in text
+
+
+class TestSeedSensitivityRender:
+    def test_stats_and_verdict(self):
+        result = SeedSensitivityResult(
+            errors={
+                "compressive": [0.10, 0.11],
+                "naive-knn": [0.20, 0.21],
+            },
+            config=SeedSensitivityConfig(num_seeds=2),
+        )
+        text = result.render()
+        assert "mean NMAE" in text
+        assert "CS wins in 100%" in text
+        assert result.cs_win_fraction() == 1.0
+
+    def test_partial_wins(self):
+        result = SeedSensitivityResult(
+            errors={
+                "compressive": [0.10, 0.30],
+                "naive-knn": [0.20, 0.21]},
+            config=SeedSensitivityConfig(num_seeds=2),
+        )
+        assert result.cs_win_fraction() == 0.5
+
+
+class TestStreamingStudyRender:
+    def test_speedup_reported(self):
+        result = StreamingStudyResult(
+            streaming_nmae=0.2,
+            batch_nmae=0.15,
+            warm_seconds=1.0,
+            cold_seconds=8.0,
+            num_slots=96,
+            config=StreamingStudyConfig(),
+        )
+        text = result.render()
+        assert "8.0x" in text
+        assert "96 slots" in text
+
+    def test_zero_warm_time_infinite_speedup(self):
+        result = StreamingStudyResult(
+            streaming_nmae=0.2,
+            batch_nmae=0.15,
+            warm_seconds=0.0,
+            cold_seconds=8.0,
+            num_slots=1,
+            config=StreamingStudyConfig(),
+        )
+        assert result.speedup == float("inf")
+
+
+class TestMatrixSelectionRender:
+    def test_figure_title_by_integrity(self):
+        from repro.core.matrix_selection import SegmentSet
+        from repro.experiments.matrix_selection_study import MatrixSelectionConfig
+
+        sets = [SegmentSet("set1-connected", 0, [0, 1])]
+        low = MatrixSelectionResult(
+            errors={"set1-connected": {"compressive": 0.2}},
+            sets=sets,
+            anchor=0,
+            config=MatrixSelectionConfig(integrity=0.2),
+        )
+        high = MatrixSelectionResult(
+            errors={"set1-connected": {"compressive": 0.1}},
+            sets=sets,
+            anchor=0,
+            config=MatrixSelectionConfig(integrity=0.4),
+        )
+        assert "Figure 17" in low.render()
+        assert "Figure 18" in high.render()

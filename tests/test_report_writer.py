@@ -1,0 +1,44 @@
+"""Tests for repro.experiments.report_writer."""
+
+import pytest
+
+from repro.experiments.report_writer import (
+    SECTION_TITLES,
+    render_report,
+    write_report,
+)
+
+
+class TestRenderReport:
+    def test_contains_titles_and_blocks(self):
+        blocks = {"table1": "integrity table", "fig4": "knee values"}
+        text = render_report(blocks, profile="quick", seed=3)
+        assert "# Reproduction report" in text
+        assert SECTION_TITLES["table1"] in text
+        assert "integrity table" in text
+        assert SECTION_TITLES["fig4"] in text
+        assert "`quick`" in text and "`3`" in text
+
+    def test_unknown_key_uses_key_as_title(self):
+        text = render_report({"custom_study": "payload"})
+        assert "## custom_study" in text
+
+    def test_blocks_fenced(self):
+        text = render_report({"table1": "row"})
+        assert text.count("```") == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_report({})
+
+
+class TestWriteReport:
+    def test_writes_given_blocks(self, tmp_path):
+        out = tmp_path / "report.md"
+        path = write_report(out, blocks={"table1": "hello"})
+        assert path == out
+        assert "hello" in out.read_text()
+
+    def test_profile_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_report(tmp_path / "x.md", profile="huge", blocks={"a": "b"})

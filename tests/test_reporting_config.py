@@ -1,0 +1,49 @@
+"""Tests for repro.mobility.reporting."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.reporting import ReportingConfig
+
+
+class TestReportingConfig:
+    def test_interval_within_range(self, rng):
+        config = ReportingConfig(interval_range_s=(30.0, 120.0))
+        for _ in range(50):
+            interval = config.draw_interval_s(rng)
+            assert 30.0 <= interval <= 120.0
+
+    def test_fixed_interval(self, rng):
+        config = ReportingConfig(interval_range_s=(60.0, 60.0))
+        assert config.draw_interval_s(rng) == 60.0
+
+    def test_noisy_speed_never_negative(self, rng):
+        config = ReportingConfig(speed_noise_kmh=20.0)
+        speeds = [config.noisy_speed(1.0, rng) for _ in range(200)]
+        assert min(speeds) >= 0.0
+
+    def test_zero_noise_speed_identity(self, rng):
+        config = ReportingConfig(speed_noise_kmh=0.0)
+        assert config.noisy_speed(42.0, rng) == 42.0
+
+    def test_noisy_position_spread(self, rng):
+        config = ReportingConfig(position_noise_m=10.0)
+        xs = [config.noisy_position(0.0, 0.0, rng)[0] for _ in range(500)]
+        assert np.std(xs) == pytest.approx(10.0, rel=0.2)
+
+    def test_zero_position_noise_identity(self, rng):
+        config = ReportingConfig(position_noise_m=0.0)
+        assert config.noisy_position(3.0, 4.0, rng) == (3.0, 4.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"interval_range_s": (0.0, 60.0)},
+            {"interval_range_s": (120.0, 60.0)},
+            {"speed_noise_kmh": -1.0},
+            {"position_noise_m": -1.0},
+        ],
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ReportingConfig(**kwargs)

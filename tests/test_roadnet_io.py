@@ -1,0 +1,56 @@
+"""Tests for repro.roadnet.io."""
+
+import pytest
+
+from repro.roadnet.generators import grid_city
+from repro.roadnet.io import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+@pytest.fixture()
+def network():
+    return grid_city(3, 3, seed=4, name="io-test")
+
+
+class TestDictRoundTrip:
+    def test_preserves_counts(self, network):
+        restored = network_from_dict(network_to_dict(network))
+        assert restored.num_segments == network.num_segments
+        assert restored.num_intersections == network.num_intersections
+
+    def test_preserves_name(self, network):
+        assert network_from_dict(network_to_dict(network)).name == "io-test"
+
+    def test_preserves_segment_attributes(self, network):
+        restored = network_from_dict(network_to_dict(network))
+        for orig, back in zip(network.segments(), restored.segments()):
+            assert back.segment_id == orig.segment_id
+            assert back.length_m == pytest.approx(orig.length_m)
+            assert back.category == orig.category
+            assert back.free_flow_kmh == pytest.approx(orig.free_flow_kmh)
+            assert back.canyon_factor == pytest.approx(orig.canyon_factor)
+
+    def test_preserves_topology(self, network):
+        restored = network_from_dict(network_to_dict(network))
+        assert restored.shortest_path_nodes(0, 8) == network.shortest_path_nodes(0, 8)
+
+    def test_rejects_unknown_version(self, network):
+        data = network_to_dict(network)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            network_from_dict(data)
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, network, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(network, path)
+        restored = load_network(path)
+        assert restored.num_segments == network.num_segments
+        assert restored.segment(0).length_m == pytest.approx(
+            network.segment(0).length_m
+        )

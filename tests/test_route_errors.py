@@ -1,0 +1,71 @@
+"""Tests for repro.metrics.route_errors."""
+
+import numpy as np
+import pytest
+
+from repro.core.completion import CompressiveSensingCompleter
+from repro.core.tcm import TrafficConditionMatrix
+from repro.datasets.masks import random_integrity_mask
+from repro.metrics.route_errors import route_travel_time_errors
+
+
+class TestRouteErrors:
+    def test_perfect_estimate_zero_error(self, small_network, truth_tcm):
+        summary = route_travel_time_errors(
+            small_network, truth_tcm, truth_tcm, num_routes=10, seed=0
+        )
+        assert summary.mean_relative_error == 0.0
+        assert summary.num_routes == 10
+        assert summary.mean_true_minutes > 0
+
+    def test_estimate_error_small_on_good_completion(self, small_network, truth_tcm):
+        mask = random_integrity_mask(truth_tcm.shape, 0.3, seed=1)
+        masked = truth_tcm.with_mask(mask)
+        completer = CompressiveSensingCompleter(
+            rank=2, lam=10.0, iterations=60, clip_min=3.0, seed=0
+        )
+        estimate = TrafficConditionMatrix(
+            completer.complete(masked).estimate,
+            grid=truth_tcm.grid,
+            segment_ids=truth_tcm.segment_ids,
+        )
+        summary = route_travel_time_errors(
+            small_network, truth_tcm, estimate, num_routes=20, seed=0
+        )
+        assert summary.mean_relative_error < 0.25
+        assert summary.p90_relative_error >= summary.mean_relative_error * 0.5
+
+    def test_route_error_below_cell_error(self, small_network, truth_tcm):
+        """Per-link errors partially cancel along routes."""
+        from repro.metrics.errors import nmae
+
+        mask = random_integrity_mask(truth_tcm.shape, 0.3, seed=2)
+        masked = truth_tcm.with_mask(mask)
+        completer = CompressiveSensingCompleter(
+            rank=2, lam=10.0, iterations=60, clip_min=3.0, seed=0
+        )
+        est_values = completer.complete(masked).estimate
+        estimate = TrafficConditionMatrix(
+            est_values, grid=truth_tcm.grid, segment_ids=truth_tcm.segment_ids
+        )
+        cell_error = nmae(truth_tcm.values, est_values, ~mask)
+        summary = route_travel_time_errors(
+            small_network, truth_tcm, estimate, num_routes=30,
+            min_links=6, max_links=20, seed=0,
+        )
+        assert summary.mean_relative_error < cell_error * 1.5
+
+    def test_mismatched_ids_rejected(self, small_network, truth_tcm):
+        other = truth_tcm.select_segments(truth_tcm.segment_ids[:-1])
+        with pytest.raises(ValueError):
+            route_travel_time_errors(small_network, truth_tcm, other)
+
+    def test_params_validated(self, small_network, truth_tcm):
+        with pytest.raises(ValueError):
+            route_travel_time_errors(
+                small_network, truth_tcm, truth_tcm, num_routes=0
+            )
+        with pytest.raises(ValueError):
+            route_travel_time_errors(
+                small_network, truth_tcm, truth_tcm, min_links=5, max_links=2
+            )

@@ -1,0 +1,72 @@
+"""Robustness of routing and simulation on irregular networks.
+
+The named city generators trim grids to exact segment counts, which can
+leave one-way stubs and dead ends; routing and the fleet simulator must
+degrade gracefully rather than hang or crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tcm import TimeGrid
+from repro.mobility.fleet import FleetConfig, FleetSimulator
+from repro.mobility.trips import GreedyRouter, TripPlanner
+from repro.roadnet.generators import shanghai_downtown_like, shenzhen_downtown_like
+from repro.roadnet.geometry import Point
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.segment import Intersection, RoadSegment
+from repro.traffic.groundtruth import GroundTruthTraffic
+
+
+def dead_end_network():
+    """0 <-> 1 -> 2 (node 2 is a trap: no outgoing segments)."""
+    nodes = [Intersection(i, Point(i * 100.0, 0.0)) for i in range(3)]
+    segs = [
+        RoadSegment(0, 0, 1, nodes[0].location, nodes[1].location, 100.0),
+        RoadSegment(1, 1, 0, nodes[1].location, nodes[0].location, 100.0),
+        RoadSegment(2, 1, 2, nodes[1].location, nodes[2].location, 100.0),
+    ]
+    return RoadNetwork(nodes, segs, name="dead-end")
+
+
+class TestGreedyRouterDeadEnds:
+    def test_route_into_dead_end_reaches_it(self, rng):
+        net = dead_end_network()
+        route = GreedyRouter(net).route(0, 2, rng)
+        assert route[-1].end == 2
+
+    def test_route_out_of_trap_truncates(self, rng):
+        net = dead_end_network()
+        route = GreedyRouter(net).route(2, 0, rng)
+        assert route == []  # no outgoing segments: empty, not a hang
+
+    def test_planner_survives_trap_origin(self, rng):
+        net = dead_end_network()
+        planner = TripPlanner(net, min_trip_m=50.0)
+        assert planner.plan_trip(2, rng) == []
+
+
+class TestTrimmedCityRouting:
+    @pytest.mark.parametrize("factory", [shanghai_downtown_like, shenzhen_downtown_like])
+    def test_greedy_routes_mostly_succeed(self, factory, rng):
+        net = factory()
+        router = GreedyRouter(net)
+        nodes = [n.node_id for n in net.intersections()]
+        reached = 0
+        trials = 40
+        for _ in range(trials):
+            a, b = rng.choice(nodes, size=2, replace=False)
+            route = router.route(int(a), int(b), rng)
+            if route and route[-1].end == int(b):
+                reached += 1
+        assert reached / trials > 0.7
+
+    def test_fleet_simulates_on_trimmed_network(self):
+        net = shanghai_downtown_like()
+        grid = TimeGrid.over_days(0.125, 900.0)  # 3 hours
+        truth = GroundTruthTraffic.synthesize(net, grid, seed=0)
+        batch = FleetSimulator(truth, FleetConfig(num_vehicles=20), seed=0).run()
+        assert len(batch) > 0
+        valid = set(net.segment_ids)
+        driving = batch.segment_ids[batch.segment_ids >= 0]
+        assert set(int(s) for s in driving) <= valid

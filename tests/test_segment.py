@@ -1,0 +1,90 @@
+"""Tests for repro.roadnet.segment."""
+
+import pytest
+
+from repro.roadnet.geometry import Point
+from repro.roadnet.segment import Intersection, RoadCategory, RoadSegment
+
+
+def make_segment(**overrides):
+    params = dict(
+        segment_id=0,
+        start=0,
+        end=1,
+        start_point=Point(0, 0),
+        end_point=Point(100, 0),
+        length_m=100.0,
+    )
+    params.update(overrides)
+    return RoadSegment(**params)
+
+
+class TestIntersection:
+    def test_basic(self):
+        node = Intersection(3, Point(1, 2))
+        assert node.node_id == 3
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            Intersection(-1, Point(0, 0))
+
+
+class TestRoadCategory:
+    def test_arterial_fastest(self):
+        speeds = [c.default_free_flow_kmh for c in RoadCategory]
+        assert RoadCategory.ARTERIAL.default_free_flow_kmh == max(speeds)
+
+    def test_all_positive(self):
+        for c in RoadCategory:
+            assert c.default_free_flow_kmh > 0
+
+
+class TestRoadSegment:
+    def test_default_free_flow_from_category(self):
+        seg = make_segment(category=RoadCategory.LOCAL)
+        assert seg.free_flow_kmh == RoadCategory.LOCAL.default_free_flow_kmh
+
+    def test_explicit_free_flow_kept(self):
+        seg = make_segment(free_flow_kmh=72.0)
+        assert seg.free_flow_kmh == 72.0
+
+    def test_free_flow_ms(self):
+        seg = make_segment(free_flow_kmh=36.0)
+        assert seg.free_flow_ms == pytest.approx(10.0)
+
+    def test_point_at(self):
+        seg = make_segment()
+        mid = seg.point_at(0.5)
+        assert (mid.x, mid.y) == pytest.approx((50, 0))
+
+    def test_point_at_bounds(self):
+        seg = make_segment()
+        assert seg.point_at(0.0).x == 0
+        assert seg.point_at(1.0).x == 100
+        with pytest.raises(ValueError):
+            seg.point_at(1.1)
+
+    def test_travel_time(self):
+        seg = make_segment(length_m=100.0)
+        assert seg.travel_time_s(36.0) == pytest.approx(10.0)
+
+    def test_travel_time_rejects_zero_speed(self):
+        with pytest.raises(ValueError):
+            make_segment().travel_time_s(0.0)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            make_segment(length_m=0.0)
+
+    def test_rejects_bad_canyon(self):
+        with pytest.raises(ValueError):
+            make_segment(canyon_factor=1.5)
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            make_segment(segment_id=-2)
+
+    def test_endpoints(self):
+        seg = make_segment()
+        a, b = seg.endpoints
+        assert a.x == 0 and b.x == 100

@@ -1,0 +1,102 @@
+"""Tests for repro.mobility.shifts."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.shifts import ShiftSchedule, always_on, shanghai_two_shift
+
+
+class TestShiftSchedule:
+    def test_needs_24_entries(self):
+        with pytest.raises(ValueError):
+            ShiftSchedule(tuple([0.5] * 23))
+
+    def test_entries_are_fractions(self):
+        bad = [0.5] * 24
+        bad[3] = 1.5
+        with pytest.raises(ValueError):
+            ShiftSchedule(tuple(bad))
+
+    def test_duty_fraction_interpolates(self):
+        duty = [0.0] * 24
+        duty[10] = 1.0
+        schedule = ShiftSchedule(tuple(duty))
+        assert schedule.duty_fraction(10 * 3600.0) == pytest.approx(1.0)
+        assert schedule.duty_fraction(10.5 * 3600.0) == pytest.approx(0.5)
+
+    def test_daily_periodicity(self):
+        schedule = shanghai_two_shift()
+        t = 9.25 * 3600.0
+        assert schedule.duty_fraction(t) == pytest.approx(
+            schedule.duty_fraction(t + 86_400.0)
+        )
+
+    def test_sample_active_rate(self, rng):
+        duty = [0.3] * 24
+        schedule = ShiftSchedule(tuple(duty))
+        active = schedule.sample_active(0.0, 5000, rng)
+        assert active.mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_duty_windows_low_phase_always_on(self):
+        schedule = shanghai_two_shift()
+        windows = schedule.duty_windows(0.0, 0.0, 86_400.0)
+        # Phase 0 is below every duty fraction -> one continuous window.
+        assert windows == [(0.0, 86_400.0)]
+
+    def test_duty_windows_high_phase_sparse(self):
+        schedule = shanghai_two_shift()
+        windows = schedule.duty_windows(0.93, 0.0, 86_400.0)
+        total = sum(e - s for s, e in windows)
+        assert total < 0.7 * 86_400.0
+
+    def test_duty_windows_validation(self):
+        schedule = always_on()
+        with pytest.raises(ValueError):
+            schedule.duty_windows(1.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            schedule.duty_windows(0.5, 10.0, 10.0)
+
+
+class TestPresets:
+    def test_always_on(self):
+        schedule = always_on()
+        for hour in range(24):
+            assert schedule.duty_fraction(hour * 3600.0) == 1.0
+
+    def test_shanghai_changeover_dip(self):
+        schedule = shanghai_two_shift()
+        assert schedule.duty_fraction(16 * 3600.0) < schedule.duty_fraction(10 * 3600.0)
+        assert schedule.duty_fraction(16 * 3600.0) < schedule.duty_fraction(19 * 3600.0)
+
+    def test_shanghai_night_reduced(self):
+        schedule = shanghai_two_shift()
+        assert schedule.duty_fraction(3 * 3600.0) < 0.5
+
+
+class TestFleetIntegration:
+    def test_schedule_reduces_reports(self, ground_truth):
+        from repro.mobility.fleet import FleetConfig, FleetSimulator
+
+        full = FleetSimulator(
+            ground_truth, FleetConfig(num_vehicles=10), seed=0
+        ).run(0.0, 86_400.0)
+        shifted = FleetSimulator(
+            ground_truth,
+            FleetConfig(num_vehicles=10, schedule=shanghai_two_shift()),
+            seed=0,
+        ).run(0.0, 86_400.0)
+        assert len(shifted) < len(full)
+
+    def test_changeover_dip_visible_in_coverage(self, ground_truth):
+        from repro.mobility.fleet import FleetConfig, FleetSimulator
+
+        shifted = FleetSimulator(
+            ground_truth,
+            FleetConfig(num_vehicles=30, schedule=shanghai_two_shift()),
+            seed=0,
+        ).run(0.0, 86_400.0)
+        times = shifted.times_s
+        # Reports per hour: the 03:00 hour must be quieter than 10:00.
+        night = np.sum((times >= 3 * 3600.0) & (times < 4 * 3600.0))
+        morning = np.sum((times >= 10 * 3600.0) & (times < 11 * 3600.0))
+        assert night < morning

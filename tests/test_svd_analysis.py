@@ -1,0 +1,121 @@
+"""Tests for repro.core.svd_analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.svd_analysis import (
+    effective_rank,
+    principal_components,
+    rank_r_approximation,
+    singular_value_spectrum,
+)
+from tests.conftest import make_low_rank
+
+
+class TestSpectrum:
+    def test_descending(self):
+        spec = singular_value_spectrum(make_low_rank(20, 15, 3))
+        s = spec.singular_values
+        assert np.all(np.diff(s) <= 1e-9)
+
+    def test_magnitudes_normalized(self):
+        spec = singular_value_spectrum(make_low_rank(20, 15, 3))
+        assert spec.magnitudes[0] == pytest.approx(1.0)
+        assert np.all(spec.magnitudes <= 1.0 + 1e-12)
+
+    def test_energies_sum_to_one(self):
+        spec = singular_value_spectrum(np.random.default_rng(0).normal(size=(10, 8)))
+        assert spec.energies.sum() == pytest.approx(1.0)
+
+    def test_energy_captured_of_exact_rank(self):
+        spec = singular_value_spectrum(make_low_rank(30, 20, 2))
+        assert spec.energy_captured(2) == pytest.approx(1.0)
+
+    def test_rank_for_energy(self):
+        spec = singular_value_spectrum(make_low_rank(30, 20, 3))
+        assert spec.rank_for_energy(0.999) <= 3
+
+    def test_rank_for_energy_rejects_bad_fraction(self):
+        spec = singular_value_spectrum(np.eye(3))
+        with pytest.raises(ValueError):
+            spec.rank_for_energy(1.5)
+
+    def test_knee_sharpness_low_rank(self):
+        spec = singular_value_spectrum(make_low_rank(40, 30, 2))
+        assert spec.knee_sharpness(5) > 0.99
+
+    def test_zero_matrix(self):
+        spec = singular_value_spectrum(np.zeros((4, 4)))
+        assert np.all(spec.magnitudes == 0)
+        assert np.all(spec.energies == 0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            singular_value_spectrum(np.array([[1.0, np.nan]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            singular_value_spectrum(np.ones(5))
+
+
+class TestRankRApproximation:
+    def test_exact_recovery_at_true_rank(self):
+        x = make_low_rank(25, 18, 2)
+        approx = rank_r_approximation(x, 2)
+        assert np.allclose(approx, x, atol=1e-8)
+
+    def test_full_rank_request_is_identity(self):
+        x = np.random.default_rng(1).normal(size=(6, 5))
+        assert np.allclose(rank_r_approximation(x, 10), x, atol=1e-10)
+
+    def test_rank_bound_respected(self):
+        x = np.random.default_rng(2).normal(size=(12, 10))
+        approx = rank_r_approximation(x, 3)
+        assert np.linalg.matrix_rank(approx, tol=1e-8) <= 3
+
+    def test_rejects_rank_zero(self):
+        with pytest.raises(ValueError):
+            rank_r_approximation(np.eye(3), 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 6))
+    def test_eckart_young_optimality(self, rank):
+        # The truncated SVD must beat a random same-rank factorization.
+        gen = np.random.default_rng(rank)
+        x = gen.normal(size=(15, 12))
+        best = rank_r_approximation(x, rank)
+        rival = (
+            gen.normal(size=(15, rank)) @ gen.normal(size=(rank, 12))
+        )
+        assert np.linalg.norm(x - best) <= np.linalg.norm(x - rival) + 1e-9
+
+    def test_error_decreases_with_rank(self):
+        x = np.random.default_rng(3).normal(size=(20, 16))
+        errors = [
+            np.linalg.norm(x - rank_r_approximation(x, r)) for r in (1, 3, 6, 12)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+
+class TestEffectiveRank:
+    def test_exact_low_rank(self):
+        assert effective_rank(make_low_rank(30, 25, 2), 0.99) <= 2
+
+    def test_noise_increases_rank(self):
+        x = make_low_rank(40, 30, 2)
+        noisy = x + np.random.default_rng(0).normal(scale=0.5, size=x.shape)
+        assert effective_rank(noisy, 0.9999) > effective_rank(x, 0.9999)
+
+
+class TestPrincipalComponents:
+    def test_reconstruction(self):
+        x = make_low_rank(10, 8, 3)
+        u, s, vt = principal_components(x)
+        assert np.allclose((u * s) @ vt, x, atol=1e-9)
+
+    def test_orthonormal_columns(self):
+        x = np.random.default_rng(4).normal(size=(12, 9))
+        u, _, vt = principal_components(x)
+        assert np.allclose(u.T @ u, np.eye(u.shape[1]), atol=1e-9)
+        assert np.allclose(vt @ vt.T, np.eye(vt.shape[0]), atol=1e-9)

@@ -1,0 +1,111 @@
+"""Tests for repro.mobility.trips."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.trips import (
+    DemandModel,
+    GreedyRouter,
+    ShortestPathRouter,
+    TripPlanner,
+)
+
+
+class TestDemandModel:
+    def test_probabilities_sum_to_one(self, small_network):
+        demand = DemandModel(small_network)
+        assert demand._probs.sum() == pytest.approx(1.0)
+
+    def test_sample_nodes_valid(self, small_network, rng):
+        demand = DemandModel(small_network)
+        nodes = demand.sample_nodes(100, rng)
+        valid = {n.node_id for n in small_network.intersections()}
+        assert set(int(n) for n in nodes) <= valid
+
+    def test_center_preferred(self, small_network, rng):
+        demand = DemandModel(small_network, uniform_floor=0.0)
+        center = small_network.centroid()
+        nodes = demand.sample_nodes(500, rng)
+        dists = [
+            small_network.intersection(int(n)).location.distance_to(center)
+            for n in nodes
+        ]
+        all_dists = [
+            n.location.distance_to(center) for n in small_network.intersections()
+        ]
+        assert np.mean(dists) < np.mean(all_dists)
+
+    def test_uniform_floor_one_is_uniform(self, small_network):
+        demand = DemandModel(small_network, uniform_floor=1.0)
+        assert np.allclose(demand._probs, demand._probs[0])
+
+    def test_rejects_bad_floor(self, small_network):
+        with pytest.raises(ValueError):
+            DemandModel(small_network, uniform_floor=1.5)
+
+
+class TestShortestPathRouter:
+    def test_route_connects(self, small_network):
+        router = ShortestPathRouter(small_network)
+        route = router.route(0, 15)
+        assert route[0].start == 0
+        assert route[-1].end == 15
+        for a, b in zip(route[:-1], route[1:]):
+            assert a.end == b.start
+
+    def test_same_node_empty(self, small_network):
+        assert ShortestPathRouter(small_network).route(3, 3) == []
+
+
+class TestGreedyRouter:
+    def test_reaches_destination_on_grid(self, small_network, rng):
+        router = GreedyRouter(small_network)
+        for target in (5, 10, 15):
+            route = router.route(0, target, rng)
+            assert route, f"no route to {target}"
+            assert route[-1].end == target
+
+    def test_route_is_connected(self, small_network, rng):
+        route = GreedyRouter(small_network).route(0, 15, rng)
+        for a, b in zip(route[:-1], route[1:]):
+            assert a.end == b.start
+
+    def test_near_optimal_on_grid(self, small_network, rng):
+        greedy = GreedyRouter(small_network)
+        exact = ShortestPathRouter(small_network)
+        g_len = sum(s.length_m for s in greedy.route(0, 15, rng))
+        e_len = sum(s.length_m for s in exact.route(0, 15, rng))
+        assert g_len <= e_len * 1.3
+
+    def test_same_node_empty(self, small_network, rng):
+        assert GreedyRouter(small_network).route(7, 7, rng) == []
+
+    def test_max_steps_bounds_route(self, small_network, rng):
+        router = GreedyRouter(small_network, max_steps=2)
+        route = router.route(0, 15, rng)
+        assert len(route) <= 2
+
+
+class TestTripPlanner:
+    def test_plans_valid_trip(self, small_network, rng):
+        planner = TripPlanner(small_network)
+        route = planner.plan_trip(0, rng)
+        assert route
+        assert route[0].start == 0
+
+    def test_min_trip_length_respected(self, small_network, rng):
+        planner = TripPlanner(small_network, min_trip_m=350.0)
+        origin = 0
+        origin_loc = small_network.intersection(origin).location
+        for _ in range(10):
+            route = planner.plan_trip(origin, rng)
+            if not route:
+                continue
+            dest_loc = small_network.intersection(route[-1].end).location
+            assert origin_loc.distance_to(dest_loc) >= 350.0 or len(route) > 1
+
+    def test_deterministic_with_same_rng_state(self, small_network):
+        p = TripPlanner(small_network)
+        a = p.plan_trip(0, np.random.default_rng(5))
+        b = p.plan_trip(0, np.random.default_rng(5))
+        assert [s.segment_id for s in a] == [s.segment_id for s in b]

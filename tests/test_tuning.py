@@ -1,0 +1,112 @@
+"""Tests for repro.core.tuning (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuning import GeneticTuner, TuningResult
+from repro.datasets.masks import random_integrity_mask
+from tests.conftest import make_low_rank
+
+
+def quick_tuner(**overrides):
+    params = dict(
+        rank_bounds=(1, 6),
+        population_size=5,
+        generations=3,
+        completer_iterations=10,
+        seed=0,
+    )
+    params.update(overrides)
+    return GeneticTuner(**params)
+
+
+@pytest.fixture()
+def measured_pair():
+    x = make_low_rank(30, 20, 2, seed=11)
+    mask = random_integrity_mask(x.shape, 0.6, seed=12)
+    return np.where(mask, x, 0.0), mask
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rank_bounds": (0, 5)},
+            {"rank_bounds": (5, 2)},
+            {"lam_bounds": (0.0, 1.0)},
+            {"lam_bounds": (10.0, 1.0)},
+            {"population_size": 2},
+            {"generations": 0},
+            {"elite_fraction": 0.8, "crossover_fraction": 0.5},
+            {"validation_fraction": 0.0},
+            {"validation_fraction": 1.0},
+            {"stall_generations": 0},
+        ],
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            quick_tuner(**kwargs)
+
+    def test_requires_mask_for_raw_array(self, measured_pair):
+        measured, _ = measured_pair
+        with pytest.raises(ValueError, match="mask"):
+            quick_tuner().tune(measured)
+
+
+class TestTuning:
+    def test_returns_result_within_bounds(self, measured_pair):
+        measured, mask = measured_pair
+        result = quick_tuner().tune(measured, mask)
+        assert isinstance(result, TuningResult)
+        assert 1 <= result.rank <= 6
+        assert 1e-3 <= result.lam <= 2e3
+        assert np.isfinite(result.fitness)
+
+    def test_population_sorted_best_first(self, measured_pair):
+        measured, mask = measured_pair
+        result = quick_tuner().tune(measured, mask)
+        fits = [c.fitness for c in result.population]
+        assert fits == sorted(fits)
+
+    def test_history_length_matches_generations(self, measured_pair):
+        measured, mask = measured_pair
+        result = quick_tuner(stall_generations=None).tune(measured, mask)
+        assert result.generations_run == 3
+        assert len(result.history) == 3
+
+    def test_deterministic_by_seed(self, measured_pair):
+        measured, mask = measured_pair
+        a = quick_tuner(seed=5).tune(measured, mask)
+        b = quick_tuner(seed=5).tune(measured, mask)
+        assert (a.rank, a.lam) == (b.rank, b.lam)
+
+    def test_finds_reasonable_rank_on_exact_low_rank(self, measured_pair):
+        # On clean rank-2 data the tuner must not pick an absurd rank.
+        measured, mask = measured_pair
+        result = quick_tuner(
+            population_size=8, generations=4, completer_iterations=25
+        ).tune(measured, mask)
+        # Validation NMAE at a good (r, lambda) on exact rank-2 data is tiny.
+        assert result.fitness < 0.1
+
+    def test_stall_early_stop(self, measured_pair):
+        measured, mask = measured_pair
+        result = quick_tuner(generations=30, stall_generations=2).tune(
+            measured, mask
+        )
+        assert result.generations_run < 30
+
+    def test_rank_bound_capped_by_matrix(self):
+        x = make_low_rank(8, 4, 1, seed=1)
+        mask = random_integrity_mask(x.shape, 0.8, seed=2)
+        result = quick_tuner(rank_bounds=(1, 100)).tune(
+            np.where(mask, x, 0.0), mask
+        )
+        assert result.rank <= 4
+
+    def test_too_few_observations_rejected(self):
+        values = np.zeros((4, 4))
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = True
+        with pytest.raises(ValueError, match="validation"):
+            quick_tuner().tune(values, mask)

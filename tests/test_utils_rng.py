@@ -1,0 +1,69 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1_000_000, size=10)
+        b = ensure_rng(42).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1_000_000, size=10)
+        b = ensure_rng(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(
+            a.integers(0, 10**9, size=20), b.integers(0, 10**9, size=20)
+        )
+
+    def test_deterministic_from_seed(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(7, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(0)
+        children = spawn_rngs(parent, 3)
+        assert len(children) == 3
+
+
+def test_derive_seed_in_range():
+    seed = derive_seed(np.random.default_rng(0))
+    assert 0 <= seed < 2**63

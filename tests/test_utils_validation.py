@@ -1,0 +1,89 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_fraction,
+    check_matrix_pair,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(bad, "x")
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_in_range(self, ok):
+        assert check_fraction(ok, "f") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            check_fraction(bad, "f")
+
+
+class TestCheckProbability:
+    def test_accepts(self):
+        assert check_probability(0.3, "p") == 0.3
+
+    def test_rejects(self):
+        with pytest.raises(ValueError):
+            check_probability(2.0, "p")
+
+
+class TestCheckFinite:
+    def test_accepts_finite(self):
+        arr = check_finite(np.ones(3), "a")
+        assert arr.shape == (3,)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite(np.array([1.0, bad]), "a")
+
+
+class TestCheckMatrixPair:
+    def test_round_trip(self):
+        values = np.arange(6, dtype=float).reshape(2, 3)
+        mask = np.ones((2, 3), dtype=bool)
+        v, m = check_matrix_pair(values, mask)
+        assert v.dtype == np.float64
+        assert m.dtype == bool
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_matrix_pair(np.ones(3), np.ones(3))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_matrix_pair(np.ones((2, 3)), np.ones((3, 2)))
+
+    def test_rejects_nan_in_observed(self):
+        values = np.array([[1.0, np.nan]])
+        mask = np.array([[True, True]])
+        with pytest.raises(ValueError, match="finite"):
+            check_matrix_pair(values, mask)
+
+    def test_allows_nan_in_unobserved(self):
+        values = np.array([[1.0, np.nan]])
+        mask = np.array([[True, False]])
+        v, m = check_matrix_pair(values, mask)
+        assert v[0, 0] == 1.0
+
+    def test_int_mask_coerced(self):
+        values = np.ones((2, 2))
+        mask = np.array([[1, 0], [0, 1]])
+        _, m = check_matrix_pair(values, mask)
+        assert m.dtype == bool
+        assert m.sum() == 2

@@ -1,0 +1,122 @@
+"""Tests for repro.mobility.vehicle."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.dropout import LOSSLESS, DropoutModel
+from repro.mobility.reporting import ReportingConfig
+from repro.mobility.trips import TripPlanner
+from repro.mobility.vehicle import ProbeVehicle, VehicleConfig
+
+
+def make_vehicle(ground_truth, seed=0, **overrides):
+    params = dict(
+        vehicle_id=7,
+        traffic=ground_truth,
+        planner=TripPlanner(ground_truth.network),
+        reporting=ReportingConfig(interval_range_s=(60.0, 60.0)),
+        dropout=LOSSLESS,
+        config=VehicleConfig(),
+        rng=np.random.default_rng(seed),
+        start_node=0,
+    )
+    params.update(overrides)
+    return ProbeVehicle(**params)
+
+
+class TestVehicleConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"driver_factor_sigma": -0.1},
+            {"mean_dwell_s": 0.0},
+            {"min_speed_kmh": 0.0},
+        ],
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            VehicleConfig(**kwargs)
+
+
+class TestSimulate:
+    def test_produces_reports(self, ground_truth):
+        vehicle = make_vehicle(ground_truth)
+        reports = vehicle.simulate(0.0, 3 * 3600.0)
+        assert len(reports) > 0
+
+    def test_reports_within_window(self, ground_truth):
+        vehicle = make_vehicle(ground_truth)
+        reports = vehicle.simulate(100.0, 7200.0)
+        for r in reports:
+            assert 100.0 <= r.time_s < 7200.0
+
+    def test_reports_carry_vehicle_id(self, ground_truth):
+        reports = make_vehicle(ground_truth).simulate(0.0, 3600.0)
+        assert all(r.vehicle_id == 7 for r in reports)
+
+    def test_reporting_interval_respected(self, ground_truth):
+        vehicle = make_vehicle(ground_truth)
+        reports = sorted(vehicle.simulate(0.0, 4 * 3600.0), key=lambda r: r.time_s)
+        gaps = np.diff([r.time_s for r in reports])
+        # Fixed 60 s schedule: every gap is a multiple of 60 s (reports
+        # may be dropped only by dropout, which is off here).
+        remainder = gaps % 60.0
+        remainder = np.minimum(remainder, 60.0 - remainder)
+        assert np.allclose(remainder, 0.0, atol=1e-6)
+
+    def test_driving_reports_have_segments(self, ground_truth):
+        reports = make_vehicle(ground_truth).simulate(0.0, 2 * 3600.0)
+        driving = [r for r in reports if r.segment_id >= 0]
+        assert driving
+        valid = set(ground_truth.network.segment_ids)
+        assert all(r.segment_id in valid for r in driving)
+
+    def test_driving_speed_plausible(self, ground_truth):
+        reports = make_vehicle(ground_truth).simulate(0.0, 4 * 3600.0)
+        driving = [r for r in reports if r.segment_id >= 0]
+        speeds = np.array([r.speed_kmh for r in driving])
+        assert speeds.max() < 120.0
+        assert speeds.mean() > 5.0
+
+    def test_idle_reports_slow(self, ground_truth):
+        config = VehicleConfig(mean_dwell_s=3600.0)
+        vehicle = make_vehicle(ground_truth, config=config)
+        reports = vehicle.simulate(0.0, 6 * 3600.0)
+        idle = [r for r in reports if r.segment_id < 0]
+        assert idle
+        assert max(r.speed_kmh for r in idle) < 3.0
+
+    def test_idle_reporting_disabled(self, ground_truth):
+        reporting = ReportingConfig(
+            interval_range_s=(60.0, 60.0), report_when_idle=False
+        )
+        vehicle = make_vehicle(ground_truth, reporting=reporting)
+        reports = vehicle.simulate(0.0, 4 * 3600.0)
+        assert all(r.segment_id >= 0 for r in reports)
+
+    def test_dropout_reduces_reports(self, ground_truth):
+        lossless = make_vehicle(ground_truth, seed=11)
+        lossy = make_vehicle(
+            ground_truth,
+            seed=11,
+            dropout=DropoutModel(base_loss=0.8, canyon_loss=0.0),
+        )
+        n_lossless = len([r for r in lossless.simulate(0.0, 6 * 3600.0) if r.segment_id >= 0])
+        n_lossy = len([r for r in lossy.simulate(0.0, 6 * 3600.0) if r.segment_id >= 0])
+        assert n_lossy < n_lossless * 0.6
+
+    def test_empty_window_rejected(self, ground_truth):
+        with pytest.raises(ValueError):
+            make_vehicle(ground_truth).simulate(100.0, 100.0)
+
+    def test_driver_factor_positive(self, ground_truth):
+        vehicle = make_vehicle(ground_truth)
+        assert vehicle.driver_factor > 0
+
+    def test_positions_on_network(self, ground_truth):
+        reports = make_vehicle(ground_truth).simulate(0.0, 2 * 3600.0)
+        min_x, min_y, max_x, max_y = ground_truth.network.bounding_box()
+        pad = 100.0  # GPS noise
+        for r in reports:
+            assert min_x - pad <= r.x <= max_x + pad
+            assert min_y - pad <= r.y <= max_y + pad
