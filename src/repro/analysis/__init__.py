@@ -1,0 +1,28 @@
+"""Project-specific static analysis (``repro lint``).
+
+An AST-based linter enforcing the numerical-correctness conventions of
+this reproduction: RNG discipline, no float ``==``, no in-place mutation
+of array parameters, mask-aware reductions, no bare excepts, no mutable
+defaults.  See :mod:`repro.analysis.rules` for the rule catalogue and
+:mod:`repro.analysis.runner` for the driver and the
+``# repro-lint: disable=<rule>`` suppression syntax.
+
+Run it via ``repro lint [paths...]`` or ``python -m repro.analysis``.
+"""
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import REGISTRY, FileContext, Rule, all_rules, get_rules
+from repro.analysis.runner import LintReport, lint_file, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "REGISTRY",
+    "all_rules",
+    "get_rules",
+    "LintReport",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

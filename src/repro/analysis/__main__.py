@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — alias of ``repro lint``."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["lint", *sys.argv[1:]]))

@@ -1,0 +1,54 @@
+"""Finding records produced by :mod:`repro.analysis` lint rules.
+
+A :class:`Finding` pins one rule violation to a ``file:line:col`` location
+and carries a human-readable message plus a *fix hint* — the concrete
+rewrite the rule recommends.  Findings sort by location so reports are
+stable across runs and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file as given to the runner.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule:
+        Rule identifier, e.g. ``"float-equality"``.
+    message:
+        What is wrong, phrased against the offending source construct.
+    hint:
+        How to fix it (or how to suppress it when intentional).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str = field(compare=False)
+    message: str = field(compare=False)
+    hint: str = field(compare=False, default="")
+
+    @property
+    def location(self) -> str:
+        """``file:line:col`` reference (clickable in most editors)."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        """One-line report: location, rule, message, and the fix hint."""
+        text = f"{self.location}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def as_tuple(self) -> Tuple[str, int, int, str]:
+        """Compact ``(path, line, col, rule)`` key used by tests."""
+        return (self.path, self.line, self.col, self.rule)

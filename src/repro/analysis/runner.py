@@ -1,0 +1,138 @@
+"""Lint driver: parse files, run rules, honor suppression comments.
+
+Suppression syntax (comment anywhere on the line)::
+
+    den == 0.0  # repro-lint: disable=float-equality  -- exact sentinel
+    # repro-lint: disable-next-line=param-mutation,float-equality
+    buf[...] = 0.0
+
+``disable=all`` silences every rule for the line.  Suppressions are
+parsed from real comment tokens (via :mod:`tokenize`), so the marker
+inside a string literal does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import FileContext, Rule, all_rules
+
+__all__ = ["LintReport", "lint_source", "lint_file", "lint_paths"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-next-line)?)\s*=\s*"
+    r"([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+
+class LintReport:
+    """Outcome of one lint run: active findings plus suppression stats."""
+
+    def __init__(self, findings: List[Finding], suppressed: List[Finding]):
+        self.findings = sorted(findings)
+        self.suppressed = sorted(suppressed)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [f.render() for f in self.findings]
+        summary = f"{len(self.findings)} finding(s)"
+        if self.suppressed:
+            summary += f", {len(self.suppressed)} suppressed"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed rule names ('all' wildcard)."""
+    suppressions: Dict[int, Set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - defensive
+        return suppressions
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if not match:
+            continue
+        directive, raw_names = match.groups()
+        names = {n.strip() for n in raw_names.split(",") if n.strip()}
+        line = tok.start[0]
+        if directive.endswith("next-line"):
+            line += 1
+        suppressions.setdefault(line, set()).update(names)
+    return suppressions
+
+
+def _is_suppressed(finding: Finding, suppressions: Dict[int, Set[str]]) -> bool:
+    names = suppressions.get(finding.line)
+    if not names:
+        return False
+    return "all" in names or finding.rule in names
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint one source string.
+
+    Raises ``SyntaxError`` if the source does not parse — a file the
+    interpreter rejects is not silently skipped.
+    """
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(path=path, source_lines=source.splitlines())
+    suppressions = _parse_suppressions(source)
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.check(tree, ctx):
+            if _is_suppressed(finding, suppressions):
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+    return LintReport(active, suppressed)
+
+
+def lint_file(path: "str | Path", rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    """Lint one Python file."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, path=str(path), rules=rules)
+
+
+def _iter_python_files(paths: Iterable["str | Path"]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+        else:
+            raise ValueError(f"not a Python file or directory: {p}")
+    return files
+
+
+def lint_paths(
+    paths: Iterable["str | Path"],
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint files and directories (recursively) into one report."""
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for file_path in _iter_python_files(paths):
+        report = lint_file(file_path, rules=rules)
+        findings.extend(report.findings)
+        suppressed.extend(report.suppressed)
+    return LintReport(findings, suppressed)

@@ -21,6 +21,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.baselines.knn import NaiveKNN
+from repro.utils.contracts import shapes
 from repro.utils.validation import check_matrix_pair
 
 
@@ -54,6 +55,7 @@ class CorrelationKNN:
         self.min_overlap = min_overlap
         self._fallback = NaiveKNN(k=k)
 
+    @shapes("m n", "m n:bool", finite=("values",))
     def complete(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """Fill every missing cell (correlation rule + KNN fallback)."""
         values, mask = check_matrix_pair(values, mask)
@@ -123,5 +125,8 @@ class CorrelationKNN:
                 corr = abs(float(np.corrcoef(a, b)[0, 1]))
                 if not np.isfinite(corr):
                     corr = 0.1
+        # The caller passes this dict precisely to collect memoized
+        # correlations across calls; mutating it is the contract.
+        # repro-lint: disable-next-line=param-mutation
         cache[key] = corr
         return corr

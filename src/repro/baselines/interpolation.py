@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.contracts import shapes
 from repro.utils.validation import check_matrix_pair
 
 
@@ -22,6 +23,7 @@ class HistoricalMean:
 
     name = "historical-mean"
 
+    @shapes("m n", "m n:bool", finite=("values",))
     def complete(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """Fill missing cells with their column's observed mean."""
         values, mask = check_matrix_pair(values, mask)
@@ -44,6 +46,7 @@ class LinearInterpolation:
 
     name = "linear-interpolation"
 
+    @shapes("m n", "m n:bool", finite=("values",))
     def complete(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """Fill missing cells by columnwise linear interpolation."""
         values, mask = check_matrix_pair(values, mask)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.spatial import cKDTree
 
+from repro.utils.contracts import shapes
 from repro.utils.validation import check_matrix_pair
 
 
@@ -36,6 +37,7 @@ class NaiveKNN:
         self.k = k
         self.fallback = fallback
 
+    @shapes("m n", "m n:bool", finite=("values",))
     def complete(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """Fill every missing cell; observed cells pass through."""
         values, mask = check_matrix_pair(values, mask)

@@ -27,6 +27,7 @@ from typing import Optional
 import numpy as np
 from scipy.sparse.linalg import svds
 
+from repro.utils.contracts import shapes
 from repro.utils.validation import check_matrix_pair, check_positive
 
 PAPER_WINDOW = 24
@@ -83,6 +84,7 @@ class MSSA:
         self.solver = solver
 
     # ------------------------------------------------------------------
+    @shapes("m n", "m n:bool", finite=("values",))
     def complete(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """Fill every missing cell; observed cells pass through."""
         values, mask = check_matrix_pair(values, mask)

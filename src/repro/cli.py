@@ -11,6 +11,8 @@ Python:
 * ``evaluate``     — score an estimate against a ground-truth TCM.
 * ``integrity``    — print the integrity report of a measurement TCM.
 * ``experiments``  — run the paper's full experiment battery.
+* ``lint``         — run the project's numerical-correctness linter
+  (:mod:`repro.analysis`) over source paths.
 """
 
 from __future__ import annotations
@@ -200,6 +202,44 @@ def _cmd_anomalies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import REGISTRY, get_rules, lint_paths
+
+    if args.list_rules:
+        for name, cls in REGISTRY.items():
+            print(f"{name:24s} {cls.description}")
+        return 0
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    try:
+        rules = get_rules(args.rules.split(",")) if args.rules else None
+        report = lint_paths(paths, rules=rules)
+    except KeyError as exc:
+        # KeyError's str() wraps the message in quotes; unwrap it.
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (ValueError, SyntaxError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        payload = [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "message": f.message,
+                "hint": f.hint,
+            }
+            for f in report.findings
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -269,6 +309,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("destination", type=int, help="destination intersection id")
     p.add_argument("--depart-s", type=float, default=0.0, dest="depart_s")
     p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser("lint", help="run the numerical-correctness linter")
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    p.add_argument(
+        "--rules",
+        help="comma-separated rule names to run (default: all)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings output format",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        dest="list_rules",
+        help="print the rule catalogue and exit",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("anomalies", help="detect incidents in a complete TCM")
     p.add_argument("input", help="complete TCM (.npz)")

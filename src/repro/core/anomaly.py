@@ -65,7 +65,7 @@ class ResidualAnomalyDetector:
     component and they vanish from the residual.
     """
 
-    def __init__(self, rank: int = 2, threshold_sigmas: float = 3.5):
+    def __init__(self, rank: int = 2, threshold_sigmas: float = 3.5) -> None:
         if rank < 1:
             raise ValueError(f"rank must be >= 1, got {rank}")
         check_positive(threshold_sigmas, "threshold_sigmas")

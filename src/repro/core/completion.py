@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.tcm import TrafficConditionMatrix
+from repro.utils.contracts import shapes
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_matrix_pair
 
@@ -67,6 +68,7 @@ class CompletionResult:
     def rank_bound(self) -> int:
         return self.left.shape[1]
 
+    @shapes("m n", "m n:bool")
     def fused(self, measurements: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """Estimate with observed cells replaced by their measurements."""
         measurements, mask = check_matrix_pair(measurements, mask)
@@ -125,7 +127,7 @@ class CompressiveSensingCompleter:
         center: bool = False,
         restarts: int = 1,
         seed: SeedLike = None,
-    ):
+    ) -> None:
         if rank < 1:
             raise ValueError(f"rank must be >= 1, got {rank}")
         if lam < 0:
@@ -150,6 +152,7 @@ class CompressiveSensingCompleter:
         self._seed = seed
 
     # ------------------------------------------------------------------
+    @shapes("m n", "m n:bool")
     def complete(
         self,
         measurements: Union[TrafficConditionMatrix, np.ndarray],
@@ -211,7 +214,7 @@ class CompressiveSensingCompleter:
         b_arr: np.ndarray,
         r: int,
         rng: np.random.Generator,
-    ):
+    ) -> Tuple[float, np.ndarray, np.ndarray, List[float]]:
         """One ALS run from a fresh random init (pseudocode lines 1-9).
 
         Returns ``(best objective, L, R, per-iteration objectives)``.

@@ -20,11 +20,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.svd_analysis import principal_components
+from repro.utils.contracts import shapes
 
 PAPER_SPIKE_SIGMAS = 4.0
 
@@ -64,6 +65,7 @@ def _fft_magnitude(signal: np.ndarray) -> np.ndarray:
     return spectrum[1:]
 
 
+@shapes("m", finite=("u",))
 def classify_eigenflow(
     u: np.ndarray, threshold_sigmas: float = PAPER_SPIKE_SIGMAS
 ) -> EigenflowType:
@@ -105,7 +107,7 @@ class EigenflowAnalysis:
         """The i-th eigenflow time series."""
         return self.u[:, i]
 
-    def type_counts(self) -> dict:
+    def type_counts(self) -> Dict[EigenflowType, int]:
         """Occurrences of each type (Figure 8's tally)."""
         counts = {t: 0 for t in EigenflowType}
         for t in self.types:
@@ -127,6 +129,7 @@ class EigenflowAnalysis:
         return (sel_u * sel_s) @ sel_vt
 
 
+@shapes("m n", finite=("matrix",))
 def analyze_eigenflows(
     matrix: np.ndarray,
     threshold_sigmas: float = PAPER_SPIKE_SIGMAS,

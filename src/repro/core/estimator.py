@@ -24,6 +24,7 @@ from repro.core.tcm import TimeGrid, TrafficConditionMatrix
 from repro.core.tuning import GeneticTuner, TuningResult
 from repro.probes.aggregation import AggregationConfig, aggregate_reports
 from repro.probes.report import ReportBatch
+from repro.utils.contracts import shapes
 from repro.utils.rng import SeedLike
 
 
@@ -91,7 +92,7 @@ class TrafficEstimator:
         mask_aware: bool = True,
         center: bool = True,
         seed: SeedLike = None,
-    ):
+    ) -> None:
         self.rank = rank
         self.lam = lam
         self.iterations = iterations
@@ -115,6 +116,7 @@ class TrafficEstimator:
         """Turn probe reports into the measurement TCM."""
         return aggregate_reports(reports, grid, segment_ids, self.aggregation)
 
+    @shapes(ReportBatch, TimeGrid)
     def estimate_from_reports(
         self,
         reports: ReportBatch,
@@ -125,6 +127,7 @@ class TrafficEstimator:
         measurements = self.aggregate(reports, grid, segment_ids)
         return self.estimate(measurements)
 
+    @shapes(TrafficConditionMatrix)
     def estimate(self, measurements: TrafficConditionMatrix) -> EstimationOutput:
         """Complete a measurement TCM into a full traffic estimate."""
         rank, lam = self.rank, self.lam

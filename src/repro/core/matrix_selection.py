@@ -62,7 +62,7 @@ class SegmentSetBuilder:
         The target segment ``r0`` whose estimation quality is studied.
     """
 
-    def __init__(self, network: RoadNetwork, anchor: int):
+    def __init__(self, network: RoadNetwork, anchor: int) -> None:
         if anchor not in set(network.segment_ids):
             raise ValueError(f"anchor segment {anchor} not in network")
         self.network = network

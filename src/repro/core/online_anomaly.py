@@ -79,12 +79,14 @@ class OnlineAnomalyMonitor:
         alpha: float = 0.25,
         threshold_sigmas: float = 3.5,
         warmup_days: int = 1,
-    ):
+    ) -> None:
         check_positive(slot_s, "slot_s")
         if slots_per_day < 1:
             raise ValueError(f"slots_per_day must be >= 1, got {slots_per_day}")
         check_fraction(alpha, "alpha")
-        if alpha == 0.0:
+        # check_fraction guarantees alpha >= 0, so <= 0 rejects exactly
+        # the degenerate no-update EMA without a float == comparison.
+        if alpha <= 0.0:
             raise ValueError("alpha must be positive")
         check_positive(threshold_sigmas, "threshold_sigmas")
         if warmup_days < 0:

@@ -87,7 +87,7 @@ class StreamingEstimator:
         cold_iterations: int = 60,
         min_speed_kmh: float = 2.0,
         seed: SeedLike = None,
-    ):
+    ) -> None:
         check_positive(slot_s, "slot_s")
         if window_slots < 2:
             raise ValueError(f"window_slots must be >= 2, got {window_slots}")

@@ -13,10 +13,11 @@ indicator ``B`` marks (slot, segment) cells with at least one probe report
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.utils.contracts import shapes
 from repro.utils.validation import check_matrix_pair, check_positive
 
 
@@ -103,13 +104,14 @@ class TrafficConditionMatrix:
         Column labels; defaults to ``0..n-1``.
     """
 
+    @shapes("m n", "m n:bool")
     def __init__(
         self,
         values: np.ndarray,
         mask: Optional[np.ndarray] = None,
         grid: Optional[TimeGrid] = None,
         segment_ids: Optional[Sequence[int]] = None,
-    ):
+    ) -> None:
         values = np.asarray(values, dtype=np.float64)
         if mask is None:
             mask = np.ones_like(values, dtype=bool)
@@ -142,7 +144,7 @@ class TrafficConditionMatrix:
     # Shape and access
     # ------------------------------------------------------------------
     @property
-    def shape(self):
+    def shape(self) -> Tuple[int, ...]:
         return self._values.shape
 
     @property

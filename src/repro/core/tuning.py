@@ -113,7 +113,7 @@ class GeneticTuner:
         completer_iterations: int = 30,
         mask_aware: bool = True,
         seed: SeedLike = None,
-    ):
+    ) -> None:
         lo_r, hi_r = rank_bounds
         if lo_r < 1 or hi_r < lo_r:
             raise ValueError(f"invalid rank_bounds {rank_bounds}")

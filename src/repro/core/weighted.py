@@ -61,7 +61,7 @@ class ConfidenceWeightedCompleter:
         clip_max: Optional[float] = None,
         center: bool = False,
         seed: SeedLike = None,
-    ):
+    ) -> None:
         if rank < 1:
             raise ValueError(f"rank must be >= 1, got {rank}")
         if lam < 0:

@@ -99,6 +99,8 @@ def run_robustness(
 
     # Observation noise / bias (on the uniform mask).
     for noise in config.noise_levels_kmh:
+        # 0.0 is a literal sentinel in the config level lists, never computed.
+        # repro-lint: disable-next-line=float-equality
         if noise == 0.0:
             continue
         noisy = x + rng.normal(0.0, noise, size=x.shape)
@@ -107,6 +109,8 @@ def run_robustness(
             (f"noise {noise:g} km/h", np.where(uniform, noisy, 0.0), uniform)
         )
     for bias in config.bias_levels_kmh:
+        # Same literal-sentinel justification as the noise loop above.
+        # repro-lint: disable-next-line=float-equality
         if bias == 0.0:
             continue
         biased = np.clip(x + bias, 0.0, None)

@@ -50,8 +50,10 @@ def nmae(
         return float("nan")
     num = float(np.abs(x_true[mask] - x_hat[mask]).sum())
     den = float(np.abs(x_true[mask]).sum())
-    if den == 0.0:
-        return 0.0 if num == 0.0 else float("inf")
+    # Both are sums of absolute values, so <= 0 means exactly zero (all
+    # selected cells are 0) without comparing floats for equality.
+    if den <= 0.0:
+        return 0.0 if num <= 0.0 else float("inf")
     return num / den
 
 

@@ -80,7 +80,8 @@ def project_to_segment(p: Point, a: Point, b: Point) -> Tuple[Point, float]:
     ax, ay = a.x, a.y
     vx, vy = b.x - ax, b.y - ay
     seg_len_sq = vx * vx + vy * vy
-    if seg_len_sq == 0.0:
+    # A sum of squares is <= 0 only for a degenerate zero-length segment.
+    if seg_len_sq <= 0.0:
         return a, 0.0
     s = ((p.x - ax) * vx + (p.y - ay) * vy) / seg_len_sq
     s = max(0.0, min(1.0, s))

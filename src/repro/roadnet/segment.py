@@ -89,6 +89,8 @@ class RoadSegment:
             raise ValueError(
                 f"canyon_factor must be in [0, 1], got {self.canyon_factor}"
             )
+        # 0.0 is the field's literal "unset" sentinel, never a computed speed.
+        # repro-lint: disable-next-line=float-equality
         if self.free_flow_kmh == 0.0:
             object.__setattr__(
                 self, "free_flow_kmh", self.category.default_free_flow_kmh

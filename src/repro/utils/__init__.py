@@ -1,5 +1,11 @@
-"""Shared utilities: deterministic RNG handling and input validation."""
+"""Shared utilities: deterministic RNG handling, validation, contracts."""
 
+from repro.utils.contracts import (
+    ContractError,
+    contracts_enabled,
+    set_enabled,
+    shapes,
+)
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.validation import (
     check_finite,
@@ -10,6 +16,10 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "ContractError",
+    "contracts_enabled",
+    "set_enabled",
+    "shapes",
     "ensure_rng",
     "spawn_rngs",
     "check_finite",

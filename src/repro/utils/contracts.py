@@ -1,0 +1,310 @@
+"""Runtime array contracts for the numerical core.
+
+The :func:`shapes` decorator declares, next to a function's signature,
+what the linear algebra inside assumes: array ranks, symbolic dimension
+bindings shared across arguments, dtype families, and finiteness.  The
+checks run only when the ``REPRO_CHECK`` environment variable is truthy
+(``1``/``true``/``yes``/``on``) or :func:`set_enabled` forces them on,
+so production call paths pay a single dict lookup and branch.
+
+Spec grammar (one spec string per array argument, ``None`` to skip)::
+
+    @shapes("m n", "m n:bool")
+    def complete(values, mask): ...
+
+* tokens are symbolic dims (``m``), exact sizes (``3``), or ``*`` (any);
+  symbolic dims must agree everywhere they appear in one call.
+* an optional ``:float`` / ``:bool`` / ``:int`` suffix constrains the
+  dtype *family* (real numeric, boolean-like indicator, integral).
+* a spec may also be a ``type``, requiring ``isinstance`` instead of an
+  array check (used for TCM-typed entry points).
+* ``finite=("values",)`` additionally rejects NaN/inf in named args.
+
+Arguments that are ``None`` or not array-like (e.g. a
+``TrafficConditionMatrix`` passed where a raw matrix is also accepted)
+are skipped — the contract constrains arrays when arrays are given.
+
+This module also hosts the scalar/matrix validation helpers that
+predate it (``check_positive``, ``check_matrix_pair``, ...), which
+:mod:`repro.utils.validation` re-exports for backward compatibility.
+Those helpers raise unconditionally; only the decorator is gated.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+    cast,
+)
+
+import numpy as np
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_TRUTHY = frozenset(("1", "true", "yes", "on"))
+_DTYPE_FAMILIES: Dict[str, str] = {
+    # Spec suffix -> accepted numpy dtype kinds.
+    "float": "fiu",  # real numeric (ints promote losslessly)
+    "bool": "biu",  # indicator matrices are commonly int 0/1
+    "int": "iub",
+}
+
+_forced: Optional[bool] = None
+
+
+class ContractError(ValueError):
+    """An array argument violated its declared contract."""
+
+
+def contracts_enabled() -> bool:
+    """Whether contract checks run (``REPRO_CHECK`` or :func:`set_enabled`)."""
+    if _forced is not None:
+        return _forced
+    return os.environ.get("REPRO_CHECK", "").strip().lower() in _TRUTHY
+
+
+def set_enabled(flag: Optional[bool]) -> None:
+    """Force contracts on/off programmatically; ``None`` follows the env."""
+    global _forced
+    _forced = flag
+
+
+# ----------------------------------------------------------------------
+# Spec parsing
+# ----------------------------------------------------------------------
+class _ArraySpec:
+    """One parsed ``"m n:bool"`` style spec."""
+
+    __slots__ = ("dims", "kinds", "raw")
+
+    def __init__(self, raw: str):
+        self.raw = raw
+        spec, _, dtype = raw.partition(":")
+        dtype = dtype.strip()
+        if dtype and dtype not in _DTYPE_FAMILIES:
+            families = ", ".join(sorted(_DTYPE_FAMILIES))
+            raise ValueError(f"unknown dtype family {dtype!r} (known: {families})")
+        self.kinds = _DTYPE_FAMILIES.get(dtype, "")
+        self.dims: List[Union[str, int]] = []
+        tokens = spec.split()
+        if not tokens:
+            raise ValueError(f"empty shape spec in {raw!r}")
+        for token in tokens:
+            if token == "*":
+                self.dims.append("*")
+            elif token.lstrip("-").isdigit():
+                size = int(token)
+                if size < 0:
+                    raise ValueError(f"negative dim {token!r} in spec {raw!r}")
+                self.dims.append(size)
+            elif token.isidentifier():
+                self.dims.append(token)
+            else:
+                raise ValueError(f"bad dim token {token!r} in spec {raw!r}")
+
+    def check(
+        self, name: str, value: np.ndarray, bindings: Dict[str, int], where: str
+    ) -> None:
+        if value.ndim != len(self.dims):
+            raise ContractError(
+                f"{where}: {name} must be {len(self.dims)}-D "
+                f"(spec {self.raw!r}), got shape {value.shape}"
+            )
+        for axis, (dim, size) in enumerate(zip(self.dims, value.shape)):
+            if dim == "*":
+                continue
+            if isinstance(dim, int):
+                if size != dim:
+                    raise ContractError(
+                        f"{where}: {name} axis {axis} must have size {dim}, "
+                        f"got {size} (shape {value.shape})"
+                    )
+            else:
+                bound = bindings.setdefault(dim, size)
+                if bound != size:
+                    raise ContractError(
+                        f"{where}: dim {dim!r} is {bound} elsewhere but "
+                        f"{name} has {size} on axis {axis} "
+                        f"(shape {value.shape})"
+                    )
+        if self.kinds and value.dtype.kind not in self.kinds:
+            raise ContractError(
+                f"{where}: {name} dtype {value.dtype} is not in the "
+                f"{self.raw.partition(':')[2]!r} family"
+            )
+
+
+SpecLike = Union[None, str, type]
+
+
+def _as_array(value: Any) -> Optional[np.ndarray]:
+    """Best-effort array view of ``value``; ``None`` when not array-like."""
+    if value is None:
+        return None
+    if isinstance(value, np.ndarray):
+        return value
+    if isinstance(value, (list, tuple)):
+        try:
+            arr = np.asarray(value)
+        except (ValueError, TypeError):
+            return None
+        return arr if arr.dtype.kind in "biufc" else None
+    return None
+
+
+def shapes(
+    *arg_specs: SpecLike,
+    finite: Sequence[str] = (),
+    **named_specs: SpecLike,
+) -> Callable[[F], F]:
+    """Declare shape/dtype/finiteness contracts for a callable.
+
+    Positional specs align with the function's parameters in declaration
+    order (``self``/``cls`` skipped); keyword specs address parameters
+    by name.  See the module docstring for the grammar.
+    """
+    parsed: Dict[str, Union[_ArraySpec, type, None]] = {}
+
+    def _parse(spec: SpecLike) -> Union[_ArraySpec, type, None]:
+        if spec is None:
+            return None
+        if isinstance(spec, type):
+            return spec
+        return _ArraySpec(spec)
+
+    def decorator(func: F) -> F:
+        signature = inspect.signature(func)
+        param_names = [
+            p.name
+            for p in signature.parameters.values()
+            if p.kind
+            in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        ]
+        positional = [n for n in param_names if n not in ("self", "cls")]
+        if len(arg_specs) > len(positional):
+            raise ValueError(
+                f"{func.__qualname__}: {len(arg_specs)} specs for "
+                f"{len(positional)} parameters"
+            )
+        for name, spec in zip(positional, arg_specs):
+            parsed[name] = _parse(spec)
+        for name, spec in named_specs.items():
+            if name not in param_names:
+                raise ValueError(
+                    f"{func.__qualname__}: no parameter named {name!r}"
+                )
+            parsed[name] = _parse(spec)
+        for name in finite:
+            if name not in param_names:
+                raise ValueError(
+                    f"{func.__qualname__}: finite names unknown parameter {name!r}"
+                )
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not contracts_enabled():
+                return func(*args, **kwargs)
+            where = func.__qualname__
+            bound = signature.bind(*args, **kwargs)
+            bindings: Dict[str, int] = {}
+            for name, spec in parsed.items():
+                if spec is None or name not in bound.arguments:
+                    continue
+                value = bound.arguments[name]
+                if isinstance(spec, type):
+                    if value is not None and not isinstance(value, spec):
+                        raise ContractError(
+                            f"{where}: {name} must be {spec.__name__}, "
+                            f"got {type(value).__name__}"
+                        )
+                    continue
+                arr = _as_array(value)
+                if arr is not None:
+                    spec.check(name, arr, bindings, where)
+            for name in finite:
+                if name not in bound.arguments:
+                    continue
+                arr = _as_array(bound.arguments[name])
+                if arr is not None and arr.dtype.kind in "fc":
+                    if not np.all(np.isfinite(arr)):
+                        bad = int(arr.size - np.count_nonzero(np.isfinite(arr)))
+                        raise ContractError(
+                            f"{where}: {name} contains {bad} non-finite element(s)"
+                        )
+            return func(*args, **kwargs)
+
+        return cast(F, wrapper)
+
+    return decorator
+
+
+# ----------------------------------------------------------------------
+# Unconditional validation helpers (formerly repro.utils.validation)
+# ----------------------------------------------------------------------
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Alias of :func:`check_fraction` with probability wording."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_finite(array: np.ndarray, name: str) -> np.ndarray:
+    """Require every element of ``array`` to be finite."""
+    array = np.asarray(array)
+    if not np.all(np.isfinite(array)):
+        bad = int(np.size(array) - np.count_nonzero(np.isfinite(array)))
+        raise ValueError(f"{name} contains {bad} non-finite element(s)")
+    return array
+
+
+def check_matrix_pair(
+    values: np.ndarray, mask: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate a (measurement, indicator) matrix pair.
+
+    Returns float64 ``values`` and boolean ``mask`` of identical 2-D
+    shape.  The indicator matrix ``B`` of the paper (Eq. 4) is accepted
+    as any array coercible to bool.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    mask = np.asarray(mask)
+    if values.ndim != 2:
+        raise ValueError(f"values must be 2-D, got shape {values.shape}")
+    if mask.shape != values.shape:
+        raise ValueError(
+            f"mask shape {mask.shape} does not match values shape {values.shape}"
+        )
+    mask = mask.astype(bool)
+    observed = values[mask]
+    if observed.size and not np.all(np.isfinite(observed)):
+        raise ValueError("observed entries must be finite")
+    return values, mask

@@ -1,66 +1,28 @@
 """Input validation helpers shared across the library.
 
 These raise early with actionable messages instead of letting bad shapes
-propagate into linear-algebra routines where the failure mode is a cryptic
-broadcast error three stack frames later.
+propagate into linear-algebra routines where the failure mode is a
+cryptic broadcast error three stack frames later.
+
+The implementations live in :mod:`repro.utils.contracts` (which also
+provides the :func:`~repro.utils.contracts.shapes` decorator layer);
+this module remains the stable import path the rest of the tree uses.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from repro.utils.contracts import (
+    check_finite,
+    check_fraction,
+    check_matrix_pair,
+    check_positive,
+    check_probability,
+)
 
-import numpy as np
-
-
-def check_positive(value: float, name: str) -> float:
-    """Require ``value > 0``."""
-    if not value > 0:
-        raise ValueError(f"{name} must be positive, got {value!r}")
-    return value
-
-
-def check_fraction(value: float, name: str) -> float:
-    """Require ``0 <= value <= 1``."""
-    if not 0.0 <= value <= 1.0:
-        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
-    return float(value)
-
-
-def check_probability(value: float, name: str) -> float:
-    """Alias of :func:`check_fraction` with probability wording."""
-    if not 0.0 <= value <= 1.0:
-        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
-    return float(value)
-
-
-def check_finite(array: np.ndarray, name: str) -> np.ndarray:
-    """Require every element of ``array`` to be finite."""
-    array = np.asarray(array)
-    if not np.all(np.isfinite(array)):
-        bad = int(np.size(array) - np.count_nonzero(np.isfinite(array)))
-        raise ValueError(f"{name} contains {bad} non-finite element(s)")
-    return array
-
-
-def check_matrix_pair(
-    values: np.ndarray, mask: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Validate a (measurement, indicator) matrix pair.
-
-    Returns float64 ``values`` and boolean ``mask`` of identical 2-D shape.
-    The indicator matrix ``B`` of the paper (Eq. 4) is accepted as any
-    array coercible to bool.
-    """
-    values = np.asarray(values, dtype=np.float64)
-    mask = np.asarray(mask)
-    if values.ndim != 2:
-        raise ValueError(f"values must be 2-D, got shape {values.shape}")
-    if mask.shape != values.shape:
-        raise ValueError(
-            f"mask shape {mask.shape} does not match values shape {values.shape}"
-        )
-    mask = mask.astype(bool)
-    observed = values[mask]
-    if observed.size and not np.all(np.isfinite(observed)):
-        raise ValueError("observed entries must be finite")
-    return values, mask
+__all__ = [
+    "check_finite",
+    "check_fraction",
+    "check_matrix_pair",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,332 @@
+"""Tests for the repro_lint static analyzer (repro.analysis).
+
+Each rule gets three fixtures: code that must trigger it, clean code
+that must not, and a suppressed occurrence.  A final self-check asserts
+the linter runs clean over the installed ``repro`` package itself.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import (
+    REGISTRY,
+    Finding,
+    get_rules,
+    lint_paths,
+    lint_source,
+)
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+def rules_hit(source, path="pkg/module.py"):
+    """Set of rule names triggered on ``source``."""
+    return {f.rule for f in lint_source(source, path=path).findings}
+
+
+# ----------------------------------------------------------------------
+# rng-discipline
+# ----------------------------------------------------------------------
+class TestRngDiscipline:
+    def test_flags_global_rng_call(self):
+        src = "import numpy as np\nx = np.random.default_rng().normal()\n"
+        assert "rng-discipline" in rules_hit(src)
+
+    def test_flags_legacy_seed_call(self):
+        src = "import numpy as np\nnp.random.seed(0)\n"
+        assert "rng-discipline" in rules_hit(src)
+
+    def test_flags_numpy_random_import(self):
+        src = "from numpy.random import default_rng\n"
+        assert "rng-discipline" in rules_hit(src)
+
+    def test_generator_type_reference_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(seed):\n"
+            "    return isinstance(seed, np.random.Generator)\n"
+        )
+        assert "rng-discipline" not in rules_hit(src)
+
+    def test_generator_type_import_is_clean(self):
+        src = "from numpy.random import Generator\n"
+        assert "rng-discipline" not in rules_hit(src)
+
+    def test_exempt_inside_rng_module(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert rules_hit(src, path="src/repro/utils/rng.py") == set()
+
+    def test_suppression_comment(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.default_rng()  # repro-lint: disable=rng-discipline\n"
+        )
+        report = lint_source(src)
+        assert not report.findings
+        assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# float-equality
+# ----------------------------------------------------------------------
+class TestFloatEquality:
+    def test_flags_equality_with_float_literal(self):
+        assert "float-equality" in rules_hit("ok = den == 0.0\n")
+
+    def test_flags_inequality_and_negative_literal(self):
+        assert "float-equality" in rules_hit("ok = x != -1.5\n")
+
+    def test_flags_nan_comparison(self):
+        src = "import math\nbad = x == math.nan\n"
+        assert "float-equality" in rules_hit(src)
+
+    def test_integer_comparison_is_clean(self):
+        assert "float-equality" not in rules_hit("ok = n == 0\n")
+
+    def test_ordering_comparison_is_clean(self):
+        assert "float-equality" not in rules_hit("ok = den <= 0.0\n")
+
+    def test_suppression_comment(self):
+        src = "ok = den == 0.0  # repro-lint: disable=float-equality\n"
+        report = lint_source(src)
+        assert not report.findings and len(report.suppressed) == 1
+
+    def test_disable_next_line(self):
+        src = (
+            "# repro-lint: disable-next-line=float-equality\n"
+            "ok = den == 0.0\n"
+        )
+        report = lint_source(src)
+        assert not report.findings and len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# param-mutation
+# ----------------------------------------------------------------------
+class TestParamMutation:
+    def test_flags_augmented_assignment(self):
+        src = "def f(arr):\n    arr += 1\n    return arr\n"
+        assert "param-mutation" in rules_hit(src)
+
+    def test_flags_slice_assignment(self):
+        src = "def f(arr, idx):\n    arr[idx] = 0.0\n    return arr\n"
+        assert "param-mutation" in rules_hit(src)
+
+    def test_flags_inplace_method(self):
+        src = "def f(arr):\n    arr.sort()\n    return arr\n"
+        assert "param-mutation" in rules_hit(src)
+
+    def test_local_mutation_is_clean(self):
+        src = "def f(arr):\n    out = arr.copy()\n    out[0] = 1\n    return out\n"
+        assert "param-mutation" not in rules_hit(src)
+
+    def test_mutation_after_rebind_is_clean(self):
+        src = (
+            "def f(items):\n"
+            "    items = list(items)\n"
+            "    items.sort()\n"
+            "    return items\n"
+        )
+        assert "param-mutation" not in rules_hit(src)
+
+    def test_scalar_annotated_augassign_is_clean(self):
+        src = "def f(t: float):\n    t += 1.0\n    return t\n"
+        assert "param-mutation" not in rules_hit(src)
+
+    def test_str_partition_is_clean(self):
+        src = "def f(raw: str):\n    return raw.partition(':')\n"
+        assert "param-mutation" not in rules_hit(src)
+
+    def test_suppression_comment(self):
+        src = (
+            "def f(cache, k, v):\n"
+            "    cache[k] = v  # repro-lint: disable=param-mutation\n"
+        )
+        report = lint_source(src)
+        assert not report.findings and len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# nan-unsafe-reduction
+# ----------------------------------------------------------------------
+class TestNanUnsafeReduction:
+    def test_flags_np_reduction_of_raw_param(self):
+        src = (
+            "import numpy as np\n"
+            "def f(values, mask):\n"
+            "    return np.mean(values)\n"
+        )
+        assert "nan-unsafe-reduction" in rules_hit(src)
+
+    def test_flags_method_reduction_of_raw_param(self):
+        src = "def f(values, mask):\n    return values.sum()\n"
+        assert "nan-unsafe-reduction" in rules_hit(src)
+
+    def test_masked_reduction_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(values, mask):\n"
+            "    return np.mean(values[mask])\n"
+        )
+        assert "nan-unsafe-reduction" not in rules_hit(src)
+
+    def test_reducing_the_mask_itself_is_clean(self):
+        src = "def f(values, mask):\n    return mask.sum()\n"
+        assert "nan-unsafe-reduction" not in rules_hit(src)
+
+    def test_no_mask_in_scope_is_clean(self):
+        src = "import numpy as np\ndef f(values):\n    return np.mean(values)\n"
+        assert "nan-unsafe-reduction" not in rules_hit(src)
+
+    def test_rebound_param_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(values, mask):\n"
+            "    values = np.where(mask, values, np.nan)\n"
+            "    return np.nanmean(values)\n"
+        )
+        assert "nan-unsafe-reduction" not in rules_hit(src)
+
+    def test_suppression_comment(self):
+        src = (
+            "import numpy as np\n"
+            "def f(values, mask):\n"
+            "    return np.mean(values)  # repro-lint: disable=nan-unsafe-reduction\n"
+        )
+        report = lint_source(src)
+        assert not report.findings and len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# bare-except
+# ----------------------------------------------------------------------
+class TestBareExcept:
+    def test_flags_bare_except(self):
+        src = "try:\n    x = 1\nexcept:\n    pass\n"
+        assert "bare-except" in rules_hit(src)
+
+    def test_typed_except_is_clean(self):
+        src = "try:\n    x = 1\nexcept ValueError:\n    pass\n"
+        assert "bare-except" not in rules_hit(src)
+
+    def test_suppression_comment(self):
+        src = (
+            "try:\n"
+            "    x = 1\n"
+            "except:  # repro-lint: disable=bare-except\n"
+            "    pass\n"
+        )
+        report = lint_source(src)
+        assert not report.findings and len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# mutable-default
+# ----------------------------------------------------------------------
+class TestMutableDefault:
+    def test_flags_list_literal_default(self):
+        assert "mutable-default" in rules_hit("def f(history=[]):\n    pass\n")
+
+    def test_flags_dict_call_default(self):
+        assert "mutable-default" in rules_hit("def f(cfg=dict()):\n    pass\n")
+
+    def test_flags_numpy_buffer_default(self):
+        src = "import numpy as np\ndef f(buf=np.zeros(3)):\n    pass\n"
+        assert "mutable-default" in rules_hit(src)
+
+    def test_flags_kwonly_default(self):
+        assert "mutable-default" in rules_hit("def f(*, items={}):\n    pass\n")
+
+    def test_none_default_is_clean(self):
+        assert "mutable-default" not in rules_hit("def f(history=None):\n    pass\n")
+
+    def test_tuple_default_is_clean(self):
+        assert "mutable-default" not in rules_hit("def f(dims=()):\n    pass\n")
+
+    def test_suppression_comment(self):
+        src = "def f(history=[]):  # repro-lint: disable=mutable-default\n    pass\n"
+        report = lint_source(src)
+        assert not report.findings and len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# Runner / API behavior
+# ----------------------------------------------------------------------
+class TestRunner:
+    def test_registry_has_at_least_six_rules(self):
+        assert len(REGISTRY) >= 6
+
+    def test_get_rules_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown rule"):
+            get_rules(["no-such-rule"])
+
+    def test_rule_subset_only_runs_selected(self):
+        src = "den == 0.0\ntry:\n    pass\nexcept:\n    pass\n"
+        report = lint_source(src, rules=get_rules(["bare-except"]))
+        assert {f.rule for f in report.findings} == {"bare-except"}
+
+    def test_disable_all_wildcard(self):
+        src = "ok = den == 0.0  # repro-lint: disable=all\n"
+        assert not lint_source(src).findings
+
+    def test_marker_inside_string_does_not_suppress(self):
+        src = 's = "# repro-lint: disable=float-equality"\nok = den == 0.0\n'
+        assert "float-equality" in rules_hit(src)
+
+    def test_findings_sorted_and_located(self):
+        src = "b = y == 2.0\na = x == 1.0\n"
+        report = lint_source(src, path="m.py")
+        assert [f.line for f in report.findings] == [1, 2]
+        assert report.findings[0].location == "m.py:1:4"
+        assert "float-equality" in report.findings[0].render()
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(SyntaxError):
+            lint_source("def broken(:\n")
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "good.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text("ok = x == 0.5\n")
+        report = lint_paths([tmp_path])
+        assert len(report.findings) == 1
+        assert report.findings[0].path.endswith("bad.py")
+
+    def test_finding_as_tuple(self):
+        f = Finding(path="a.py", line=3, col=4, rule="r", message="m")
+        assert f.as_tuple() == ("a.py", 3, 4, "r")
+
+
+class TestSelfCheck:
+    def test_repro_package_lints_clean(self):
+        """The linter's own package must pass its own rules."""
+        report = lint_paths([SRC_ROOT])
+        assert report.ok, "unsuppressed findings:\n" + report.render()
+
+    def test_cli_lint_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", str(SRC_ROOT / "utils")]) == 0
+        out = capsys.readouterr().out
+        assert "finding(s)" in out
+
+    def test_cli_lint_reports_failure(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("ok = x == 0.5\n")
+        from repro.cli import main
+
+        assert main(["lint", str(bad)]) == 1
+        assert "float-equality" in capsys.readouterr().out
+
+    def test_cli_lint_json_format(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("ok = x == 0.5\n")
+        from repro.cli import main
+
+        assert main(["lint", "--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "float-equality"
+        assert payload[0]["line"] == 1

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Static-analysis gate: repro_lint (always) + ruff + mypy (when installed).
+#
+# Usage: tools/check.sh [--require-all]
+#
+# repro_lint is part of this package and always runs.  ruff and mypy are
+# optional dev dependencies; when they are not installed the step is
+# skipped with a notice so the gate stays runnable in minimal
+# environments.  Pass --require-all (CI does) to turn a missing tool
+# into a failure instead of a skip.
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+require_all=0
+if [ "${1:-}" = "--require-all" ]; then
+    require_all=1
+fi
+
+status=0
+
+run_step() {
+    local name="$1"
+    shift
+    echo "==> $name"
+    if "$@"; then
+        echo "    OK"
+    else
+        echo "    FAILED: $name" >&2
+        status=1
+    fi
+}
+
+maybe_step() {
+    local name="$1"
+    local module="$2"
+    shift 2
+    if python -c "import $module" >/dev/null 2>&1; then
+        run_step "$name" "$@"
+    elif [ "$require_all" = "1" ]; then
+        echo "==> $name"
+        echo "    FAILED: $module is not installed (required by --require-all)" >&2
+        status=1
+    else
+        echo "==> $name: skipped ($module not installed)"
+    fi
+}
+
+run_step "repro_lint (numerical-correctness rules)" \
+    python -m repro.cli lint src/repro
+
+maybe_step "ruff (syntax + undefined names)" ruff \
+    python -m ruff check src tests
+
+maybe_step "mypy (strict on repro.core/utils/metrics/analysis)" mypy \
+    python -m mypy
+
+if [ "$status" -ne 0 ]; then
+    echo "check.sh: FAILED" >&2
+else
+    echo "check.sh: all checks passed"
+fi
+exit "$status"
