@@ -1,0 +1,90 @@
+"""Smoke tests for the performance benchmark harness.
+
+These keep ``repro bench --smoke`` honest in CI: the harness must run
+in seconds, emit the documented JSON schema, and enforce the
+batched-vs-loop equivalence bound.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.perf_bench import (
+    EQUIVALENCE_TOL,
+    BenchCase,
+    default_cases,
+    default_output_name,
+    run_perf_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_perf_bench(smoke=True, seed=0)
+
+
+def test_smoke_profile_times_all_algorithms(smoke_report):
+    algorithms = {r.algorithm for r in smoke_report.records}
+    assert {"cs-batched", "cs-grouped", "cs-loop"} <= algorithms
+    assert {"naive-knn", "correlation-knn", "ga-tune"} <= algorithms
+    assert all(r.wall_s >= 0.0 for r in smoke_report.records)
+
+
+def test_smoke_profile_checks_equivalence(smoke_report):
+    case = default_cases(smoke=True)[0]
+    diff = smoke_report.equivalence_max_abs_diff[case.name]
+    assert diff <= EQUIVALENCE_TOL
+    assert case.name in smoke_report.speedups
+
+
+def test_payload_schema_roundtrips(smoke_report, tmp_path):
+    out = smoke_report.write_json(tmp_path / "bench.json")
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == 1
+    assert payload["equivalence_tol"] == EQUIVALENCE_TOL
+    assert payload["meta"]["smoke"] is True
+    record = payload["records"][0]
+    assert {"case", "algorithm", "wall_s", "repeats"} <= set(record)
+
+
+def test_render_mentions_speedup(smoke_report):
+    text = smoke_report.render()
+    assert "Performance benchmark" in text
+    assert "speedup" in text
+
+
+def test_strict_mode_rejects_disagreeing_solvers(monkeypatch):
+    # Force an artificial disagreement by lowering the tolerance to an
+    # impossible level through the module constant.
+    import repro.experiments.perf_bench as pb
+
+    monkeypatch.setattr(pb, "EQUIVALENCE_TOL", -1.0)
+    cases = [BenchCase(24, 10, 0.5)]
+    with pytest.raises(RuntimeError, match="deviates from the loop reference"):
+        pb.run_perf_bench(
+            cases=cases,
+            smoke=True,
+            iterations=3,
+            include_tune=False,
+            include_baselines=False,
+        )
+    # Non-strict mode records the diff instead of raising.
+    report = pb.run_perf_bench(
+        cases=cases,
+        smoke=True,
+        iterations=3,
+        include_tune=False,
+        include_baselines=False,
+        strict=False,
+    )
+    assert cases[0].name in report.equivalence_max_abs_diff
+
+
+def test_rejects_unknown_solver():
+    with pytest.raises(ValueError, match="unknown solver"):
+        run_perf_bench(smoke=True, solvers=("batched", "nope"))
+
+
+def test_default_output_name_is_dated():
+    assert default_output_name().startswith("BENCH_")
+    assert default_output_name().endswith(".json")

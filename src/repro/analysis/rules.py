@@ -16,6 +16,10 @@ crash:
 * ``bare-except`` — ``except:`` swallows ``KeyboardInterrupt`` and hides
   genuine numerical errors.
 * ``mutable-default`` — mutable default arguments alias across calls.
+* ``wall-clock-timing`` — ``time.time()`` is subject to NTP slew and
+  clock steps; intervals measured with it are noise on exactly the
+  machines where benchmarks run longest.  ``time.perf_counter()`` is
+  the monotonic high-resolution choice for all timing sites.
 
 Rules are registered in :data:`REGISTRY`; each receives the parsed AST
 plus a :class:`FileContext` and yields :class:`~repro.analysis.findings.Finding`
@@ -537,3 +541,44 @@ class MutableDefaultRule(Rule):
                 # np.zeros(...) etc. as a default is a shared buffer too.
                 return chain[-1] in ("zeros", "ones", "empty", "full", "array")
         return False
+
+
+@register
+class WallClockTimingRule(Rule):
+    """Flag ``time.time()`` used where an interval is being measured.
+
+    ``time.time()`` follows the system wall clock, which NTP slews and
+    steps; differences of two readings can be negative or off by the
+    adjustment amount.  Every duration in this codebase (benchmarks,
+    experiment runtime tables) must use the monotonic
+    ``time.perf_counter()``.  A genuine epoch timestamp (log record,
+    file name) is the one legitimate use — suppress those sites with
+    ``# repro-lint: disable=wall-clock-timing`` and a justification.
+    """
+
+    name = "wall-clock-timing"
+    description = "time.time() used for timing; use time.perf_counter()"
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                if _attribute_chain(node.func) == ["time", "time"]:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "time.time() is non-monotonic (NTP slew/steps) — "
+                        "intervals computed from it are unreliable",
+                        "use time.perf_counter(); suppress only for genuine "
+                        "epoch timestamps",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and any(
+                    alias.name == "time" for alias in node.names
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "importing time() unqualified invites wall-clock "
+                        "interval measurement",
+                        "import time and call time.perf_counter() at timing sites",
+                    )

@@ -13,6 +13,8 @@ Python:
 * ``experiments``  — run the paper's full experiment battery.
 * ``lint``         — run the project's numerical-correctness linter
   (:mod:`repro.analysis`) over source paths.
+* ``bench``        — time the hot paths (solvers, tuning, baselines)
+  and write a machine-readable ``BENCH_<date>.json``.
 """
 
 from __future__ import annotations
@@ -240,6 +242,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.perf_bench import (
+        default_output_name,
+        run_perf_bench,
+    )
+
+    report = run_perf_bench(
+        smoke=args.smoke,
+        seed=args.seed,
+        repeats=args.repeats,
+        max_workers=args.max_workers,
+        strict=not args.no_strict,
+    )
+    print(report.render())
+    out = report.write_json(args.output or default_output_name())
+    print(f"wrote {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -333,6 +354,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser("bench", help="run the performance benchmark harness")
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-fast CI profile (small matrices, few sweeps)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed repetitions per measurement (best-of; default 3, smoke 1)",
+    )
+    p.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        dest="max_workers",
+        help="worker pool for restarts/GA fitness (default: serial)",
+    )
+    p.add_argument(
+        "--output",
+        default=None,
+        help="JSON output path (default: BENCH_<date>.json)",
+    )
+    p.add_argument(
+        "--no-strict",
+        action="store_true",
+        dest="no_strict",
+        help="do not fail when solvers disagree beyond the tolerance",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("anomalies", help="detect incidents in a complete TCM")
     p.add_argument("input", help="complete TCM (.npz)")

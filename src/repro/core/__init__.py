@@ -32,7 +32,7 @@ from repro.core.eigenflows import (
     reconstruct_from_types,
 )
 from repro.core.completion import CompletionResult, CompressiveSensingCompleter
-from repro.core.tuning import GeneticTuner, TuningResult
+from repro.core.tuning import FitnessCacheStats, GeneticTuner, TuningResult
 from repro.core.estimator import TrafficEstimator
 from repro.core.streaming import StreamingEstimator
 from repro.core.matrix_selection import (
@@ -67,6 +67,7 @@ __all__ = [
     "reconstruct_from_types",
     "CompletionResult",
     "CompressiveSensingCompleter",
+    "FitnessCacheStats",
     "GeneticTuner",
     "TuningResult",
     "TrafficEstimator",

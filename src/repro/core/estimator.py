@@ -75,6 +75,12 @@ class TrafficEstimator:
         rather than toward zero, which is the robust production choice;
         the raw :class:`CompressiveSensingCompleter` default stays
         paper-literal).
+    solver:
+        Algorithm 1 inner solver (``"batched"``/``"grouped"``/``"loop"``,
+        see :class:`CompressiveSensingCompleter`).
+    max_workers:
+        Worker-pool size forwarded to Algorithm 1 restarts and (when the
+        tuner is created here) Algorithm 2 fitness evaluation.
     seed:
         Seeds Algorithm 1's random init (and the tuner if created here).
     """
@@ -91,6 +97,8 @@ class TrafficEstimator:
         max_speed_kmh: float = 150.0,
         mask_aware: bool = True,
         center: bool = True,
+        solver: str = "batched",
+        max_workers: Optional[int] = None,
         seed: SeedLike = None,
     ) -> None:
         self.rank = rank
@@ -103,6 +111,8 @@ class TrafficEstimator:
         self.max_speed_kmh = max_speed_kmh
         self.mask_aware = mask_aware
         self.center = center
+        self.solver = solver
+        self.max_workers = max_workers
         self._seed = seed
         self.last_tuning: Optional[TuningResult] = None
 
@@ -133,7 +143,9 @@ class TrafficEstimator:
         rank, lam = self.rank, self.lam
         tuning: Optional[TuningResult] = None
         if self.auto_tune:
-            tuner = self._tuner or GeneticTuner(seed=self._seed)
+            tuner = self._tuner or GeneticTuner(
+                solver=self.solver, max_workers=self.max_workers, seed=self._seed
+            )
             tuning = tuner.tune(measurements)
             rank, lam = tuning.rank, tuning.lam
             self.last_tuning = tuning
@@ -143,9 +155,11 @@ class TrafficEstimator:
             lam=lam,
             iterations=self.iterations,
             mask_aware=self.mask_aware,
+            solver=self.solver,
             clip_min=0.0 if self.clip_speeds else None,
             clip_max=self.max_speed_kmh if self.clip_speeds else None,
             center=self.center,
+            max_workers=self.max_workers,
             seed=self._seed,
         )
         result = completer.complete(measurements)

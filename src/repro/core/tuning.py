@@ -19,20 +19,40 @@ group where one gene is reset to a random value in its domain;
 termination after a fixed number of generations or on fitness stall.
 ``lambda`` is searched in log space (its useful range spans six decades,
 Figure 16).
+
+Fitness is the hot path — Algorithm 1 runs once per individual per
+generation — so two optimizations apply:
+
+* **Memoization** on the quantized ``(rank, log10 lambda)`` genome:
+  elite selection and crossover routinely re-breed individuals the GA
+  has already scored, and a cache hit skips the whole ALS run.  Stats
+  land in :attr:`TuningResult.cache_stats`.
+* **Parallel evaluation**: each generation's new genomes are created
+  (and their completer seeds drawn) serially from the master stream,
+  then scored concurrently via :func:`repro.utils.parallel.parallel_map`
+  when ``max_workers`` is set.  Results are bit-identical to the serial
+  order because every random decision precedes the fan-out.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.completion import CompressiveSensingCompleter
 from repro.core.tcm import TrafficConditionMatrix
 from repro.metrics.errors import nmae
+from repro.utils.parallel import parallel_map
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_fraction, check_matrix_pair
+
+# Quantization of log10(lambda) for fitness-memoization keys: two
+# lambdas within ~2e-6 relative of each other are the same genome for
+# caching purposes (far finer than the GA's search resolution).
+_LOG_LAM_QUANTUM = 1e-6
 
 
 @dataclass(frozen=True)
@@ -42,6 +62,27 @@ class Candidate:
     rank: int
     lam: float
     fitness: float
+
+
+@dataclass(frozen=True)
+class FitnessCacheStats:
+    """Fitness-memoization counters for one :meth:`GeneticTuner.tune` run.
+
+    Attributes
+    ----------
+    evaluations:
+        Algorithm 1 runs actually performed.
+    hits:
+        Individuals whose fitness was served from the genome cache.
+    """
+
+    evaluations: int
+    hits: int
+
+    @property
+    def requested(self) -> int:
+        """Total fitness lookups (evaluations + hits)."""
+        return self.evaluations + self.hits
 
 
 @dataclass(frozen=True)
@@ -60,6 +101,9 @@ class TuningResult:
         Best fitness after each generation.
     population:
         Final population, best first.
+    cache_stats:
+        Fitness memoization counters (``None`` on results built by
+        legacy callers).
     """
 
     rank: int
@@ -68,6 +112,63 @@ class TuningResult:
     generations_run: int
     history: List[float]
     population: List[Candidate]
+    cache_stats: Optional[FitnessCacheStats] = None
+
+
+@dataclass(frozen=True)
+class _FitnessTask:
+    """Everything one fitness evaluation needs, prepared up front.
+
+    Module-level and fully self-contained so the evaluation function is
+    picklable and the task can be dispatched to any
+    :func:`repro.utils.parallel.parallel_map` backend.
+    """
+
+    rank: int
+    lam: float
+    seed: int
+    train_m: np.ndarray
+    train_mask: np.ndarray
+    values: np.ndarray
+    val_mask: np.ndarray
+    iterations: int
+    mask_aware: bool
+    solver: str
+
+
+def _evaluate_fitness(task: _FitnessTask) -> float:
+    """Run Algorithm 1 for one genome; NMAE on the hidden validation cells."""
+    completer = CompressiveSensingCompleter(
+        rank=task.rank,
+        lam=task.lam,
+        iterations=task.iterations,
+        mask_aware=task.mask_aware,
+        solver=task.solver,
+        seed=task.seed,
+    )
+    result = completer.complete(task.train_m, task.train_mask)
+    return nmae(task.values, result.estimate, task.val_mask)
+
+
+def _genome_key(rank: int, lam: float) -> Tuple[int, int]:
+    """Memoization key: the quantized (rank, log10 lambda) genome."""
+    return rank, int(round(math.log10(lam) / _LOG_LAM_QUANTUM))
+
+
+@dataclass
+class _EvalSession:
+    """Per-``tune()`` evaluation state: data split, cache, counters."""
+
+    train_m: np.ndarray
+    train_mask: np.ndarray
+    values: np.ndarray
+    val_mask: np.ndarray
+    cache: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    evaluations: int = 0
+    hits: int = 0
+
+    def stats(self) -> FitnessCacheStats:
+        return FitnessCacheStats(evaluations=self.evaluations, hits=self.hits)
 
 
 class GeneticTuner:
@@ -96,6 +197,12 @@ class GeneticTuner:
     completer_iterations:
         ALS sweeps per fitness evaluation (kept below the paper's 100
         because tuning runs Algorithm 1 population x generations times).
+    solver:
+        Inner solver handed to Algorithm 1 for fitness runs (see
+        :class:`CompressiveSensingCompleter`).
+    max_workers:
+        Evaluate each generation's genomes on a thread pool of this
+        size (``None``/``1`` = serial; results identical either way).
     seed:
         Master random stream.
     """
@@ -112,6 +219,8 @@ class GeneticTuner:
         stall_generations: Optional[int] = 4,
         completer_iterations: int = 30,
         mask_aware: bool = True,
+        solver: str = "batched",
+        max_workers: Optional[int] = None,
         seed: SeedLike = None,
     ) -> None:
         lo_r, hi_r = rank_bounds
@@ -133,6 +242,8 @@ class GeneticTuner:
             raise ValueError("validation_fraction must be in (0, 1)")
         if stall_generations is not None and stall_generations < 1:
             raise ValueError("stall_generations must be >= 1 or None")
+        if max_workers is not None and max_workers < 0:
+            raise ValueError(f"max_workers must be >= 0 or None, got {max_workers}")
         self.rank_bounds = (int(lo_r), int(hi_r))
         self.lam_bounds = (float(lo_l), float(hi_l))
         self.population_size = population_size
@@ -143,6 +254,8 @@ class GeneticTuner:
         self.stall_generations = stall_generations
         self.completer_iterations = completer_iterations
         self.mask_aware = mask_aware
+        self.solver = solver
+        self.max_workers = max_workers
         self._seed = seed
 
     # ------------------------------------------------------------------
@@ -165,27 +278,22 @@ class GeneticTuner:
         train_mask, val_mask = self._split_validation(b_arr, rng)
         if not val_mask.any() or not train_mask.any():
             raise ValueError("too few observed entries to build a validation split")
-        train_m = np.where(train_mask, m_arr, 0.0)
+        session = _EvalSession(
+            train_m=np.where(train_mask, m_arr, 0.0),
+            train_mask=train_mask,
+            values=m_arr,
+            val_mask=val_mask,
+        )
 
         max_rank = min(self.rank_bounds[1], min(m_arr.shape))
         min_rank = min(self.rank_bounds[0], max_rank)
 
-        def evaluate(rank: int, lam: float) -> float:
-            completer = CompressiveSensingCompleter(
-                rank=rank,
-                lam=lam,
-                iterations=self.completer_iterations,
-                mask_aware=self.mask_aware,
-                seed=int(rng.integers(0, 2**63 - 1)),
-            )
-            result = completer.complete(train_m, train_mask)
-            return nmae(m_arr, result.estimate, val_mask)
-
         # 1) Initialization: uniform in rank, log-uniform in lambda.
-        population = [
-            self._random_candidate(min_rank, max_rank, rng, evaluate)
+        genomes = [
+            self._random_genome(min_rank, max_rank, rng)
             for _ in range(self.population_size)
         ]
+        population = self._evaluate_batch(genomes, session)
         population.sort(key=lambda c: c.fitness)
 
         history: List[float] = []
@@ -196,7 +304,7 @@ class GeneticTuner:
         for _ in range(self.generations):
             generations_run += 1
             population = self._next_generation(
-                population, min_rank, max_rank, rng, evaluate
+                population, min_rank, max_rank, rng, session
             )
             population.sort(key=lambda c: c.fitness)
             history.append(population[0].fitness)
@@ -218,6 +326,7 @@ class GeneticTuner:
             generations_run=generations_run,
             history=history,
             population=population,
+            cache_stats=session.stats(),
         )
 
     # ------------------------------------------------------------------
@@ -233,10 +342,55 @@ class GeneticTuner:
         val_mask[chosen[:, 0], chosen[:, 1]] = True
         return b_arr & ~val_mask, val_mask
 
-    def _random_candidate(self, min_rank, max_rank, rng, evaluate) -> Candidate:
+    # ------------------------------------------------------------------
+    # Fitness evaluation (memoized, optionally parallel)
+    # ------------------------------------------------------------------
+    def _evaluate_batch(
+        self, genomes: List[Tuple[int, float, int]], session: _EvalSession
+    ) -> List[Candidate]:
+        """Score ``(rank, lam, seed)`` genomes; cache by quantized genome.
+
+        Duplicate genomes within the batch and across generations share
+        one Algorithm 1 run (the first occurrence's seed).  The novel
+        genomes are evaluated via :func:`parallel_map` — every random
+        decision was already made when the genome list was built, so the
+        fan-out cannot change results.
+        """
+        keys = [_genome_key(rank, lam) for rank, lam, _ in genomes]
+        fresh: Dict[Tuple[int, int], _FitnessTask] = {}
+        for (rank, lam, seed), key in zip(genomes, keys):
+            if key not in session.cache and key not in fresh:
+                fresh[key] = _FitnessTask(
+                    rank=rank,
+                    lam=lam,
+                    seed=seed,
+                    train_m=session.train_m,
+                    train_mask=session.train_mask,
+                    values=session.values,
+                    val_mask=session.val_mask,
+                    iterations=self.completer_iterations,
+                    mask_aware=self.mask_aware,
+                    solver=self.solver,
+                )
+        tasks = list(fresh.values())
+        fitnesses = parallel_map(
+            _evaluate_fitness, tasks, max_workers=self.max_workers, backend="thread"
+        )
+        for task, fitness in zip(tasks, fitnesses):
+            session.cache[_genome_key(task.rank, task.lam)] = fitness
+        session.evaluations += len(tasks)
+        session.hits += len(genomes) - len(tasks)
+        return [
+            Candidate(rank, lam, session.cache[key])
+            for (rank, lam, _), key in zip(genomes, keys)
+        ]
+
+    def _random_genome(
+        self, min_rank: int, max_rank: int, rng: np.random.Generator
+    ) -> Tuple[int, float, int]:
         rank = int(rng.integers(min_rank, max_rank + 1))
         lam = self._random_lam(rng)
-        return Candidate(rank, lam, evaluate(rank, lam))
+        return rank, lam, int(rng.integers(0, 2**63 - 1))
 
     def _random_lam(self, rng: np.random.Generator) -> float:
         lo, hi = np.log(self.lam_bounds[0]), np.log(self.lam_bounds[1])
@@ -247,19 +401,30 @@ class GeneticTuner:
     ) -> Candidate:
         """Roulette-wheel selection; lower NMAE -> higher weight."""
         fitness = np.array([c.fitness for c in population])
-        fitness = np.where(np.isfinite(fitness), fitness, fitness[np.isfinite(fitness)].max() if np.isfinite(fitness).any() else 1.0)
+        fitness = np.where(
+            np.isfinite(fitness),
+            fitness,
+            fitness[np.isfinite(fitness)].max() if np.isfinite(fitness).any() else 1.0,
+        )
         weights = 1.0 / (fitness + 1e-6)
         weights /= weights.sum()
         return population[int(rng.choice(len(population), p=weights))]
 
     def _next_generation(
-        self, population, min_rank, max_rank, rng, evaluate
+        self,
+        population: List[Candidate],
+        min_rank: int,
+        max_rank: int,
+        rng: np.random.Generator,
+        session: _EvalSession,
     ) -> List[Candidate]:
+        """Elites carried over; crossover/mutation genomes bred serially,
+        then scored as one (memoized, optionally parallel) batch."""
         n_elite = max(1, int(round(self.population_size * self.elite_fraction)))
         n_cross = int(round(self.population_size * self.crossover_fraction))
         n_mut = self.population_size - n_elite - n_cross
 
-        next_pop: List[Candidate] = list(population[:n_elite])
+        genomes: List[Tuple[int, float, int]] = []
 
         # Crossover: child takes one gene from each parent.
         for _ in range(n_cross):
@@ -270,7 +435,7 @@ class GeneticTuner:
             else:
                 rank, lam = b.rank, a.lam
             rank = int(np.clip(rank, min_rank, max_rank))
-            next_pop.append(Candidate(rank, lam, evaluate(rank, lam)))
+            genomes.append((rank, lam, int(rng.integers(0, 2**63 - 1))))
 
         # Mutation: reset one gene of a selected parent to a random value.
         for _ in range(max(0, n_mut)):
@@ -281,6 +446,6 @@ class GeneticTuner:
             else:
                 rank = parent.rank
                 lam = self._random_lam(rng)
-            next_pop.append(Candidate(rank, lam, evaluate(rank, lam)))
+            genomes.append((rank, lam, int(rng.integers(0, 2**63 - 1))))
 
-        return next_pop
+        return list(population[:n_elite]) + self._evaluate_batch(genomes, session)

@@ -52,13 +52,25 @@ class AlgorithmSpec:
         return result.estimate if hasattr(result, "estimate") else result
 
 
-def make_completer(seed: int = 0, **overrides) -> CompressiveSensingCompleter:
-    """The experiments' CS configuration with optional overrides."""
+def make_completer(
+    seed: int = 0,
+    solver: str = "batched",
+    max_workers: Optional[int] = None,
+    **overrides,
+) -> CompressiveSensingCompleter:
+    """The experiments' CS configuration with optional overrides.
+
+    ``solver`` selects the Algorithm 1 inner solver and ``max_workers``
+    sizes the restart worker pool (both forwarded verbatim; see
+    :class:`CompressiveSensingCompleter`).
+    """
     params = dict(
         rank=TUNED_RANK,
         lam=TUNED_LAMBDA,
         iterations=CS_ITERATIONS,
         clip_min=0.0,
+        solver=solver,
+        max_workers=max_workers,
         seed=seed,
     )
     params.update(overrides)

@@ -1,4 +1,4 @@
-"""Shared utilities: deterministic RNG handling, validation, contracts."""
+"""Shared utilities: RNG handling, validation, contracts, parallelism."""
 
 from repro.utils.contracts import (
     ContractError,
@@ -6,6 +6,7 @@ from repro.utils.contracts import (
     set_enabled,
     shapes,
 )
+from repro.utils.parallel import available_workers, parallel_map, resolve_workers
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.validation import (
     check_finite,
@@ -22,6 +23,9 @@ __all__ = [
     "shapes",
     "ensure_rng",
     "spawn_rngs",
+    "available_workers",
+    "parallel_map",
+    "resolve_workers",
     "check_finite",
     "check_fraction",
     "check_matrix_pair",

@@ -1,0 +1,97 @@
+"""Deterministic fan-out of independent numerical jobs.
+
+ALS restarts and GA fitness evaluations are embarrassingly parallel:
+each job is a pure function of arguments prepared *up front* (including
+any random state, see :func:`repro.utils.rng.spawn_rngs`).  This module
+provides the one primitive those call sites need — an order-preserving
+``map`` over a worker pool — so the parallel path is *bit-identical* to
+the serial path: the caller fixes every input before dispatch, and the
+results come back in submission order regardless of completion order.
+
+Backends:
+
+* ``"serial"`` — a plain loop; the reference behavior.
+* ``"thread"`` — :class:`~concurrent.futures.ThreadPoolExecutor`.  The
+  default for the library's own call sites: the hot work is NumPy/LAPACK
+  which releases the GIL, and threads avoid pickling matrices.
+* ``"process"`` — :class:`~concurrent.futures.ProcessPoolExecutor` for
+  pure-Python-bound work.  Requires ``fn`` and every item/result to be
+  picklable (module-level functions, not closures).
+
+``max_workers`` of ``None``, ``0`` or ``1`` short-circuits to the serial
+loop — so plumbing ``max_workers=None`` through a constructor costs
+nothing until a caller opts in.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+BACKENDS = ("serial", "thread", "process")
+
+__all__ = ["BACKENDS", "available_workers", "parallel_map", "resolve_workers"]
+
+
+def available_workers() -> int:
+    """Usable CPU count (>= 1) for sizing worker pools."""
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_workers(max_workers: Optional[int], num_items: int) -> int:
+    """Effective pool size for ``num_items`` jobs.
+
+    ``None``/``0``/``1`` mean serial; otherwise the pool is capped by the
+    number of jobs (extra workers would only idle).
+    """
+    if max_workers is not None and max_workers < 0:
+        raise ValueError(f"max_workers must be >= 0 or None, got {max_workers}")
+    if max_workers is None or max_workers <= 1:
+        return 1
+    return max(1, min(max_workers, num_items))
+
+
+def parallel_map(
+    fn: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    max_workers: Optional[int] = None,
+    backend: str = "thread",
+) -> List[ResultT]:
+    """``[fn(item) for item in items]``, optionally on a worker pool.
+
+    Results are returned in the order of ``items`` (never completion
+    order), so a deterministic ``fn`` makes the output independent of
+    ``max_workers`` and ``backend``.  The first exception raised by any
+    job propagates to the caller, as in the serial loop.
+
+    Parameters
+    ----------
+    fn:
+        The job.  Must be picklable (a module-level function) for the
+        ``"process"`` backend; any callable works for the others.
+    items:
+        Job inputs, fully prepared up front.
+    max_workers:
+        Pool size; ``None``/``0``/``1`` run serially.
+    backend:
+        ``"serial"``, ``"thread"``, or ``"process"``.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r} (choose from {BACKENDS})")
+    jobs = list(items)
+    workers = resolve_workers(max_workers, len(jobs))
+    if backend == "serial" or workers <= 1:
+        return [fn(item) for item in jobs]
+    executor: Executor
+    if backend == "thread":
+        executor = ThreadPoolExecutor(max_workers=workers)
+    else:
+        executor = ProcessPoolExecutor(max_workers=workers)
+    with executor:
+        # Executor.map preserves submission order and re-raises the
+        # first failing job's exception on iteration.
+        return list(executor.map(fn, jobs))

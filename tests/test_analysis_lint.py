@@ -252,6 +252,37 @@ class TestMutableDefault:
 
 
 # ----------------------------------------------------------------------
+# wall-clock-timing
+# ----------------------------------------------------------------------
+class TestWallClockTiming:
+    def test_flags_time_time_call(self):
+        src = "import time\nstart = time.time()\n"
+        assert "wall-clock-timing" in rules_hit(src)
+
+    def test_flags_from_time_import_time(self):
+        assert "wall-clock-timing" in rules_hit("from time import time\n")
+
+    def test_perf_counter_is_clean(self):
+        src = "import time\nstart = time.perf_counter()\n"
+        assert "wall-clock-timing" not in rules_hit(src)
+
+    def test_other_time_imports_are_clean(self):
+        assert "wall-clock-timing" not in rules_hit("from time import sleep\n")
+
+    def test_monotonic_is_clean(self):
+        src = "import time\nstamp = time.monotonic()\n"
+        assert "wall-clock-timing" not in rules_hit(src)
+
+    def test_suppression_comment(self):
+        src = (
+            "import time\n"
+            "epoch = time.time()  # repro-lint: disable=wall-clock-timing\n"
+        )
+        report = lint_source(src)
+        assert not report.findings and len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
 # Runner / API behavior
 # ----------------------------------------------------------------------
 class TestRunner:

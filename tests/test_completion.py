@@ -235,3 +235,140 @@ class TestEdgeCases:
         completer = CompressiveSensingCompleter(rank=2, lam=1.0, iterations=8, seed=seed)
         result = completer.complete(np.where(mask, x, 0.0), mask)
         assert np.all(np.isfinite(result.estimate))
+
+
+class TestSolverEquivalence:
+    """The vectorized solvers must reproduce the loop reference."""
+
+    @staticmethod
+    def _complete_all(measured, mask, **params):
+        return {
+            solver: CompressiveSensingCompleter(
+                solver=solver, seed=0, **params
+            ).complete(measured, mask)
+            for solver in ("loop", "batched", "grouped")
+        }
+
+    @staticmethod
+    def _assert_match(results, tol=1e-8):
+        reference = results["loop"].estimate
+        for solver in ("batched", "grouped"):
+            diff = np.max(np.abs(results[solver].estimate - reference))
+            assert diff <= tol, f"{solver} deviates by {diff}"
+            assert results[solver].objective == pytest.approx(
+                results["loop"].objective, rel=1e-9, abs=1e-9
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        mask_seed=st.integers(0, 2**31 - 1),
+        integrity=st.floats(0.05, 0.95),
+        rank=st.integers(1, 5),
+        mask_aware=st.booleans(),
+    )
+    def test_random_masks(self, mask_seed, integrity, rank, mask_aware):
+        x = make_low_rank(14, 10, 2, seed=3)
+        mask = random_integrity_mask(x.shape, integrity, seed=mask_seed)
+        results = self._complete_all(
+            np.where(mask, x, 0.0),
+            mask,
+            rank=rank,
+            lam=0.7,
+            iterations=6,
+            mask_aware=mask_aware,
+        )
+        self._assert_match(results)
+
+    def test_all_unobserved_columns(self):
+        x = make_low_rank(12, 8, 2, seed=4)
+        mask = random_integrity_mask(x.shape, 0.6, seed=5)
+        mask[:, [1, 6]] = False
+        results = self._complete_all(
+            np.where(mask, x, 0.0), mask, rank=2, lam=0.3, iterations=8
+        )
+        self._assert_match(results)
+
+    def test_all_unobserved_rows(self):
+        x = make_low_rank(12, 8, 2, seed=6)
+        mask = random_integrity_mask(x.shape, 0.6, seed=7)
+        mask[[0, 5, 11], :] = False
+        results = self._complete_all(
+            np.where(mask, x, 0.0), mask, rank=2, lam=0.3, iterations=8
+        )
+        self._assert_match(results)
+
+    def test_rank_above_observed_rows(self):
+        # Fewer observations per column than factor columns: the Gram
+        # matrix is rank-deficient and only the ridge term makes the
+        # solve well-posed — all solvers must agree on that solution.
+        x = make_low_rank(9, 7, 2, seed=8)
+        mask = random_integrity_mask(x.shape, 0.25, seed=9)
+        results = self._complete_all(
+            np.where(mask, x, 0.0), mask, rank=6, lam=0.5, iterations=6
+        )
+        self._assert_match(results)
+
+    def test_mask_oblivious_literal_mode(self):
+        x = make_low_rank(10, 6, 2, seed=10)
+        mask = random_integrity_mask(x.shape, 0.5, seed=11)
+        results = self._complete_all(
+            np.where(mask, x, 0.0),
+            mask,
+            rank=2,
+            lam=1.0,
+            iterations=10,
+            mask_aware=False,
+        )
+        self._assert_match(results)
+
+    def test_centered_mode(self):
+        x = make_low_rank(10, 6, 2, seed=12)
+        mask = random_integrity_mask(x.shape, 0.5, seed=13)
+        results = self._complete_all(
+            np.where(mask, x, 0.0),
+            mask,
+            rank=2,
+            lam=1.0,
+            iterations=10,
+            center=True,
+        )
+        self._assert_match(results)
+
+
+class TestParallelRestarts:
+    """Worker pools must not change numbers: parallel == serial, bitwise."""
+
+    def _completer(self, max_workers):
+        return CompressiveSensingCompleter(
+            rank=2, lam=0.2, iterations=15, restarts=4, max_workers=max_workers, seed=0
+        )
+
+    def test_parallel_bit_identical_to_serial(self, low_rank_matrix):
+        mask = random_integrity_mask(low_rank_matrix.shape, 0.5, seed=21)
+        measured = np.where(mask, low_rank_matrix, 0.0)
+        serial = self._completer(None).complete(measured, mask)
+        parallel = self._completer(4).complete(measured, mask)
+        assert np.array_equal(serial.estimate, parallel.estimate)
+        assert serial.objective == parallel.objective
+        assert serial.objective_history == parallel.objective_history
+        assert serial.restart_histories == parallel.restart_histories
+        assert serial.best_restart == parallel.best_restart
+
+    def test_restart_histories_structure(self, low_rank_matrix):
+        mask = random_integrity_mask(low_rank_matrix.shape, 0.5, seed=22)
+        measured = np.where(mask, low_rank_matrix, 0.0)
+        result = self._completer(None).complete(measured, mask)
+        assert result.num_restarts == 4
+        assert 0 <= result.best_restart < 4
+        assert result.objective_history == result.restart_histories[result.best_restart]
+        assert result.iterations_run == sum(
+            len(h) for h in result.restart_histories
+        )
+        # The winner is the restart with the lowest final objective.
+        finals = [h[-1] for h in result.restart_histories]
+        assert result.objective == pytest.approx(min(finals))
+        assert result.best_restart == finals.index(min(finals))
+
+    def test_max_workers_validated(self):
+        with pytest.raises(ValueError):
+            CompressiveSensingCompleter(max_workers=-2)

@@ -1,0 +1,57 @@
+"""Fast tier-1 coverage of the perf-bench harness.
+
+The full smoke profile (all solvers, baselines, GA tuning) lives in
+``benchmarks/perf/test_bench_smoke.py`` and runs in the CI perf job;
+here we keep the harness importable and correct on a tiny workload so
+a refactor cannot silently break ``repro bench``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.perf_bench import (
+    EQUIVALENCE_TOL,
+    BenchCase,
+    run_perf_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_perf_bench(
+        cases=[BenchCase(30, 12, 0.5)],
+        smoke=True,
+        iterations=4,
+        include_tune=False,
+        include_baselines=False,
+    )
+
+
+def test_tiny_case_checks_equivalence(tiny_report):
+    assert tiny_report.equivalence_max_abs_diff["30x12@0.50"] <= EQUIVALENCE_TOL
+    assert "30x12@0.50" in tiny_report.speedups
+    assert {r.algorithm for r in tiny_report.records} == {
+        "cs-batched",
+        "cs-grouped",
+        "cs-loop",
+    }
+
+
+def test_json_payload_schema(tiny_report, tmp_path):
+    out = tiny_report.write_json(tmp_path / "bench.json")
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == 1
+    assert payload["equivalence_tol"] == EQUIVALENCE_TOL
+    assert len(payload["records"]) == 3
+
+
+def test_cli_bench_smoke_writes_json(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["bench", "--smoke", "--output", "out.json"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "speedup" in captured
+    payload = json.loads((tmp_path / "out.json").read_text())
+    assert payload["meta"]["smoke"] is True

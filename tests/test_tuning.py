@@ -110,3 +110,52 @@ class TestTuning:
         mask[0, 0] = True
         with pytest.raises(ValueError, match="validation"):
             quick_tuner().tune(values, mask)
+
+
+class TestFitnessMemoization:
+    def test_cache_stats_reported(self, measured_pair):
+        measured, mask = measured_pair
+        result = quick_tuner().tune(measured, mask)
+        stats = result.cache_stats
+        assert stats is not None
+        assert stats.evaluations >= 1
+        assert stats.hits >= 0
+        assert stats.requested == stats.evaluations + stats.hits
+
+    def test_elitism_and_convergence_hit_the_cache(self, measured_pair):
+        # A tiny rank range concentrates the population on few genomes,
+        # so later generations must re-request already-scored ones.
+        measured, mask = measured_pair
+        result = quick_tuner(
+            rank_bounds=(1, 2),
+            lam_bounds=(1.0, 10.0),
+            generations=4,
+            stall_generations=None,
+        ).tune(measured, mask)
+        assert result.cache_stats is not None
+        assert result.cache_stats.hits >= 1
+        # Memoization saves work; it must never *add* lookups.
+        assert result.cache_stats.evaluations <= result.cache_stats.requested
+
+    def test_genome_key_quantizes_lambda(self):
+        from repro.core.tuning import _genome_key
+
+        assert _genome_key(3, 10.0) == _genome_key(3, 10.0 * (1 + 1e-12))
+        assert _genome_key(3, 10.0) != _genome_key(3, 10.1)
+        assert _genome_key(3, 10.0) != _genome_key(4, 10.0)
+
+
+class TestParallelTuning:
+    def test_parallel_bit_identical_to_serial(self, measured_pair):
+        measured, mask = measured_pair
+        serial = quick_tuner(max_workers=None).tune(measured, mask)
+        parallel = quick_tuner(max_workers=3).tune(measured, mask)
+        assert serial.rank == parallel.rank
+        assert serial.lam == parallel.lam
+        assert serial.fitness == parallel.fitness
+        assert serial.generations_run == parallel.generations_run
+        assert serial.history == parallel.history
+
+    def test_max_workers_validated(self):
+        with pytest.raises(ValueError):
+            quick_tuner(max_workers=-1)
