@@ -13,6 +13,7 @@ from repro.experiments.perf_bench import (
     EQUIVALENCE_TOL,
     BenchCase,
     default_cases,
+    default_ingestion_reports,
     default_output_name,
     run_perf_bench,
 )
@@ -27,6 +28,7 @@ def test_smoke_profile_times_all_algorithms(smoke_report):
     algorithms = {r.algorithm for r in smoke_report.records}
     assert {"cs-batched", "cs-grouped", "cs-loop"} <= algorithms
     assert {"naive-knn", "correlation-knn", "ga-tune"} <= algorithms
+    assert {"mapmatch-vectorized", "aggregate-bincount"} <= algorithms
     assert all(r.wall_s >= 0.0 for r in smoke_report.records)
 
 
@@ -37,10 +39,27 @@ def test_smoke_profile_checks_equivalence(smoke_report):
     assert case.name in smoke_report.speedups
 
 
+def test_smoke_profile_checks_ingestion_equivalence(smoke_report):
+    case = f"ingest-{default_ingestion_reports(smoke=True) // 1000}k"
+    assert smoke_report.equivalence_max_abs_diff[f"{case}-mapmatch"] == 0.0
+    assert (
+        smoke_report.equivalence_max_abs_diff[f"{case}-aggregate"]
+        <= EQUIVALENCE_TOL
+    )
+    assert smoke_report.speedups[f"{case}-pipeline"] > 0.0
+
+
+def test_smoke_profile_checks_baseline_equivalence(smoke_report):
+    case = default_cases(smoke=True)[0]
+    for name in ("correlation-knn", "mssa"):
+        key = f"{case.name}-{name}"
+        assert smoke_report.equivalence_max_abs_diff[key] <= EQUIVALENCE_TOL
+
+
 def test_payload_schema_roundtrips(smoke_report, tmp_path):
     out = smoke_report.write_json(tmp_path / "bench.json")
     payload = json.loads(out.read_text())
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
     assert payload["equivalence_tol"] == EQUIVALENCE_TOL
     assert payload["meta"]["smoke"] is True
     record = payload["records"][0]

@@ -20,6 +20,12 @@ crash:
   clock steps; intervals measured with it are noise on exactly the
   machines where benchmarks run longest.  ``time.perf_counter()`` is
   the monotonic high-resolution choice for all timing sites.
+* ``ingestion-loop`` — a per-report Python loop inside
+  ``repro/probes/`` runs the interpreter once per probe report; at
+  fleet scale (10^5–10^6 reports) that is the ingestion bottleneck.
+  The batched APIs (``MapMatcher.match_batch``, ``aggregate_reports``,
+  ``split_trajectories``) do the same work in a handful of array ops.
+  Intentional scalar *reference* paths are suppressed inline.
 
 Rules are registered in :data:`REGISTRY`; each receives the parsed AST
 plus a :class:`FileContext` and yields :class:`~repro.analysis.findings.Finding`
@@ -582,3 +588,111 @@ class WallClockTimingRule(Rule):
                         "interval measurement",
                         "import time and call time.perf_counter() at timing sites",
                     )
+
+
+@register
+class IngestionLoopRule(Rule):
+    """Flag per-report Python loops over probe batches in ``repro/probes/``.
+
+    Iterating a :class:`~repro.probes.report.ReportBatch` report by
+    report (``for r in batch``) or zipping its columns into a scalar
+    loop re-enters the interpreter once per probe report.  The probes
+    package is the ingestion hot path — at realistic fleet sizes these
+    loops dominate end-to-end runtime, which is why every production
+    path has a vectorized counterpart (``MapMatcher.match_batch``,
+    ``aggregate_reports(method="bincount")``, ``split_trajectories``).
+    Scalar *reference* implementations kept for equivalence testing are
+    legitimate — suppress those sites with
+    ``# repro-lint: disable-next-line=ingestion-loop`` and a comment
+    saying so.
+    """
+
+    name = "ingestion-loop"
+    description = "per-report Python loop in the probe ingestion hot path"
+
+    #: The columnar container itself converts rows to columns (and lazily
+    #: back) by design; its boundary loops are the one place per-report
+    #: iteration is the point.
+    _exempt_suffixes = ("repro/probes/report.py",)
+
+    #: Names that (by convention throughout ``repro.probes``) bind a
+    #: whole batch of probe reports.  Only bare locals/parameters count:
+    #: attribute accesses like ``traj.reports`` are per-trajectory
+    #: (tens of elements), not fleet-scale.
+    _BATCH_SUFFIXES = ("batch", "reports")
+
+    #: Local-variable names that (again by convention) bind per-report
+    #: column arrays; ``zip()``-ing them back into scalars undoes the
+    #: columnar layout.
+    _COLUMN_NAMES = frozenset(
+        {
+            "vehicles",
+            "vehicle_ids",
+            "times",
+            "times_s",
+            "xs",
+            "ys",
+            "speeds",
+            "speeds_kmh",
+            "segs",
+            "segment_ids",
+            "headings",
+            "headings_deg",
+            "slots",
+        }
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        path = ctx.posix_path()
+        if "repro/probes/" not in path:
+            return
+        if any(path.endswith(suffix) for suffix in self._exempt_suffixes):
+            return
+        for node in ast.walk(tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = [node.iter]
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters = [gen.iter for gen in node.generators]
+            for it in iters:
+                reason = self._per_report_reason(it)
+                if reason:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"per-report Python loop over {reason} runs the "
+                        "interpreter once per probe report",
+                        "use the batched array APIs (match_batch, "
+                        "aggregate_reports, split_trajectories); suppress "
+                        "only intentional scalar reference paths",
+                    )
+                    break
+
+    def _per_report_reason(self, it: ast.expr) -> str:
+        """Why iterating ``it`` is per-report; empty string if it isn't."""
+        if self._is_batch_expr(it):
+            return "a report batch"
+        if (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "zip"
+        ):
+            for arg in it.args:
+                if isinstance(arg, ast.Name) and arg.id in self._COLUMN_NAMES:
+                    return "zipped report columns"
+                chain = _attribute_chain(arg)
+                if len(chain) >= 2 and self._is_batch_name(chain[0]):
+                    return "zipped report columns"
+        return ""
+
+    def _is_batch_expr(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and self._is_batch_name(node.id)
+
+    def _is_batch_name(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(
+            lowered == suffix or lowered.endswith("_" + suffix)
+            for suffix in self._BATCH_SUFFIXES
+        )

@@ -149,7 +149,10 @@ def _cmd_integrity(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as runner_main
 
-    return runner_main(["--profile", args.profile, "--seed", str(args.seed)])
+    argv = ["--profile", args.profile, "--seed", str(args.seed)]
+    if args.max_workers is not None:
+        argv += ["--max-workers", str(args.max_workers)]
+    return runner_main(argv)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -244,6 +247,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.perf_bench import (
+        compare_with_baseline,
         default_output_name,
         run_perf_bench,
     )
@@ -258,6 +262,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(report.render())
     out = report.write_json(args.output or default_output_name())
     print(f"wrote {out}")
+    if args.compare:
+        comparison = compare_with_baseline(
+            report, args.compare, threshold=args.compare_threshold
+        )
+        print(comparison.render())
+        if not comparison.ok:
+            return 1
     return 0
 
 
@@ -315,6 +326,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="run the paper's experiment battery")
     p.add_argument("--profile", choices=("quick", "paper"), default="quick")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        dest="max_workers",
+        help="thread-pool width for independent figure/table cells",
+    )
     p.set_defaults(func=_cmd_experiments)
 
     p = sub.add_parser("report", help="write the battery as a Markdown report")
@@ -385,6 +403,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="no_strict",
         help="do not fail when solvers disagree beyond the tolerance",
+    )
+    p.add_argument(
+        "--compare",
+        default=None,
+        help="committed BENCH_<date>.json to diff against; exits non-zero "
+        "when any tracked case regressed beyond the threshold",
+    )
+    p.add_argument(
+        "--compare-threshold",
+        type=float,
+        default=1.5,
+        dest="compare_threshold",
+        help="wall-clock regression factor that fails the comparison",
     )
     p.set_defaults(func=_cmd_bench)
 

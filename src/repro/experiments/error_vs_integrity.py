@@ -22,6 +22,7 @@ from repro.core.tcm import TimeGrid, TrafficConditionMatrix
 from repro.datasets.masks import random_integrity_mask
 from repro.experiments.config import AlgorithmSpec, default_algorithms
 from repro.experiments.reporting import format_series
+from repro.experiments.scenario_cache import GLOBAL_SCENARIO_CACHE
 from repro.metrics.errors import estimate_error
 from repro.roadnet.generators import shanghai_downtown_like, shenzhen_downtown_like
 from repro.traffic.groundtruth import GroundTruthTraffic
@@ -107,16 +108,34 @@ class ErrorVsIntegrityResult:
 
 
 def build_city_truth(
-    city: str, days: float, seed: int = 0
+    city: str, days: float, seed: int = 0, use_cache: bool = True
 ) -> GroundTruthTraffic:
-    """The city's downtown ground truth at the base 15-min granularity."""
+    """The city's downtown ground truth at the base 15-min granularity.
+
+    Seven experiment drivers request the same (city, days, seed) truth;
+    the result is served from the process-wide scenario cache so each
+    city is synthesized once per run.  The cached object is shared —
+    treat it as read-only.  ``use_cache=False`` forces a cold build
+    (tests compare it bit-for-bit against the cached copy).
+    """
+    if city not in ("shanghai", "shenzhen"):
+        raise ValueError(f"unknown city {city!r}")
+    if not use_cache:
+        return _build_city_truth_uncached(city, days, seed)
+    return GLOBAL_SCENARIO_CACHE.get_or_build(
+        {"kind": "city_truth", "city": city, "days": days, "seed": seed},
+        lambda: _build_city_truth_uncached(city, days, seed),
+    )
+
+
+def _build_city_truth_uncached(
+    city: str, days: float, seed: int
+) -> GroundTruthTraffic:
     traffic_rng, = spawn_rngs(seed, 1)
     if city == "shanghai":
         network = shanghai_downtown_like(seed=0)
-    elif city == "shenzhen":
-        network = shenzhen_downtown_like(seed=1)
     else:
-        raise ValueError(f"unknown city {city!r}")
+        network = shenzhen_downtown_like(seed=1)
     grid = TimeGrid.over_days(days, 900.0)
     return GroundTruthTraffic.synthesize(network, grid, seed=traffic_rng)
 

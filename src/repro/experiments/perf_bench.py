@@ -2,26 +2,36 @@
 
 The ROADMAP's north star is a system that runs "as fast as the hardware
 allows"; this module is the measuring stick.  It times the hot paths —
-Algorithm 1 under each inner solver, Algorithm 2 tuning, and the KNN
-baselines — across matrix sizes and integrities, verifies that the
-vectorized solvers agree with the per-column loop reference to
-:data:`EQUIVALENCE_TOL`, and emits a machine-readable ``BENCH_*.json``
-so speedups are *recorded*, not anecdotal.
+Algorithm 1 under each inner solver, Algorithm 2 tuning, the probe
+ingestion pipeline (map-matching + aggregation), and the baselines —
+across matrix sizes and integrities, verifies that every vectorized
+path agrees with its scalar reference to :data:`EQUIVALENCE_TOL`, and
+emits a machine-readable ``BENCH_*.json`` so speedups are *recorded*,
+not anecdotal.
 
 Two profiles:
 
 * ``smoke=False`` (default) — the paper-scale workload: the Shanghai
   one-week 15-minute matrix shape (672 x 221) at 20% and 40% integrity
-  plus a half-scale case.  The headline number is the batched-vs-loop
-  solver speedup at 672 x 221 / 20%.
+  plus a half-scale case, and a 120k-report ingestion case.  The
+  headline numbers are the batched-vs-loop solver speedup at
+  672 x 221 / 20% and the vectorized-vs-scalar ingestion speedup.
 * ``smoke=True`` — a seconds-fast configuration for CI: small matrices,
-  few sweeps, same record schema and the same equivalence assertion.
+  few sweeps, a small ingestion case, same record schema and the same
+  equivalence assertions.
+
+A committed baseline can gate regressions: :func:`compare_payloads`
+diffs two reports record by record and flags any tracked case whose
+wall time regressed beyond :data:`REGRESSION_THRESHOLD`; the CLI's
+``repro bench --compare BENCH_<date>.json`` exits non-zero on any flag
+(wired into the CI perf-smoke job).
 
 Usage::
 
     repro bench                 # full profile, writes BENCH_<date>.json
     repro bench --smoke         # CI profile
     repro bench --output x.json # explicit output path
+    repro bench --smoke --compare BENCH_smoke.json  # regression gate
 
 or programmatically::
 
@@ -43,23 +53,36 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.baselines import CorrelationKNN, NaiveKNN
+from repro.baselines import MSSA, CorrelationKNN, NaiveKNN
 from repro.core.completion import SOLVERS, CompressiveSensingCompleter
+from repro.core.tcm import TimeGrid
 from repro.core.tuning import GeneticTuner
 from repro.datasets.masks import random_integrity_mask
 from repro.experiments.reporting import format_table
 from repro.metrics.errors import nmae
+from repro.probes.aggregation import aggregate_reports
+from repro.probes.mapmatch import MapMatcher
+from repro.probes.report import ReportBatch
+from repro.roadnet.generators import grid_city
 from repro.utils.parallel import available_workers
 from repro.utils.rng import ensure_rng
 
-# The vectorized solvers must match the loop reference at least this
-# tightly (max abs difference over every cell of the final estimate).
+# Every vectorized path must match its scalar reference at least this
+# tightly (max abs difference over every cell of the final output).
 EQUIVALENCE_TOL = 1e-8
 
 # Shanghai one-week TCM at 15-minute granularity: 672 slots x 221
 # segments — the paper's (and the ROADMAP's) headline shape.
 HEADLINE_SHAPE = (672, 221)
 HEADLINE_INTEGRITY = 0.2
+
+# A tracked case regresses when its wall time grows beyond this factor
+# over the committed baseline (``repro bench --compare``).
+REGRESSION_THRESHOLD = 1.5
+
+# Records faster than this in BOTH runs are ignored by the comparison:
+# sub-50ms timings are scheduler noise, not signal.
+MIN_COMPARE_WALL_S = 0.05
 
 
 @dataclass(frozen=True)
@@ -103,9 +126,14 @@ class BenchReport:
     meta: Dict[str, Union[str, int, float, bool]] = field(default_factory=dict)
 
     def to_payload(self) -> Dict[str, object]:
-        """JSON-serializable form (schema version included)."""
+        """JSON-serializable form (schema version included).
+
+        Schema 2 added the ingestion suite and the scalar-reference
+        baseline records; the record shape is unchanged from schema 1,
+        so comparisons accept both.
+        """
         return {
-            "schema": 1,
+            "schema": 2,
             "meta": self.meta,
             "records": [asdict(r) for r in self.records],
             "speedups": self.speedups,
@@ -133,11 +161,11 @@ class BenchReport:
             )
         table = format_table(headers, rows, title="Performance benchmark")
         lines = [table, ""]
-        for case, speedup in self.speedups.items():
-            diff = self.equivalence_max_abs_diff.get(case, float("nan"))
+        for key, speedup in self.speedups.items():
+            diff = self.equivalence_max_abs_diff.get(key)
+            suffix = "" if diff is None else f" (max abs output diff {diff:.2e})"
             lines.append(
-                f"{case}: batched vs loop speedup {speedup:.1f}x "
-                f"(max abs estimate diff {diff:.2e})"
+                f"{key}: vectorized vs reference speedup {speedup:.1f}x{suffix}"
             )
         return "\n".join(lines)
 
@@ -176,6 +204,101 @@ def _time_best(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
     return best, result
 
 
+def default_ingestion_reports(smoke: bool = False) -> int:
+    """Report count of the ingestion case (paper scale unless smoke)."""
+    return 5_000 if smoke else 120_000
+
+
+def _make_probe_workload(
+    num_reports: int, rng: np.random.Generator
+) -> Tuple[MapMatcher, ReportBatch, TimeGrid]:
+    """A synthetic day of probe reports over a mid-size grid city.
+
+    Positions are uniform over the (padded) network extent, so some
+    reports fall outside every candidate ring; speeds span idle to
+    highway so the aggregation's stationary filter has work to do;
+    half the reports carry a GPS heading, half do not.
+    """
+    network = grid_city(8, 8, block_m=250.0, seed=0)
+    x0, y0, x1, y1 = network.bounding_box()
+    pad = 120.0
+    xs = rng.uniform(x0 - pad, x1 + pad, num_reports)
+    ys = rng.uniform(y0 - pad, y1 + pad, num_reports)
+    times = rng.uniform(0.0, 86_400.0, num_reports)
+    speeds = rng.uniform(0.0, 70.0, num_reports)
+    headings = rng.uniform(0.0, 360.0, num_reports)
+    headings[rng.random(num_reports) < 0.5] = np.nan
+    vehicles = rng.integers(0, max(1, num_reports // 40), num_reports)
+    batch = ReportBatch.from_columns(
+        vehicles, times, xs, ys, speeds, headings_deg=headings
+    )
+    grid = TimeGrid.over_days(1.0, 900.0)
+    return MapMatcher(network), batch, grid
+
+
+def _run_ingestion_suite(
+    report: BenchReport,
+    num_reports: int,
+    repeats: int,
+    rng: np.random.Generator,
+    strict: bool,
+) -> None:
+    """Time vectorized vs scalar map-match + aggregation, check equality.
+
+    The scalar references are timed once (they are the slow side by an
+    order of magnitude; best-of repetition buys nothing there).
+    """
+    case = f"ingest-{num_reports // 1000}k"
+    matcher, batch, grid = _make_probe_workload(num_reports, rng)
+    segment_ids = matcher.network.segment_ids
+
+    mm_wall, matched = _time_best(
+        lambda: matcher.match_batch(batch), repeats
+    )
+    mm_wall_ref, matched_ref = _time_best(
+        lambda: matcher.match_batch(batch, method="scalar"), 1
+    )
+    assert isinstance(matched, ReportBatch)
+    assert isinstance(matched_ref, ReportBatch)
+    mm_diff = float(
+        np.abs(matched.segment_ids - matched_ref.segment_ids).max(initial=0)
+    )
+    match_rate = float(np.mean(matched.segment_ids >= 0))
+    report.records.append(
+        BenchRecord(case, "mapmatch-vectorized", mm_wall, repeats)
+    )
+    report.records.append(BenchRecord(case, "mapmatch-scalar", mm_wall_ref, 1))
+
+    agg_wall, tcm = _time_best(
+        lambda: aggregate_reports(matched, grid, segment_ids), repeats
+    )
+    agg_wall_ref, tcm_ref = _time_best(
+        lambda: aggregate_reports(matched, grid, segment_ids, method="scalar"),
+        1,
+    )
+    agg_diff = float(np.abs(tcm.values - tcm_ref.values).max())  # type: ignore[union-attr]
+    if not np.array_equal(tcm.mask, tcm_ref.mask):  # type: ignore[union-attr]
+        agg_diff = float("inf")
+    report.records.append(
+        BenchRecord(case, "aggregate-bincount", agg_wall, repeats)
+    )
+    report.records.append(BenchRecord(case, "aggregate-scalar", agg_wall_ref, 1))
+
+    report.speedups[f"{case}-mapmatch"] = mm_wall_ref / mm_wall
+    report.speedups[f"{case}-aggregate"] = agg_wall_ref / agg_wall
+    report.speedups[f"{case}-pipeline"] = (mm_wall_ref + agg_wall_ref) / (
+        mm_wall + agg_wall
+    )
+    report.equivalence_max_abs_diff[f"{case}-mapmatch"] = mm_diff
+    report.equivalence_max_abs_diff[f"{case}-aggregate"] = agg_diff
+    report.meta[f"{case}-match-rate"] = round(match_rate, 4)
+    if strict and (mm_diff > 0 or agg_diff > EQUIVALENCE_TOL):
+        raise RuntimeError(
+            f"ingestion vectorized/scalar mismatch on {case}: "
+            f"map-match diff {mm_diff:g}, aggregation diff {agg_diff:.3e}"
+        )
+
+
 def run_perf_bench(
     cases: Optional[Sequence[BenchCase]] = None,
     smoke: bool = False,
@@ -185,6 +308,8 @@ def run_perf_bench(
     solvers: Sequence[str] = SOLVERS,
     include_tune: bool = True,
     include_baselines: bool = True,
+    include_ingestion: bool = True,
+    ingestion_reports: Optional[int] = None,
     max_workers: Optional[int] = None,
     strict: bool = True,
 ) -> BenchReport:
@@ -207,7 +332,12 @@ def run_perf_bench(
         Inner solvers to time; must include ``"loop"`` and ``"batched"``
         for the speedup/equivalence summaries to be computed.
     include_tune, include_baselines:
-        Also time a small Algorithm 2 run and the KNN baselines.
+        Also time a small Algorithm 2 run and the baselines (the KNNs
+        plus MSSA and the scalar references of the vectorized ones).
+    include_ingestion, ingestion_reports:
+        Also time the probe ingestion pipeline (vectorized vs scalar
+        map-matching and aggregation) on ``ingestion_reports`` reports
+        (default :func:`default_ingestion_reports` for the profile).
     max_workers:
         Forwarded to the completer/tuner (restart + fitness pools).
     strict:
@@ -294,13 +424,23 @@ def run_perf_bench(
                 report.speedups[case.name] = walls["loop"] / walls["batched"]
 
         if include_baselines:
+            baseline_estimates: Dict[str, np.ndarray] = {}
+            baseline_walls: Dict[str, float] = {}
             for name, baseline in (
                 ("naive-knn", NaiveKNN(k=4)),
                 ("correlation-knn", CorrelationKNN(k=4)),
+                ("correlation-knn-scalar", CorrelationKNN(k=4, method="scalar")),
+                ("mssa", MSSA(solver="truncated", max_iterations=5)),
+                (
+                    "mssa-scalar",
+                    MSSA(solver="truncated", max_iterations=5, method="scalar"),
+                ),
             ):
                 wall, estimate = _time_best(
                     lambda: baseline.complete(measured, mask), n_repeats
                 )
+                baseline_estimates[name] = np.asarray(estimate)
+                baseline_walls[name] = wall
                 report.records.append(
                     BenchRecord(
                         case=case.name,
@@ -310,6 +450,24 @@ def run_perf_bench(
                         nmae_missing=nmae(truth, np.asarray(estimate), missing),
                     )
                 )
+            for name in ("correlation-knn", "mssa"):
+                diff = float(
+                    np.abs(
+                        baseline_estimates[name]
+                        - baseline_estimates[f"{name}-scalar"]
+                    ).max()
+                )
+                key = f"{case.name}-{name}"
+                report.equivalence_max_abs_diff[key] = diff
+                report.speedups[key] = (
+                    baseline_walls[f"{name}-scalar"] / baseline_walls[name]
+                )
+                if strict and diff > EQUIVALENCE_TOL:
+                    raise RuntimeError(
+                        f"baseline {name!r} vectorized path deviates from its "
+                        f"scalar reference by {diff:.3e} "
+                        f"(> {EQUIVALENCE_TOL:.0e}) on {case.name}"
+                    )
 
         if include_tune:
             tuner = GeneticTuner(
@@ -333,6 +491,14 @@ def run_perf_bench(
                 )
             )
 
+    if include_ingestion:
+        num_reports = (
+            ingestion_reports
+            if ingestion_reports is not None
+            else default_ingestion_reports(smoke)
+        )
+        _run_ingestion_suite(report, num_reports, n_repeats, rng, strict)
+
     return report
 
 
@@ -340,3 +506,100 @@ def default_output_name(today: Optional[date] = None) -> str:
     """The conventional committed artifact name, ``BENCH_<date>.json``."""
     stamp = (today or date.today()).isoformat()
     return f"BENCH_{stamp}.json"
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Outcome of diffing a bench run against a committed baseline.
+
+    ``regressions`` lists the tracked (case, algorithm) pairs whose
+    wall time grew beyond the threshold; ``lines`` carries one rendered
+    row per compared record.  ``ok`` gates CI.
+    """
+
+    regressions: List[str]
+    lines: List[str]
+    threshold: float
+    compared: int
+    skipped: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        header = (
+            f"bench comparison: {self.compared} record(s) compared, "
+            f"{self.skipped} below the {MIN_COMPARE_WALL_S:.2f}s noise floor "
+            f"skipped, threshold {self.threshold:.2f}x"
+        )
+        body = list(self.lines)
+        if self.regressions:
+            body.append("REGRESSIONS:")
+            body.extend(f"  {r}" for r in self.regressions)
+        else:
+            body.append("no regressions")
+        return "\n".join([header, *body])
+
+
+def _records_by_key(payload: Dict[str, object]) -> Dict[Tuple[str, str], float]:
+    records = payload.get("records")
+    if not isinstance(records, list):
+        raise ValueError("bench payload has no 'records' list")
+    out: Dict[Tuple[str, str], float] = {}
+    for rec in records:
+        out[(str(rec["case"]), str(rec["algorithm"]))] = float(rec["wall_s"])
+    return out
+
+
+def compare_payloads(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> BenchComparison:
+    """Diff two bench payloads; flag wall-clock regressions.
+
+    Records are matched on (case, algorithm); records present in only
+    one payload are ignored (suites grow over time).  A match where
+    both wall times sit below :data:`MIN_COMPARE_WALL_S` is skipped —
+    at that scale the timer measures the scheduler, not the code.
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must exceed 1.0, got {threshold}")
+    cur = _records_by_key(current)
+    base = _records_by_key(baseline)
+    lines: List[str] = []
+    regressions: List[str] = []
+    skipped = 0
+    compared = 0
+    for key in cur:
+        if key not in base:
+            continue
+        cur_wall, base_wall = cur[key], base[key]
+        label = f"{key[0]}/{key[1]}"
+        if cur_wall < MIN_COMPARE_WALL_S and base_wall < MIN_COMPARE_WALL_S:
+            skipped += 1
+            continue
+        compared += 1
+        ratio = cur_wall / max(base_wall, 1e-12)
+        line = f"{label}: {cur_wall:.4f}s vs baseline {base_wall:.4f}s ({ratio:.2f}x)"
+        lines.append(line)
+        if ratio > threshold:
+            regressions.append(line)
+    return BenchComparison(
+        regressions=regressions,
+        lines=lines,
+        threshold=threshold,
+        compared=compared,
+        skipped=skipped,
+    )
+
+
+def compare_with_baseline(
+    report: BenchReport,
+    baseline_path: Union[str, Path],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> BenchComparison:
+    """Diff a fresh report against a committed ``BENCH_*.json``."""
+    payload = json.loads(Path(baseline_path).read_text())
+    return compare_payloads(report.to_payload(), payload, threshold=threshold)

@@ -5,6 +5,16 @@ text blocks; ``main`` prints them (``python -m repro.experiments.runner``).
 The ``quick`` profile shrinks durations and the Table 1 network so the
 battery finishes in a few minutes; the ``paper`` profile uses the
 paper's full scales.
+
+With ``max_workers`` set, independent figure/table cells fan out over a
+thread pool (the inner work is NumPy/LAPACK, which releases the GIL)
+and shared simulated worlds are served from the process-wide scenario
+cache, so each synthetic city is built once per run regardless of how
+many figures read it.  Every driver derives its randomness from its own
+config seed, so the rendered blocks are identical — byte for byte — in
+serial and parallel runs, except the two studies that print *measured
+wall-clock times* (``table2`` run times, streaming latencies), which
+differ between any two runs by nature.
 """
 
 from __future__ import annotations
@@ -12,7 +22,9 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
+
+from repro.utils.parallel import parallel_map
 
 from repro.experiments.error_cdf import ErrorCdfConfig, run_error_cdf
 from repro.experiments.error_vs_integrity import (
@@ -46,76 +58,141 @@ from repro.experiments.structure_study import (
 PROFILES = ("quick", "paper")
 
 
-def run_all(profile: str = "quick", seed: int = 0) -> Dict[str, str]:
-    """Execute every experiment; returns {section name: rendered text}."""
-    if profile not in PROFILES:
-        raise ValueError(f"profile must be one of {PROFILES}, got {profile!r}")
+def _battery_jobs(
+    profile: str, seed: int
+) -> List[Callable[[], Dict[str, str]]]:
+    """Independent figure/table cells, each returning its rendered blocks.
+
+    Every job builds its own config (seeded independently), so jobs can
+    run in any order or concurrently without changing any output.
+    """
     quick = profile == "quick"
     days = 3.0 if quick else 7.0
+
+    def integrity_job() -> Dict[str, str]:
+        result = run_integrity_study(
+            IntegrityStudyConfig(
+                scale=0.1 if quick else 1.0,
+                duration_days=1.0,
+                seed=seed,
+            )
+        )
+        return {
+            "table1": result.render_table1(),
+            "fig2": result.render_road_cdf(),
+            "fig3": result.render_slot_cdf(),
+        }
+
+    def structure_job() -> Dict[str, str]:
+        result = run_structure_study(StructureStudyConfig(days=days, seed=seed))
+        return {
+            "fig4": result.render_spectrum(),
+            "fig5_to_7": result.render_reconstruction_summary(),
+            "fig8": result.render_type_occurrence(),
+        }
+
+    def sweep_job(city: str, key: str) -> Callable[[], Dict[str, str]]:
+        def job() -> Dict[str, str]:
+            sweep = run_error_vs_integrity(
+                ErrorVsIntegrityConfig(city=city, days=days, seed=seed)
+            )
+            return {key: sweep.render()}
+
+        return job
+
+    def cdf_job(city: str, key: str) -> Callable[[], Dict[str, str]]:
+        def job() -> Dict[str, str]:
+            cdf = run_error_cdf(ErrorCdfConfig(city=city, days=days, seed=seed))
+            return {key: cdf.render()}
+
+        return job
+
+    def params_job() -> Dict[str, str]:
+        params = run_param_sensitivity(
+            ParamSensitivityConfig(days=days, seed=seed)
+        )
+        return {"fig15": params.render_rank(), "fig16": params.render_lambda()}
+
+    def selection_job(integ: float, key: str) -> Callable[[], Dict[str, str]]:
+        def job() -> Dict[str, str]:
+            selection = run_matrix_selection(
+                MatrixSelectionConfig(days=days, integrity=integ, seed=seed)
+            )
+            return {key: selection.render()}
+
+        return job
+
+    def runtimes_job() -> Dict[str, str]:
+        runtimes = run_runtime_study(RuntimeStudyConfig(days=days, seed=seed))
+        return {"table2": runtimes.render()}
+
+    def sampling_job() -> Dict[str, str]:
+        sampling = run_sampling_study(
+            SamplingStudyConfig(
+                days=0.5 if quick else 1.0,
+                fleet_sizes=(100, 250) if quick else (100, 250, 500, 1_000),
+                reporting_intervals_s=(
+                    (60.0, 300.0) if quick else (30.0, 120.0, 300.0)
+                ),
+                seed=seed,
+            )
+        )
+        return {"sampling_extension": sampling.render()}
+
+    def robustness_job() -> Dict[str, str]:
+        robustness = run_robustness(
+            RobustnessConfig(days=1.0 if quick else 3.0, seed=seed)
+        )
+        return {"robustness_extension": robustness.render()}
+
+    def streaming_job() -> Dict[str, str]:
+        streaming = run_streaming_study(
+            StreamingStudyConfig(
+                days=0.5 if quick else 1.0,
+                num_vehicles=80 if quick else 150,
+                seed=seed,
+            )
+        )
+        return {"streaming_extension": streaming.render()}
+
+    return [
+        integrity_job,
+        structure_job,
+        sweep_job("shanghai", "fig11"),
+        sweep_job("shenzhen", "fig12"),
+        cdf_job("shanghai", "fig13"),
+        cdf_job("shenzhen", "fig14"),
+        params_job,
+        selection_job(0.2, "fig17"),
+        selection_job(0.4, "fig18"),
+        runtimes_job,
+        sampling_job,
+        robustness_job,
+        streaming_job,
+    ]
+
+
+def run_all(
+    profile: str = "quick", seed: int = 0, max_workers: Optional[int] = None
+) -> Dict[str, str]:
+    """Execute every experiment; returns {section name: rendered text}.
+
+    ``max_workers`` fans the independent cells out over a thread pool
+    (``None``/``1`` = serial).  Results are identical either way; cells
+    that share a simulated city deduplicate the build through the
+    scenario cache.
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"profile must be one of {PROFILES}, got {profile!r}")
+    results = parallel_map(
+        lambda job: job(),
+        _battery_jobs(profile, seed),
+        max_workers=max_workers,
+        backend="thread",
+    )
     blocks: Dict[str, str] = {}
-
-    integrity = run_integrity_study(
-        IntegrityStudyConfig(
-            scale=0.1 if quick else 1.0,
-            duration_days=1.0,
-            seed=seed,
-        )
-    )
-    blocks["table1"] = integrity.render_table1()
-    blocks["fig2"] = integrity.render_road_cdf()
-    blocks["fig3"] = integrity.render_slot_cdf()
-
-    structure = run_structure_study(StructureStudyConfig(days=days, seed=seed))
-    blocks["fig4"] = structure.render_spectrum()
-    blocks["fig5_to_7"] = structure.render_reconstruction_summary()
-    blocks["fig8"] = structure.render_type_occurrence()
-
-    for city, key in (("shanghai", "fig11"), ("shenzhen", "fig12")):
-        sweep = run_error_vs_integrity(
-            ErrorVsIntegrityConfig(city=city, days=days, seed=seed)
-        )
-        blocks[key] = sweep.render()
-
-    for city, key in (("shanghai", "fig13"), ("shenzhen", "fig14")):
-        cdf = run_error_cdf(ErrorCdfConfig(city=city, days=days, seed=seed))
-        blocks[key] = cdf.render()
-
-    params = run_param_sensitivity(ParamSensitivityConfig(days=days, seed=seed))
-    blocks["fig15"] = params.render_rank()
-    blocks["fig16"] = params.render_lambda()
-
-    for integ, key in ((0.2, "fig17"), (0.4, "fig18")):
-        selection = run_matrix_selection(
-            MatrixSelectionConfig(days=days, integrity=integ, seed=seed)
-        )
-        blocks[key] = selection.render()
-
-    runtimes = run_runtime_study(RuntimeStudyConfig(days=days, seed=seed))
-    blocks["table2"] = runtimes.render()
-
-    sampling = run_sampling_study(
-        SamplingStudyConfig(
-            days=0.5 if quick else 1.0,
-            fleet_sizes=(100, 250) if quick else (100, 250, 500, 1_000),
-            reporting_intervals_s=(60.0, 300.0) if quick else (30.0, 120.0, 300.0),
-            seed=seed,
-        )
-    )
-    blocks["sampling_extension"] = sampling.render()
-
-    robustness = run_robustness(
-        RobustnessConfig(days=1.0 if quick else 3.0, seed=seed)
-    )
-    blocks["robustness_extension"] = robustness.render()
-
-    streaming = run_streaming_study(
-        StreamingStudyConfig(
-            days=0.5 if quick else 1.0,
-            num_vehicles=80 if quick else 150,
-            seed=seed,
-        )
-    )
-    blocks["streaming_extension"] = streaming.render()
+    for rendered in results:
+        blocks.update(rendered)
     return blocks
 
 
@@ -124,10 +201,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", choices=PROFILES, default="quick")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="thread-pool width for independent cells (default: serial)",
+    )
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
-    blocks = run_all(profile=args.profile, seed=args.seed)
+    blocks = run_all(
+        profile=args.profile, seed=args.seed, max_workers=args.max_workers
+    )
     for name, text in blocks.items():
         print(f"==== {name} " + "=" * max(0, 60 - len(name)))
         print(text)

@@ -1,0 +1,137 @@
+"""Content-addressed cache of simulated scenarios.
+
+The experiment battery evaluates many (figure, granularity, integrity,
+algorithm) cells, and most of them start from the *same* simulated
+world: seven drivers call ``build_city_truth("shanghai", days, seed)``
+with identical arguments.  Synthesizing a city (network generation,
+ground-truth traffic, fleet simulation, map-matching) is the expensive
+part, so each distinct scenario should be built exactly once per
+process — not once per figure.
+
+The cache is content-addressed: the key is the SHA-256 of the canonical
+JSON encoding of the scenario's *configuration* (every config field plus
+the seed), so two requests share an entry iff every field agrees.  A
+changed granularity, duration, seed, or any other knob produces a
+different key and a fresh build.
+
+Concurrency: :meth:`ScenarioCache.get_or_build` takes a per-key lock
+around the builder, so when the experiment runner fans cells out over a
+thread pool the first thread to request a scenario builds it and the
+rest wait for the finished object instead of duplicating the
+simulation.
+
+Cached objects are shared, not copied — treat them as read-only.  Every
+builder in this repository derives its output deterministically from
+the keyed configuration, which makes a cache hit bit-identical to a
+cold build by construction (and tested in
+``tests/test_scenario_cache.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import threading
+from typing import Any, Callable, Dict, Mapping, Tuple, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def canonical_fields(obj: Any) -> Any:
+    """Normalize a config-ish value into a canonical JSON-able form.
+
+    Dataclasses become sorted dicts, tuples become lists, NumPy scalars
+    become Python scalars.  Raises ``TypeError`` for values with no
+    stable canonical form (arrays, open files, ...) rather than hashing
+    something unstable.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return canonical_fields(dataclasses.asdict(obj))
+    if isinstance(obj, Mapping):
+        return {str(k): canonical_fields(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_fields(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} into a scenario key"
+    )
+
+
+def scenario_key(fields: Mapping[str, Any]) -> str:
+    """SHA-256 of the canonical JSON encoding of the key fields."""
+    payload = json.dumps(
+        canonical_fields(fields), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ScenarioCache:
+    """Thread-safe content-addressed memoization of built scenarios."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._key_locks: Dict[str, threading.Lock] = {}
+        self._entries: Dict[str, Any] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_build(
+        self, fields: Mapping[str, Any], builder: Callable[[], T]
+    ) -> T:
+        """The scenario for ``fields``, building it at most once.
+
+        Concurrent requests for the same key serialize on a per-key
+        lock: one thread runs ``builder``, the others receive the
+        finished object.  Requests for different keys never block each
+        other on the build.
+        """
+        key = scenario_key(fields)
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                return self._entries[key]  # type: ignore[no-any-return]
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                if key in self._entries:
+                    self._hits += 1
+                    return self._entries[key]  # type: ignore[no-any-return]
+            value = builder()
+            with self._lock:
+                self._entries[key] = value
+                self._misses += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (tests; long-lived processes reclaiming memory)."""
+        with self._lock:
+            self._entries.clear()
+            self._key_locks.clear()
+            self._hits = 0
+            self._misses = 0
+
+    @property
+    def stats(self) -> Tuple[int, int]:
+        """(hits, misses) since construction or the last :meth:`clear`."""
+        with self._lock:
+            return self._hits, self._misses
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+# Process-wide cache shared by the experiment drivers.  Scoped to the
+# process on purpose: a fresh ``repro experiments`` run always
+# re-simulates, so stale-on-disk artifacts cannot exist.
+GLOBAL_SCENARIO_CACHE = ScenarioCache()

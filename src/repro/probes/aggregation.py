@@ -10,17 +10,28 @@ signals for a whole reporting interval) would drag the average toward
 zero even on free-flowing roads, so reports below a speed floor are
 dropped before averaging — the standard cleaning step for taxi probe
 data.
+
+Two accumulation strategies share the same semantics:
+
+* ``method="bincount"`` (default) — surviving reports are flattened to
+  ``slot * n + column`` keys and accumulated with two ``np.bincount``
+  passes (weighted sums, counts).  ``np.bincount`` adds weights in input
+  order, exactly like the reference loop, so the sums are bit-identical.
+* ``method="scalar"`` — the original per-report Python loop, kept as the
+  tested reference.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.tcm import TimeGrid, TrafficConditionMatrix
 from repro.probes.report import ReportBatch
+
+AGGREGATION_METHODS = ("bincount", "scalar")
 
 
 @dataclass(frozen=True)
@@ -52,11 +63,50 @@ class AggregationConfig:
             raise ValueError("max_speed_kmh must exceed min_speed_kmh")
 
 
+def _column_lookup(segment_ids: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+    """(sorted ids, argsort) pair for vectorized segment-id -> column maps."""
+    seg_arr = np.asarray(list(segment_ids), dtype=np.int64)
+    if seg_arr.ndim != 1:
+        raise ValueError("segment_ids must be one-dimensional")
+    sorter = np.argsort(seg_arr, kind="stable")
+    sorted_ids = seg_arr[sorter]
+    if sorted_ids.size and np.any(sorted_ids[1:] == sorted_ids[:-1]):
+        raise ValueError("segment_ids must be unique")
+    return sorted_ids, sorter
+
+
+def _columns_of(
+    segs: np.ndarray, sorted_ids: np.ndarray, sorter: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Column index per report and a mask of known segment ids."""
+    if sorted_ids.size == 0:
+        return np.zeros(segs.shape, dtype=np.int64), np.zeros(segs.shape, dtype=bool)
+    pos = np.searchsorted(sorted_ids, segs)
+    pos = np.minimum(pos, sorted_ids.size - 1)
+    known = sorted_ids[pos] == segs
+    return sorter[pos], known
+
+
+def _accumulate_bincount(
+    slots: np.ndarray,
+    cols: np.ndarray,
+    speeds: np.ndarray,
+    shape: Tuple[int, int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-cell speed sums and report counts via flattened-key bincount."""
+    m, n = shape
+    keys = slots * n + cols
+    sums = np.bincount(keys, weights=speeds, minlength=m * n).reshape(m, n)
+    counts = np.bincount(keys, minlength=m * n).reshape(m, n).astype(np.int64)
+    return sums, counts
+
+
 def aggregate_reports(
     batch: ReportBatch,
     grid: TimeGrid,
     segment_ids: Sequence[int],
     config: Optional[AggregationConfig] = None,
+    method: str = "bincount",
 ) -> TrafficConditionMatrix:
     """Build the measurement TCM ``(M, B)`` from probe reports.
 
@@ -70,13 +120,18 @@ def aggregate_reports(
     segment_ids:
         TCM column labels (typically ``network.segment_ids``); reports on
         other segments are skipped.
+    method:
+        ``"bincount"`` (vectorized, default) or ``"scalar"`` (per-report
+        reference loop).  Both produce bit-identical matrices.
     """
+    if method not in AGGREGATION_METHODS:
+        raise ValueError(
+            f"method must be one of {AGGREGATION_METHODS}, got {method!r}"
+        )
     config = config or AggregationConfig()
     m = grid.num_slots
-    col_of = {int(sid): j for j, sid in enumerate(segment_ids)}
-    n = len(col_of)
-    if n != len(segment_ids):
-        raise ValueError("segment_ids must be unique")
+    sorted_ids, sorter = _column_lookup(segment_ids)
+    n = sorted_ids.size
 
     sums = np.zeros((m, n), dtype=np.float64)
     counts = np.zeros((m, n), dtype=np.int64)
@@ -92,12 +147,22 @@ def aggregate_reports(
         keep = in_window & valid_speed & (segs >= 0)
         times, segs, speeds = times[keep], segs[keep], speeds[keep]
         slots = ((times - grid.start_s) // grid.slot_s).astype(np.int64)
-        for slot, sid, speed in zip(slots, segs, speeds):
-            j = col_of.get(int(sid))
-            if j is None:
-                continue
-            sums[slot, j] += speed
-            counts[slot, j] += 1
+        if method == "bincount":
+            cols, known = _columns_of(segs, sorted_ids, sorter)
+            if known.any():
+                sums, counts = _accumulate_bincount(
+                    slots[known], cols[known], speeds[known], (m, n)
+                )
+        else:
+            col_of = {int(sid): j for j, sid in enumerate(segment_ids)}
+            # Reference accumulation, one report at a time.
+            # repro-lint: disable-next-line=ingestion-loop
+            for slot, sid, speed in zip(slots, segs, speeds):
+                j = col_of.get(int(sid))
+                if j is None:
+                    continue
+                sums[slot, j] += speed
+                counts[slot, j] += 1
 
     mask = counts >= config.min_reports_per_cell
     values = np.zeros_like(sums)
@@ -109,17 +174,41 @@ def aggregate_reports(
 
 
 def reports_per_cell(
-    batch: ReportBatch, grid: TimeGrid, segment_ids: Sequence[int]
+    batch: ReportBatch,
+    grid: TimeGrid,
+    segment_ids: Sequence[int],
+    method: str = "bincount",
 ) -> np.ndarray:
     """Count of usable reports per (slot, segment) cell (no speed filter)."""
-    col_of = {int(sid): j for j, sid in enumerate(segment_ids)}
-    counts = np.zeros((grid.num_slots, len(segment_ids)), dtype=np.int64)
-    for r in batch:
-        if r.segment_id < 0:
-            continue
-        slot = grid.slot_of(r.time_s)
-        j = col_of.get(int(r.segment_id))
-        if slot is None or j is None:
-            continue
-        counts[slot, j] += 1
-    return counts
+    if method not in AGGREGATION_METHODS:
+        raise ValueError(
+            f"method must be one of {AGGREGATION_METHODS}, got {method!r}"
+        )
+    sorted_ids, sorter = _column_lookup(segment_ids)
+    m, n = grid.num_slots, sorted_ids.size
+    counts = np.zeros((m, n), dtype=np.int64)
+    if not len(batch):
+        return counts
+    if method == "scalar":
+        col_of = {int(sid): j for j, sid in enumerate(segment_ids)}
+        # Reference counting loop, one report at a time.
+        # repro-lint: disable-next-line=ingestion-loop
+        for r in batch:
+            if r.segment_id < 0:
+                continue
+            slot = grid.slot_of(r.time_s)
+            j = col_of.get(int(r.segment_id))
+            if slot is None or j is None:
+                continue
+            counts[slot, j] += 1
+        return counts
+    times = batch.times_s
+    segs = batch.segment_ids
+    keep = (segs >= 0) & (times >= grid.start_s) & (times < grid.end_s)
+    segs, times = segs[keep], times[keep]
+    cols, known = _columns_of(segs, sorted_ids, sorter)
+    if not known.any():
+        return counts
+    slots = ((times[known] - grid.start_s) // grid.slot_s).astype(np.int64)
+    keys = slots * n + cols[known]
+    return np.bincount(keys, minlength=m * n).reshape(m, n).astype(np.int64)

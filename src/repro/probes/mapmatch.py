@@ -6,6 +6,19 @@ matching with a uniform grid spatial index so matching stays fast on
 metropolitan-scale networks (thousands of segments, millions of fixes).
 GPS error in urban canyons can exceed the matching radius, in which case
 the fix is discarded (returned as ``-1``) rather than mis-attributed.
+
+Two implementations share the same semantics:
+
+* the **scalar** path (:meth:`MapMatcher.match_point`) — one ring search
+  per report, kept as the readable reference;
+* the **vectorized** path (:meth:`MapMatcher.match_arrays`) — reports
+  are grouped by grid cell, each cell's candidate segments are gathered
+  once into precomputed endpoint arrays, and a single broadcast
+  point-to-segment distance computation scores every (report, candidate)
+  pair at once.  Candidate order, the distance gate, heading penalties,
+  and first-wins tie-breaking replicate the scalar loop exactly, so both
+  paths return identical segment ids (enforced by property tests and the
+  ``repro bench`` ingestion suite).
 """
 
 from __future__ import annotations
@@ -20,6 +33,8 @@ from repro.roadnet.geometry import Point, heading_deg, point_segment_distance
 from repro.roadnet.network import RoadNetwork
 from repro.probes.report import ReportBatch
 from repro.utils.validation import check_positive
+
+MATCH_METHODS = ("vectorized", "scalar")
 
 
 class GridIndex:
@@ -46,6 +61,10 @@ class GridIndex:
             for cx in range(self._coord(min_x), self._coord(max_x) + 1):
                 for cy in range(self._coord(min_y), self._coord(max_y) + 1):
                     self._cells[(cx, cy)].append(seg.segment_id)
+        # (cx, cy, rings) -> candidate segment ids as an int64 array, in
+        # exactly the order candidates() yields them (first-wins ties in
+        # the vectorized matcher then agree with the scalar loop).
+        self._array_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
 
     def _coord(self, v: float) -> int:
         return int(math.floor(v / self.cell_m))
@@ -58,6 +77,25 @@ class GridIndex:
             for dy in range(-rings, rings + 1):
                 out.extend(self._cells.get((cx + dx, cy + dy), ()))
         return out
+
+    def cell_coords(self, xs: np.ndarray, ys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Grid coordinates of many query points at once."""
+        cxs = np.floor(np.asarray(xs, dtype=np.float64) / self.cell_m).astype(np.int64)
+        cys = np.floor(np.asarray(ys, dtype=np.float64) / self.cell_m).astype(np.int64)
+        return cxs, cys
+
+    def candidate_array(self, cx: int, cy: int, rings: int = 1) -> np.ndarray:
+        """Candidate ids for one cell as an array (memoized, scalar order)."""
+        key = (cx, cy, rings)
+        cached = self._array_cache.get(key)
+        if cached is None:
+            out: List[int] = []
+            for dx in range(-rings, rings + 1):
+                for dy in range(-rings, rings + 1):
+                    out.extend(self._cells.get((cx + dx, cy + dy), ()))
+            cached = np.asarray(out, dtype=np.int64)
+            self._array_cache[key] = cached
+        return cached
 
     @property
     def num_cells(self) -> int:
@@ -107,6 +145,25 @@ class MapMatcher:
             seg.segment_id: heading_deg(seg.start_point, seg.end_point)
             for seg in network.segments()
         }
+        # Columnar segment geometry in canonical (sorted-id) order: the
+        # vectorized matcher gathers candidate endpoints from these
+        # arrays instead of touching Segment objects per report.
+        segments = network.segments()
+        self._sorted_ids = np.asarray(network.segment_ids, dtype=np.int64)
+        self._ax = np.array([s.start_point.x for s in segments], dtype=np.float64)
+        self._ay = np.array([s.start_point.y for s in segments], dtype=np.float64)
+        self._vx = np.array(
+            [s.end_point.x - s.start_point.x for s in segments], dtype=np.float64
+        )
+        self._vy = np.array(
+            [s.end_point.y - s.start_point.y for s in segments], dtype=np.float64
+        )
+        self._len_sq = self._vx**2 + self._vy**2
+        self._course_arr = np.array(
+            [self._courses[int(sid)] for sid in self._sorted_ids], dtype=np.float64
+        )
+        # (cx, cy, rings) -> candidate *row* indices into the arrays above.
+        self._row_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
 
     def _heading_cost(self, segment_id: int, course_deg: Optional[float]) -> float:
         if course_deg is None or course_deg != course_deg:  # None or NaN
@@ -122,6 +179,8 @@ class MapMatcher:
 
         The distance gate (``max_distance_m``) applies to the geometric
         distance only; heading merely re-ranks candidates inside it.
+        This is the scalar reference; :meth:`match_arrays` replicates it
+        at array speed.
         """
         best_id = -1
         best_score = float("inf")
@@ -140,17 +199,131 @@ class MapMatcher:
                 break
         return best_id
 
-    def match_batch(self, batch: ReportBatch) -> ReportBatch:
+    # ------------------------------------------------------------------
+    # Vectorized path
+    # ------------------------------------------------------------------
+    def _candidate_rows(self, cx: int, cy: int, rings: int) -> np.ndarray:
+        """Candidate row indices (into the geometry arrays) for one cell."""
+        key = (cx, cy, rings)
+        rows = self._row_cache.get(key)
+        if rows is None:
+            ids = self.index.candidate_array(cx, cy, rings)
+            # Ids are drawn from the registered segment set, so the
+            # sorted-id searchsorted lookup is exact.
+            rows = np.searchsorted(self._sorted_ids, ids)
+            self._row_cache[key] = rows
+        return rows
+
+    def _score_candidates(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        headings: Optional[np.ndarray],
+        rows: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scores of every (point, candidate) pair and the within-gate mask.
+
+        One broadcast point-to-segment projection evaluates the same
+        arithmetic as :func:`repro.roadnet.geometry.point_segment_distance`
+        (identical operation order, so distances are bit-identical), then
+        adds the heading penalty for points that carry a course.
+        """
+        ax, ay = self._ax[rows], self._ay[rows]
+        vx, vy = self._vx[rows], self._vy[rows]
+        len_sq = self._len_sq[rows]
+        px = xs[:, None]
+        py = ys[:, None]
+        safe_len = np.where(len_sq > 0.0, len_sq, 1.0)
+        t = ((px - ax) * vx + (py - ay) * vy) / safe_len
+        t = np.where(len_sq > 0.0, np.clip(t, 0.0, 1.0), 0.0)
+        dist = np.hypot(px - (ax + t * vx), py - (ay + t * vy))
+        within = dist <= self.max_distance_m
+        if headings is None:
+            cost = 0.0
+        else:
+            course = self._course_arr[rows]
+            has = ~np.isnan(headings)
+            diff = np.abs(course[None, :] - headings[:, None]) % 360.0
+            diff = np.minimum(diff, 360.0 - diff)
+            cost = np.where(
+                has[:, None], self.heading_penalty_m * diff / 180.0, 0.0
+            )
+        scores = np.where(within, dist + cost, np.inf)
+        return scores, within
+
+    def match_arrays(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        headings_deg: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`match_point` over report position arrays.
+
+        Reports are grouped by grid cell; each group shares one candidate
+        gather and one broadcast distance computation.  Returns the
+        matched segment id per report (``-1`` where rejected), identical
+        to the scalar loop.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise ValueError("xs and ys must be 1-D arrays of equal length")
+        if headings_deg is not None:
+            headings_deg = np.asarray(headings_deg, dtype=np.float64)
+            if headings_deg.shape != xs.shape:
+                raise ValueError("headings_deg must match xs/ys length")
+        out = np.full(xs.shape[0], -1, dtype=np.int64)
+        if xs.size == 0:
+            return out
+
+        cxs, cys = self.index.cell_coords(xs, ys)
+        order = np.lexsort((cys, cxs))
+        scx, scy = cxs[order], cys[order]
+        changed = (scx[1:] != scx[:-1]) | (scy[1:] != scy[:-1])
+        starts = np.concatenate(
+            ([0], np.flatnonzero(changed) + 1, [order.size])
+        )
+        for g in range(starts.size - 1):
+            idx = order[starts[g] : starts[g + 1]]
+            cx, cy = int(scx[starts[g]]), int(scy[starts[g]])
+            pending = idx
+            for rings in (1, 2):
+                if pending.size == 0:
+                    break
+                rows = self._candidate_rows(cx, cy, rings)
+                if rows.size == 0:
+                    continue
+                heads = None if headings_deg is None else headings_deg[pending]
+                scores, within = self._score_candidates(
+                    xs[pending], ys[pending], heads, rows
+                )
+                matched = within.any(axis=1)
+                if matched.any():
+                    best = np.argmin(scores[matched], axis=1)
+                    out[pending[matched]] = self._sorted_ids[rows[best]]
+                pending = pending[~matched]
+        return out
+
+    def match_batch(self, batch: ReportBatch, method: str = "vectorized") -> ReportBatch:
         """Match every report's (x, y) [+ heading]; unmatched keep ``-1``."""
-        matched = [
-            self.match_point(Point(r.x, r.y), heading=r.heading_deg)
-            for r in batch
-        ]
-        return batch.with_matched_segments(matched)
+        if method not in MATCH_METHODS:
+            raise ValueError(
+                f"method must be one of {MATCH_METHODS}, got {method!r}"
+            )
+        if method == "scalar":
+            # Reference path, one ring search per report.
+            # repro-lint: disable-next-line=ingestion-loop
+            matched: List[int] = [
+                self.match_point(Point(r.x, r.y), heading=r.heading_deg)
+                for r in batch
+            ]
+            return batch.with_matched_segments(matched)
+        ids = self.match_arrays(batch.xs, batch.ys, batch.headings_deg)
+        return batch.with_matched_segments(ids)
 
     def match_rate(self, batch: ReportBatch) -> float:
         """Fraction of reports that matched to a segment."""
         if len(batch) == 0:
             return 0.0
-        matched = self.match_batch(batch)
-        return float(np.mean(matched.segment_ids >= 0))
+        ids = self.match_arrays(batch.xs, batch.ys, batch.headings_deg)
+        return float(np.mean(ids >= 0))

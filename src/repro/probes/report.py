@@ -9,11 +9,17 @@ millions of reports are aggregated.
 ``segment_id`` carries the simulator's knowledge of the true segment the
 vehicle was on: ``-1`` means unknown, in which case the monitoring center
 must map-match from the (x, y) position.
+
+:class:`ReportBatch` is columnar first: the NumPy arrays are the source
+of truth, and the per-report :class:`ProbeReport` tuples are materialized
+lazily only when somebody iterates.  Filtering, fleet subsetting, and
+attaching map-matched segment ids therefore run as array operations with
+no per-report Python work.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, NamedTuple, Optional, Sequence
+from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -56,7 +62,7 @@ class ReportBatch:
     def __init__(self, reports: Iterable[ProbeReport]):
         reports = list(reports)
         reports.sort(key=lambda r: r.time_s)
-        self._reports = reports
+        self._report_list: Optional[List[ProbeReport]] = reports
         if reports:
             self.vehicle_ids = np.array([r.vehicle_id for r in reports], dtype=np.int64)
             self.times_s = np.array([r.time_s for r in reports], dtype=np.float64)
@@ -76,10 +82,99 @@ class ReportBatch:
             self.segment_ids = np.empty(0, dtype=np.int64)
             self.headings_deg = np.empty(0, dtype=np.float64)
 
-    def __len__(self) -> int:
-        return len(self._reports)
+    @classmethod
+    def from_columns(
+        cls,
+        vehicle_ids: np.ndarray,
+        times_s: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        speeds_kmh: np.ndarray,
+        segment_ids: Optional[np.ndarray] = None,
+        headings_deg: Optional[np.ndarray] = None,
+        assume_sorted: bool = False,
+    ) -> "ReportBatch":
+        """Build a batch directly from column arrays (no per-report work).
 
-    def __iter__(self):
+        ``assume_sorted=True`` skips the stable time sort when the caller
+        guarantees the columns are already in arrival order (e.g. they
+        were sliced from an existing batch).  The per-report tuples are
+        materialized lazily on first iteration.
+        """
+        batch = cls.__new__(cls)
+        batch._report_list = None
+        n = np.asarray(times_s).shape[0]
+        batch.vehicle_ids = np.ascontiguousarray(vehicle_ids, dtype=np.int64)
+        batch.times_s = np.ascontiguousarray(times_s, dtype=np.float64)
+        batch.xs = np.ascontiguousarray(xs, dtype=np.float64)
+        batch.ys = np.ascontiguousarray(ys, dtype=np.float64)
+        batch.speeds_kmh = np.ascontiguousarray(speeds_kmh, dtype=np.float64)
+        if segment_ids is None:
+            batch.segment_ids = np.full(n, -1, dtype=np.int64)
+        else:
+            batch.segment_ids = np.ascontiguousarray(segment_ids, dtype=np.int64)
+        if headings_deg is None:
+            batch.headings_deg = np.full(n, np.nan, dtype=np.float64)
+        else:
+            batch.headings_deg = np.ascontiguousarray(headings_deg, dtype=np.float64)
+        columns = (
+            batch.vehicle_ids,
+            batch.times_s,
+            batch.xs,
+            batch.ys,
+            batch.speeds_kmh,
+            batch.segment_ids,
+            batch.headings_deg,
+        )
+        if any(col.ndim != 1 or col.shape[0] != n for col in columns):
+            raise ValueError("all columns must be 1-D arrays of equal length")
+        if not assume_sorted and n:
+            order = np.argsort(batch.times_s, kind="stable")
+            if np.any(order[1:] < order[:-1]):
+                batch.vehicle_ids = batch.vehicle_ids[order]
+                batch.times_s = batch.times_s[order]
+                batch.xs = batch.xs[order]
+                batch.ys = batch.ys[order]
+                batch.speeds_kmh = batch.speeds_kmh[order]
+                batch.segment_ids = batch.segment_ids[order]
+                batch.headings_deg = batch.headings_deg[order]
+        return batch
+
+    def _select(self, keep: np.ndarray) -> "ReportBatch":
+        """Sub-batch of the rows selected by a boolean/index array."""
+        return ReportBatch.from_columns(
+            self.vehicle_ids[keep],
+            self.times_s[keep],
+            self.xs[keep],
+            self.ys[keep],
+            self.speeds_kmh[keep],
+            self.segment_ids[keep],
+            self.headings_deg[keep],
+            assume_sorted=True,
+        )
+
+    @property
+    def _reports(self) -> List[ProbeReport]:
+        """The per-report tuples, materialized from the columns on demand."""
+        if self._report_list is None:
+            self._report_list = [
+                ProbeReport(int(v), float(t), float(x), float(y), float(s), int(g), float(h))
+                for v, t, x, y, s, g, h in zip(
+                    self.vehicle_ids,
+                    self.times_s,
+                    self.xs,
+                    self.ys,
+                    self.speeds_kmh,
+                    self.segment_ids,
+                    self.headings_deg,
+                )
+            ]
+        return self._report_list
+
+    def __len__(self) -> int:
+        return int(self.times_s.shape[0])
+
+    def __iter__(self) -> Iterator[ProbeReport]:
         return iter(self._reports)
 
     def __getitem__(self, index: int) -> ProbeReport:
@@ -88,38 +183,53 @@ class ReportBatch:
     @property
     def num_vehicles(self) -> int:
         """Distinct vehicles contributing at least one report."""
-        if not self._reports:
+        if not len(self):
             return 0
         return int(np.unique(self.vehicle_ids).size)
 
     def time_span_s(self) -> float:
         """Seconds between first and last report (0 if fewer than 2)."""
-        if len(self._reports) < 2:
+        if len(self) < 2:
             return 0.0
         return float(self.times_s[-1] - self.times_s[0])
 
     def for_vehicle(self, vehicle_id: int) -> "ReportBatch":
         """Sub-batch of one vehicle's reports (the paper's S_v)."""
-        return ReportBatch(r for r in self._reports if r.vehicle_id == vehicle_id)
+        return self._select(self.vehicle_ids == int(vehicle_id))
 
     def filter_speed(self, min_kmh: float) -> "ReportBatch":
         """Drop reports slower than ``min_kmh`` (idle/parked vehicles)."""
-        return ReportBatch(r for r in self._reports if r.speed_kmh >= min_kmh)
+        return self._select(self.speeds_kmh >= min_kmh)
+
+    def filter_segments(self, segment_ids: Iterable[int]) -> "ReportBatch":
+        """Keep only reports matched to one of ``segment_ids``."""
+        wanted = np.unique(
+            np.fromiter((int(s) for s in segment_ids), dtype=np.int64)
+        )
+        return self._select(np.isin(self.segment_ids, wanted))
 
     def with_matched_segments(self, segment_ids: Sequence[int]) -> "ReportBatch":
         """Batch with segment ids replaced by map-matching output."""
-        if len(segment_ids) != len(self._reports):
+        matched = np.asarray(segment_ids, dtype=np.int64)
+        if matched.ndim != 1 or matched.shape[0] != len(self):
             raise ValueError(
-                f"{len(segment_ids)} matches for {len(self._reports)} reports"
+                f"{matched.shape[0] if matched.ndim == 1 else 'a bad shape of'}"
+                f" matches for {len(self)} reports"
             )
-        return ReportBatch(
-            r._replace(segment_id=int(sid))
-            for r, sid in zip(self._reports, segment_ids)
+        return ReportBatch.from_columns(
+            self.vehicle_ids,
+            self.times_s,
+            self.xs,
+            self.ys,
+            self.speeds_kmh,
+            matched,
+            self.headings_deg,
+            assume_sorted=True,
         )
 
     def subsample_vehicles(
         self, vehicle_ids: Iterable[int]
     ) -> "ReportBatch":
         """Reports of a fleet subset (the paper extracts 500/1k/2k-taxi subsets)."""
-        keep = set(int(v) for v in vehicle_ids)
-        return ReportBatch(r for r in self._reports if r.vehicle_id in keep)
+        wanted = np.unique(np.fromiter((int(v) for v in vehicle_ids), dtype=np.int64))
+        return self._select(np.isin(self.vehicle_ids, wanted))

@@ -127,3 +127,75 @@ class TestReportsPerCell:
         assert counts[0, 0] == 2  # no speed filter here
         assert counts[1, 1] == 1
         assert counts.sum() == 3
+
+
+class TestMethodEquivalence:
+    def _random_batch(self, n, seed):
+        rng = np.random.default_rng(seed)
+        times = rng.uniform(-30.0, 210.0, n)  # spills past both window edges
+        segs = rng.choice([-1, 0, 1, 2, 5, 99], size=n)  # 5/99 unknown
+        speeds = rng.uniform(-5.0, 200.0, n)  # some outside the speed band
+        return ReportBatch(
+            ProbeReport(
+                vehicle_id=i % 4,
+                time_s=float(times[i]),
+                x=0.0,
+                y=0.0,
+                speed_kmh=float(speeds[i]),
+                segment_id=int(segs[i]),
+            )
+            for i in range(n)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bincount_matches_scalar(self, seed):
+        batch = self._random_batch(500, seed)
+        grid = grid3()
+        ids = [0, 1, 2]
+        fast = aggregate_reports(batch, grid, ids, method="bincount")
+        slow = aggregate_reports(batch, grid, ids, method="scalar")
+        np.testing.assert_array_equal(fast.mask, slow.mask)
+        np.testing.assert_allclose(
+            fast.values[fast.mask], slow.values[slow.mask], atol=1e-12
+        )
+
+    def test_bincount_matches_scalar_with_speed_filter(self):
+        batch = self._random_batch(500, 3)
+        grid = grid3()
+        ids = [0, 1, 2]
+        config = AggregationConfig(min_speed_kmh=20.0, max_speed_kmh=90.0)
+        fast = aggregate_reports(batch, grid, ids, config, method="bincount")
+        slow = aggregate_reports(batch, grid, ids, config, method="scalar")
+        np.testing.assert_array_equal(fast.mask, slow.mask)
+        np.testing.assert_allclose(
+            fast.values[fast.mask], slow.values[slow.mask], atol=1e-12
+        )
+
+    def test_empty_cells_stay_empty_in_both(self):
+        # Only segment 1 / slot 0 is visited; every other cell must be
+        # missing under both methods.
+        batch = ReportBatch([report(10.0, 1, 40.0)])
+        grid = grid3()
+        for method in ("bincount", "scalar"):
+            tcm = aggregate_reports(batch, grid, [0, 1, 2], method=method)
+            assert tcm.mask[0, 1]
+            assert tcm.mask.sum() == 1
+
+    def test_empty_batch_equivalent(self):
+        grid = grid3()
+        for method in ("bincount", "scalar"):
+            tcm = aggregate_reports(ReportBatch([]), grid, [0, 1], method=method)
+            assert not tcm.mask.any()
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_reports_per_cell_matches_scalar(self, seed):
+        batch = self._random_batch(400, seed)
+        grid = grid3()
+        ids = [0, 1, 2]
+        fast = reports_per_cell(batch, grid, ids, method="bincount")
+        slow = reports_per_cell(batch, grid, ids, method="scalar")
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            aggregate_reports(ReportBatch([]), grid3(), [0], method="nope")

@@ -283,6 +283,75 @@ class TestWallClockTiming:
 
 
 # ----------------------------------------------------------------------
+# ingestion-loop
+# ----------------------------------------------------------------------
+class TestIngestionLoop:
+    PROBES = "src/repro/probes/mapmatch.py"
+
+    def test_flags_for_loop_over_batch(self):
+        src = "def f(batch):\n    for r in batch:\n        print(r)\n"
+        assert "ingestion-loop" in rules_hit(src, path=self.PROBES)
+
+    def test_flags_comprehension_over_batch(self):
+        src = "def f(batch):\n    return [r.x for r in batch]\n"
+        assert "ingestion-loop" in rules_hit(src, path=self.PROBES)
+
+    def test_flags_generator_over_reports(self):
+        src = "def f(reports):\n    return sum(r.x for r in reports)\n"
+        assert "ingestion-loop" in rules_hit(src, path=self.PROBES)
+
+    def test_flags_zip_over_report_columns(self):
+        src = (
+            "def f(slots, segs, speeds):\n"
+            "    for s, g, v in zip(slots, segs, speeds):\n"
+            "        pass\n"
+        )
+        assert "ingestion-loop" in rules_hit(src, path=self.PROBES)
+
+    def test_flags_zip_over_batch_attributes(self):
+        src = (
+            "def f(batch):\n"
+            "    for t, x in zip(batch.times_s, batch.xs):\n"
+            "        pass\n"
+        )
+        assert "ingestion-loop" in rules_hit(src, path=self.PROBES)
+
+    def test_outside_probes_is_clean(self):
+        src = "def f(batch):\n    for r in batch:\n        print(r)\n"
+        assert "ingestion-loop" not in rules_hit(src, path="src/repro/core/x.py")
+
+    def test_report_module_is_exempt(self):
+        src = "def f(reports):\n    return [r.x for r in reports]\n"
+        assert "ingestion-loop" not in rules_hit(
+            src, path="src/repro/probes/report.py"
+        )
+
+    def test_attribute_reports_is_clean(self):
+        src = (
+            "def f(traj):\n"
+            "    return [r.time_s for r in traj.reports]\n"
+        )
+        assert "ingestion-loop" not in rules_hit(src, path=self.PROBES)
+
+    def test_zip_of_non_column_names_is_clean(self):
+        src = (
+            "def f(starts, ends):\n"
+            "    return [(s, e) for s, e in zip(starts, ends)]\n"
+        )
+        assert "ingestion-loop" not in rules_hit(src, path=self.PROBES)
+
+    def test_suppression_comment(self):
+        src = (
+            "def f(batch):\n"
+            "    # repro-lint: disable-next-line=ingestion-loop\n"
+            "    for r in batch:\n"
+            "        print(r)\n"
+        )
+        report = lint_source(src, path=self.PROBES)
+        assert not report.findings and len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
 # Runner / API behavior
 # ----------------------------------------------------------------------
 class TestRunner:

@@ -77,3 +77,31 @@ class TestComplete:
         mask[:, 0] = True
         out = CorrelationKNN(k=4).complete(values, mask)
         assert np.all(np.isfinite(out[:, 1]))
+
+
+class TestMethodEquivalence:
+    @pytest.mark.parametrize("axis", ["rows", "columns"])
+    @pytest.mark.parametrize("integrity", [0.2, 0.5])
+    def test_vectorized_matches_scalar(self, truth_tcm, axis, integrity):
+        mask = random_integrity_mask(truth_tcm.shape, integrity, seed=2)
+        measured = np.where(mask, truth_tcm.values, 0.0)
+        fast = CorrelationKNN(k=4, axis=axis).complete(measured, mask)
+        slow = CorrelationKNN(k=4, axis=axis, method="scalar").complete(
+            measured, mask
+        )
+        np.testing.assert_allclose(fast, slow, atol=1e-10)
+
+    def test_sparse_input_matches_scalar(self):
+        # Columns with almost no overlap exercise the neutral-weight and
+        # fallback paths in both implementations.
+        rng = np.random.default_rng(4)
+        values = rng.uniform(10.0, 60.0, (12, 9))
+        mask = rng.random((12, 9)) < 0.15
+        measured = np.where(mask, values, 0.0)
+        fast = CorrelationKNN(k=4).complete(measured, mask)
+        slow = CorrelationKNN(k=4, method="scalar").complete(measured, mask)
+        np.testing.assert_allclose(fast, slow, atol=1e-10)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            CorrelationKNN(method="nope")

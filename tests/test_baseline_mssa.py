@@ -109,3 +109,19 @@ class TestComplete:
             np.where(mask, x, 0.0), mask
         )
         assert np.all(np.isfinite(out))
+
+
+class TestMethodEquivalence:
+    @pytest.mark.parametrize("solver", ["truncated", "covariance"])
+    def test_vectorized_matches_scalar(self, truth_tcm, solver):
+        mask = random_integrity_mask(truth_tcm.shape, 0.4, seed=3)
+        measured = np.where(mask, truth_tcm.values, 0.0)
+        fast = MSSA(solver=solver, max_iterations=3).complete(measured, mask)
+        slow = MSSA(solver=solver, max_iterations=3, method="scalar").complete(
+            measured, mask
+        )
+        np.testing.assert_allclose(fast, slow, atol=1e-10)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            MSSA(method="nope")

@@ -33,3 +33,35 @@ class TestMain:
         parser.add_argument("--seed", type=int, default=0)
         args = parser.parse_args(["--profile", "quick", "--seed", "3"])
         assert args.seed == 3
+
+
+class TestBatteryJobs:
+    def test_thirteen_independent_jobs(self):
+        jobs = runner._battery_jobs("quick", seed=0)
+        assert len(jobs) == 13
+        assert all(callable(job) for job in jobs)
+
+    def test_parallel_merges_blocks_in_job_order(self, monkeypatch):
+        # Replace the battery with stub jobs so the fan-out/merge logic
+        # is exercised without simulating any city.
+        calls = []
+
+        def fake_jobs(profile, seed):
+            def make(key):
+                def job():
+                    calls.append(key)
+                    return {key: f"text-{key}"}
+
+                return job
+
+            return [make("a"), make("b"), make("c")]
+
+        monkeypatch.setattr(runner, "_battery_jobs", fake_jobs)
+        serial = runner.run_all(profile="quick", seed=0)
+        parallel = runner.run_all(profile="quick", seed=0, max_workers=3)
+        assert serial == parallel == {
+            "a": "text-a",
+            "b": "text-b",
+            "c": "text-c",
+        }
+        assert list(serial) == ["a", "b", "c"]

@@ -147,3 +147,90 @@ class TestMapMatcher:
                 twins.add(reverse.segment_id)
             agree += int(found in twins)
         assert agree / max(1, len(driving)) > 0.95
+
+
+class TestVectorizedScalarEquivalence:
+    def _random_batch(self, network, n, seed, with_headings=True):
+        rng = np.random.default_rng(seed)
+        xmin, ymin, xmax, ymax = network.bounding_box()
+        pad = 150.0  # places a share of reports outside every cell
+        xs = rng.uniform(xmin - pad, xmax + pad, n)
+        ys = rng.uniform(ymin - pad, ymax + pad, n)
+        headings = rng.uniform(0.0, 360.0, n)
+        if with_headings:
+            headings[rng.random(n) < 0.5] = np.nan
+        else:
+            headings[:] = np.nan
+        return ReportBatch(
+            ProbeReport(
+                vehicle_id=i % 7,
+                time_s=float(i),
+                x=float(xs[i]),
+                y=float(ys[i]),
+                speed_kmh=30.0,
+                segment_id=-1,
+                heading_deg=float(headings[i]),
+            )
+            for i in range(n)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scalar_on_random_reports(self, small_network, seed):
+        matcher = MapMatcher(small_network, max_distance_m=60.0)
+        batch = self._random_batch(small_network, 400, seed)
+        fast = matcher.match_batch(batch, method="vectorized")
+        slow = matcher.match_batch(batch, method="scalar")
+        np.testing.assert_array_equal(fast.segment_ids, slow.segment_ids)
+
+    def test_matches_scalar_without_headings(self, small_network):
+        matcher = MapMatcher(small_network)
+        batch = self._random_batch(small_network, 300, 3, with_headings=False)
+        fast = matcher.match_batch(batch, method="vectorized")
+        slow = matcher.match_batch(batch, method="scalar")
+        np.testing.assert_array_equal(fast.segment_ids, slow.segment_ids)
+
+    def test_equidistant_tie_breaks_identically(self, small_network):
+        # 10 m from both the eastbound and the northbound street at a
+        # corner: the two point-to-segment distances are exactly equal
+        # (both representable as 10.0), so the winner is pure tie-break.
+        matcher = MapMatcher(small_network, max_distance_m=50.0)
+        node = small_network.segments()[0].start_point
+        batch = ReportBatch(
+            [
+                ProbeReport(
+                    vehicle_id=0,
+                    time_s=0.0,
+                    x=float(node.x + 10.0),
+                    y=float(node.y + 10.0),
+                    speed_kmh=30.0,
+                    segment_id=-1,
+                )
+            ]
+        )
+        fast = matcher.match_batch(batch, method="vectorized")
+        slow = matcher.match_batch(batch, method="scalar")
+        np.testing.assert_array_equal(fast.segment_ids, slow.segment_ids)
+
+    def test_out_of_grid_reports_stay_unmatched(self, small_network):
+        matcher = MapMatcher(small_network)
+        xmin, ymin, _, _ = small_network.bounding_box()
+        batch = ReportBatch(
+            [
+                ProbeReport(
+                    vehicle_id=0,
+                    time_s=0.0,
+                    x=xmin - 5_000.0,
+                    y=ymin - 5_000.0,
+                    speed_kmh=30.0,
+                    segment_id=-1,
+                )
+            ]
+        )
+        for method in ("vectorized", "scalar"):
+            out = matcher.match_batch(batch, method=method)
+            assert out.segment_ids.tolist() == [-1]
+
+    def test_unknown_method_rejected(self, small_network):
+        matcher = MapMatcher(small_network)
+        with pytest.raises(ValueError, match="method"):
+            matcher.match_batch(ReportBatch([]), method="nope")

@@ -13,7 +13,11 @@ import pytest
 from repro.cli import main
 from repro.experiments.perf_bench import (
     EQUIVALENCE_TOL,
+    MIN_COMPARE_WALL_S,
+    REGRESSION_THRESHOLD,
     BenchCase,
+    compare_payloads,
+    compare_with_baseline,
     run_perf_bench,
 )
 
@@ -26,6 +30,7 @@ def tiny_report():
         iterations=4,
         include_tune=False,
         include_baselines=False,
+        include_ingestion=False,
     )
 
 
@@ -42,9 +47,102 @@ def test_tiny_case_checks_equivalence(tiny_report):
 def test_json_payload_schema(tiny_report, tmp_path):
     out = tiny_report.write_json(tmp_path / "bench.json")
     payload = json.loads(out.read_text())
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
     assert payload["equivalence_tol"] == EQUIVALENCE_TOL
     assert len(payload["records"]) == 3
+
+
+def test_ingestion_suite_records_and_equivalence():
+    report = run_perf_bench(
+        cases=[],
+        smoke=True,
+        include_tune=False,
+        include_baselines=False,
+        ingestion_reports=2_000,
+    )
+    algorithms = {r.algorithm for r in report.records}
+    assert {
+        "mapmatch-vectorized",
+        "mapmatch-scalar",
+        "aggregate-bincount",
+        "aggregate-scalar",
+    } <= algorithms
+    case = "ingest-2k"
+    assert report.equivalence_max_abs_diff[f"{case}-mapmatch"] == 0.0
+    assert report.equivalence_max_abs_diff[f"{case}-aggregate"] <= EQUIVALENCE_TOL
+    for key in ("mapmatch", "aggregate", "pipeline"):
+        assert report.speedups[f"{case}-{key}"] > 0.0
+    assert 0.0 < report.meta[f"{case}-match-rate"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison (repro bench --compare)
+# ----------------------------------------------------------------------
+def _payload(records):
+    return {
+        "schema": 2,
+        "records": [
+            {"case": c, "algorithm": a, "wall_s": w, "repeats": 1}
+            for c, a, w in records
+        ],
+    }
+
+
+def test_compare_identical_payloads_is_ok():
+    payload = _payload([("672x221@0.20", "cs-batched", 0.5)])
+    result = compare_payloads(payload, payload)
+    assert result.ok
+    assert result.compared == 1
+    assert result.skipped == 0
+    assert "no regressions" in result.render()
+
+
+def test_compare_flags_regression_beyond_threshold():
+    base = _payload([("672x221@0.20", "cs-batched", 0.5)])
+    cur = _payload([("672x221@0.20", "cs-batched", 0.5 * 2.0)])
+    result = compare_payloads(cur, base)
+    assert not result.ok
+    assert len(result.regressions) == 1
+    assert "REGRESSIONS" in result.render()
+
+
+def test_compare_tolerates_growth_below_threshold():
+    base = _payload([("672x221@0.20", "cs-batched", 0.5)])
+    cur = _payload(
+        [("672x221@0.20", "cs-batched", 0.5 * (REGRESSION_THRESHOLD - 0.1))]
+    )
+    assert compare_payloads(cur, base).ok
+
+
+def test_compare_skips_sub_noise_floor_records():
+    wall = MIN_COMPARE_WALL_S / 10.0
+    base = _payload([("tiny", "cs-batched", wall)])
+    # Both runs below the floor: skipped, not compared.
+    result = compare_payloads(_payload([("tiny", "cs-batched", wall)]), base)
+    assert result.skipped == 1 and result.compared == 0
+    # Current above the floor: compared (and a regression).
+    cur = _payload([("tiny", "cs-batched", wall * 100.0)])
+    result = compare_payloads(cur, base)
+    assert result.compared == 1 and not result.ok
+
+
+def test_compare_ignores_unmatched_records():
+    base = _payload([("672x221@0.20", "cs-batched", 0.5)])
+    cur = _payload([("ingest-120k", "mapmatch-vectorized", 2.0)])
+    result = compare_payloads(cur, base)
+    assert result.ok and result.compared == 0
+
+
+def test_compare_rejects_bad_threshold():
+    payload = _payload([("672x221@0.20", "cs-batched", 0.5)])
+    with pytest.raises(ValueError, match="threshold"):
+        compare_payloads(payload, payload, threshold=1.0)
+
+
+def test_compare_with_baseline_reads_json(tiny_report, tmp_path):
+    baseline = tiny_report.write_json(tmp_path / "baseline.json")
+    result = compare_with_baseline(tiny_report, baseline)
+    assert result.ok
 
 
 def test_cli_bench_smoke_writes_json(tmp_path, capsys, monkeypatch):
@@ -55,3 +153,23 @@ def test_cli_bench_smoke_writes_json(tmp_path, capsys, monkeypatch):
     assert "speedup" in captured
     payload = json.loads((tmp_path / "out.json").read_text())
     assert payload["meta"]["smoke"] is True
+
+    # Comparing a fresh run against a baseline 100x faster must trip
+    # the regression gate and exit non-zero.
+    doctored = dict(payload)
+    doctored["records"] = [
+        {**rec, "wall_s": rec["wall_s"] / 100.0} for rec in payload["records"]
+    ]
+    (tmp_path / "fast_baseline.json").write_text(json.dumps(doctored))
+    code = main(
+        [
+            "bench",
+            "--smoke",
+            "--output",
+            "out2.json",
+            "--compare",
+            "fast_baseline.json",
+        ]
+    )
+    assert code == 1
+    assert "REGRESSIONS" in capsys.readouterr().out

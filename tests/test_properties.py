@@ -101,10 +101,13 @@ class TestCompletionMetricsContract:
         mask = random_integrity_mask(x.shape, 0.6, seed=seed + 1)
         # Identifiability margin: every row and column needs comfortably
         # more observations than the rank, otherwise its factor is
-        # near-underdetermined and ALS recovery is not guaranteed.
+        # near-underdetermined and ALS recovery is not guaranteed.  At
+        # exactly 2r observations ALS can still land in a bad local
+        # minimum (all solvers agree on the wrong completion), so the
+        # margin is strict.
         if (
-            mask.sum(axis=1).min() < 2 * true_rank
-            or mask.sum(axis=0).min() < 2 * true_rank
+            mask.sum(axis=1).min() <= 2 * true_rank
+            or mask.sum(axis=0).min() <= 2 * true_rank
         ):
             return
         measured = np.where(mask, x, 0.0)

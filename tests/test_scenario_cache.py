@@ -1,0 +1,128 @@
+"""Tests for repro.experiments.scenario_cache."""
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.experiments.error_vs_integrity import build_city_truth
+from repro.experiments.scenario_cache import (
+    GLOBAL_SCENARIO_CACHE,
+    ScenarioCache,
+    canonical_fields,
+    scenario_key,
+)
+
+
+@dataclass
+class _Cfg:
+    city: str = "shanghai"
+    days: float = 1.0
+    seed: int = 0
+
+
+class TestCanonicalFields:
+    def test_dataclass_becomes_sorted_dict(self):
+        fields = canonical_fields(_Cfg())
+        assert fields == {"city": "shanghai", "days": 1.0, "seed": 0}
+
+    def test_numpy_scalars_become_python(self):
+        fields = canonical_fields(
+            {"a": np.int64(3), "b": np.float64(1.5), "c": np.bool_(True)}
+        )
+        assert fields == {"a": 3, "b": 1.5, "c": True}
+        assert type(fields["a"]) is int
+
+    def test_tuples_and_lists_normalize_identically(self):
+        assert canonical_fields({"g": (900.0, 1800.0)}) == canonical_fields(
+            {"g": [900.0, 1800.0]}
+        )
+
+    def test_unhashable_payload_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_fields({"x": object()})
+
+
+class TestScenarioKey:
+    def test_stable_across_dict_order(self):
+        a = scenario_key({"city": "shanghai", "days": 1.0, "seed": 0})
+        b = scenario_key({"seed": 0, "days": 1.0, "city": "shanghai"})
+        assert a == b
+
+    def test_changes_with_every_field(self):
+        base = {"kind": "city_truth", "city": "shanghai", "days": 1.0, "seed": 0}
+        key = scenario_key(base)
+        for field, other in [
+            ("kind", "city_graph"),
+            ("city", "shenzhen"),
+            ("days", 2.0),
+            ("seed", 1),
+        ]:
+            assert scenario_key({**base, field: other}) != key
+
+    def test_dataclass_and_dict_agree(self):
+        assert scenario_key(_Cfg()) == scenario_key(
+            {"city": "shanghai", "days": 1.0, "seed": 0}
+        )
+
+
+class TestScenarioCache:
+    def test_hit_returns_same_object(self):
+        cache = ScenarioCache()
+        built = []
+
+        def builder():
+            built.append(1)
+            return np.arange(4)
+
+        first = cache.get_or_build({"k": 1}, builder)
+        second = cache.get_or_build({"k": 1}, builder)
+        assert first is second
+        assert built == [1]
+        assert cache.stats == (1, 1)
+
+    def test_distinct_keys_build_separately(self):
+        cache = ScenarioCache()
+        a = cache.get_or_build({"k": 1}, lambda: "a")
+        b = cache.get_or_build({"k": 2}, lambda: "b")
+        assert (a, b) == ("a", "b")
+        assert len(cache) == 2
+
+    def test_clear_forces_rebuild(self):
+        cache = ScenarioCache()
+        cache.get_or_build({"k": 1}, lambda: "a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get_or_build({"k": 1}, lambda: "b") == "b"
+
+    def test_concurrent_requests_build_once(self):
+        cache = ScenarioCache()
+        built = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            cache.get_or_build({"k": "shared"}, lambda: built.append(1) or "x")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert built == [1]
+
+
+class TestCityTruthCaching:
+    def test_cached_truth_bit_identical_to_cold_build(self):
+        GLOBAL_SCENARIO_CACHE.clear()
+        cached = build_city_truth("shanghai", 0.5, seed=0)
+        again = build_city_truth("shanghai", 0.5, seed=0)
+        assert again is cached  # served from the cache
+        cold = build_city_truth("shanghai", 0.5, seed=0, use_cache=False)
+        assert cold is not cached
+        np.testing.assert_array_equal(cold.tcm.values, cached.tcm.values)
+
+    def test_unknown_city_rejected_before_cache(self):
+        with pytest.raises(ValueError, match="city"):
+            build_city_truth("gotham", 0.5)

@@ -128,3 +128,57 @@ class TestFleetQuality:
         assert q.glitch_fraction < 0.05
         lo, hi = 30.0, 400.0  # reporting interval range plus jitter
         assert lo <= q.median_interval_s <= hi
+
+
+class TestMethodEquivalence:
+    def _random_batch(self, n, seed):
+        rng = np.random.default_rng(seed)
+        vids = rng.integers(0, 6, n)
+        times = rng.uniform(0.0, 4_000.0, n)  # gaps > 600 s are common
+        xs = rng.uniform(0.0, 1_000.0, n)
+        ys = rng.uniform(0.0, 1_000.0, n)
+        speeds = rng.uniform(0.0, 80.0, n)
+        return ReportBatch(
+            ProbeReport(
+                vehicle_id=int(vids[i]),
+                time_s=float(times[i]),
+                x=float(xs[i]),
+                y=float(ys[i]),
+                speed_kmh=float(speeds[i]),
+                segment_id=i % 3,
+            )
+            for i in range(n)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_split_matches_scalar(self, seed):
+        batch = self._random_batch(300, seed)
+        fast = split_trajectories(batch, max_gap_s=600.0, method="vectorized")
+        slow = split_trajectories(batch, max_gap_s=600.0, method="scalar")
+        assert len(fast) == len(slow)
+        for a, b in zip(fast, slow):
+            assert a.vehicle_id == b.vehicle_id
+            assert a.reports == b.reports
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fleet_quality_matches_scalar(self, seed):
+        batch = self._random_batch(300, seed)
+        fast = fleet_quality(batch, method="vectorized")
+        slow = fleet_quality(batch, method="scalar")
+        assert fast.num_vehicles == slow.num_vehicles
+        assert fast.num_reports == slow.num_reports
+        assert fast.num_trajectories == slow.num_trajectories
+        assert fast.median_interval_s == pytest.approx(slow.median_interval_s)
+        assert fast.glitch_fraction == pytest.approx(slow.glitch_fraction)
+
+    def test_empty_batch_equivalent(self):
+        for method in ("vectorized", "scalar"):
+            assert split_trajectories(ReportBatch([]), method=method) == []
+            quality = fleet_quality(ReportBatch([]), method=method)
+            assert quality.num_reports == 0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            split_trajectories(ReportBatch([]), method="nope")
+        with pytest.raises(ValueError, match="method"):
+            fleet_quality(ReportBatch([]), method="nope")
