@@ -3,19 +3,45 @@
 An AST-based linter enforcing the numerical-correctness conventions of
 this reproduction: RNG discipline, no float ``==``, no in-place mutation
 of array parameters, mask-aware reductions, no bare excepts, no mutable
-defaults.  See :mod:`repro.analysis.rules` for the rule catalogue and
+defaults.  On top of the per-file rules, a scope- and dataflow-aware
+engine (:mod:`repro.analysis.engine`) powers the parallel-safety family
+(:mod:`repro.analysis.parallel_rules`): shared-state mutation in pool
+workers, fork-unsafe RNG capture, unordered iteration feeding
+order-sensitive reductions, unlocked cross-thread cache mutation, and
+``as_completed`` results aggregated positionally.
+
+See :mod:`repro.analysis.rules` for the rule catalogue,
 :mod:`repro.analysis.runner` for the driver and the
-``# repro-lint: disable=<rule>`` suppression syntax.
+``# repro-lint: disable=<rule>`` suppression syntax,
+:mod:`repro.analysis.sarif` for SARIF 2.1.0 output,
+:mod:`repro.analysis.baseline` for the accepted-findings ratchet, and
+:mod:`repro.analysis.determinism` for the runtime
+``repro verify-determinism`` harness.
 
 Run it via ``repro lint [paths...]`` or ``python -m repro.analysis``.
+Exit codes: 0 = clean (or every finding baselined/suppressed), 1 = at
+least one new finding, 2 = bad usage, unreadable baseline, or
+parse/internal error.
 """
 
-from repro.analysis.findings import Finding
+from repro.analysis.findings import SEVERITIES, Finding
 from repro.analysis.rules import REGISTRY, FileContext, Rule, all_rules, get_rules
+
+# Importing the module registers the parallel-safety rules in REGISTRY.
+from repro.analysis import parallel_rules as _parallel_rules  # noqa: F401
 from repro.analysis.runner import LintReport, lint_file, lint_paths, lint_source
+from repro.analysis.baseline import (
+    BaselineMismatch,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.sarif import render_sarif, to_sarif
 
 __all__ = [
     "Finding",
+    "SEVERITIES",
     "FileContext",
     "Rule",
     "REGISTRY",
@@ -25,4 +51,11 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "BaselineMismatch",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "render_sarif",
+    "to_sarif",
 ]

@@ -1,0 +1,138 @@
+"""Baseline ratchet for ``repro lint``.
+
+A lint baseline lets a new rule land without first fixing (or blanket-
+suppressing) every historical finding: the committed
+``.lint-baseline.json`` records the *accepted* findings, CI fails only
+on findings **not** covered by it, and ``--update-baseline`` re-records
+the current state after intentional changes.  The ratchet only turns
+one way in review: shrinking the baseline (fixing old findings) is
+routine; growing it is a visible diff that needs justification.
+
+Findings are fingerprinted as ``sha256(path :: rule :: stripped source
+line)`` rather than by line *number*, so inserting an unrelated import
+above an accepted finding does not un-baseline it; moving or editing
+the offending line does.  Identical lines in one file share a
+fingerprint, so the baseline stores a *count* per fingerprint and the
+ratchet compares multisets: ``n`` accepted occurrences cover at most
+``n`` current ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path, PurePath
+from typing import Dict, List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.runner import LintReport
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineMismatch",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+class BaselineMismatch(ValueError):
+    """Raised for unreadable or wrong-version baseline files."""
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding across unrelated edits."""
+    blob = "::".join(
+        (PurePath(finding.path).as_posix(), finding.rule, finding.snippet.strip())
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+
+def _counts(findings: List[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        fp = fingerprint(finding)
+        counts[fp] = counts.get(fp, 0) + 1
+    return counts
+
+
+def load_baseline(path: "str | Path") -> Dict[str, int]:
+    """Fingerprint -> accepted-occurrence-count from a baseline file."""
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise BaselineMismatch(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineMismatch(
+            f"baseline {path} has unsupported version "
+            f"{payload.get('version')!r} (expected {BASELINE_VERSION})"
+        )
+    entries = payload.get("entries", {})
+    if not isinstance(entries, dict):
+        raise BaselineMismatch(f"baseline {path} entries must be an object")
+    out: Dict[str, int] = {}
+    for key, value in entries.items():
+        if not isinstance(value, dict) or not isinstance(value.get("count"), int):
+            raise BaselineMismatch(f"baseline {path}: malformed entry {key!r}")
+        out[str(key)] = int(value["count"])
+    return out
+
+
+def write_baseline(path: "str | Path", report: LintReport) -> Path:
+    """Record the report's active findings as the new accepted baseline.
+
+    Entries carry a human-readable context block (path, rule, snippet of
+    the *first* occurrence) purely for reviewability of the committed
+    file; only ``count`` participates in matching.
+    """
+    counts = _counts(report.findings)
+    first: Dict[str, Finding] = {}
+    for finding in report.findings:
+        first.setdefault(fingerprint(finding), finding)
+    entries: Dict[str, Dict[str, object]] = {
+        fp: {
+            "count": counts[fp],
+            "path": PurePath(first[fp].path).as_posix(),
+            "rule": first[fp].rule,
+            "snippet": first[fp].snippet.strip(),
+        }
+        for fp in counts
+    }
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Accepted pre-existing repro-lint findings. CI fails on findings "
+            "not listed here; regenerate with `repro lint --baseline "
+            "<this file> --update-baseline` and justify any growth in review."
+        ),
+        "entries": {key: entries[key] for key in sorted(entries)},
+    }
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    return out
+
+
+def apply_baseline(
+    report: LintReport, baseline: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split active findings into (new, baselined).
+
+    Findings are consumed against the baseline in the report's sorted
+    order: each fingerprint covers at most its accepted count, every
+    occurrence beyond that is *new* and should fail the gate.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    accepted: List[Finding] = []
+    for finding in report.findings:
+        fp = fingerprint(finding)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            accepted.append(finding)
+        else:
+            new.append(finding)
+    return new, accepted

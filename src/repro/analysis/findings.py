@@ -4,12 +4,20 @@ A :class:`Finding` pins one rule violation to a ``file:line:col`` location
 and carries a human-readable message plus a *fix hint* — the concrete
 rewrite the rule recommends.  Findings sort by location so reports are
 stable across runs and machines.
+
+Each finding also carries a ``severity`` (``"error"`` / ``"warning"`` /
+``"note"``, mapped 1:1 onto SARIF result levels) and a ``snippet`` — the
+stripped source line it anchors to, used by the baseline ratchet to
+fingerprint findings robustly against unrelated line-number drift.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Tuple
+
+#: Recognised severity levels, most severe first (SARIF ``level`` values).
+SEVERITIES = ("error", "warning", "note")
 
 
 @dataclass(frozen=True, order=True)
@@ -28,6 +36,12 @@ class Finding:
         What is wrong, phrased against the offending source construct.
     hint:
         How to fix it (or how to suppress it when intentional).
+    severity:
+        ``"error"`` (breaks reproducibility outright), ``"warning"``
+        (probable defect), or ``"note"`` (informational).
+    snippet:
+        The stripped source line the finding anchors to (may be empty
+        when the source is unavailable).
     """
 
     path: str
@@ -36,6 +50,14 @@ class Finding:
     rule: str = field(compare=False)
     message: str = field(compare=False)
     hint: str = field(compare=False, default="")
+    severity: str = field(compare=False, default="warning")
+    snippet: str = field(compare=False, default="")
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
 
     @property
     def location(self) -> str:
@@ -43,8 +65,8 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}"
 
     def render(self) -> str:
-        """One-line report: location, rule, message, and the fix hint."""
-        text = f"{self.location}: [{self.rule}] {self.message}"
+        """One-line report: location, severity, rule, message, fix hint."""
+        text = f"{self.location}: {self.severity}: [{self.rule}] {self.message}"
         if self.hint:
             text += f" (hint: {self.hint})"
         return text

@@ -78,6 +78,8 @@ class Rule:
 
     name: str = ""
     description: str = ""
+    #: Default severity of this rule's findings ("error"/"warning"/"note").
+    severity: str = "warning"
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -86,13 +88,19 @@ class Rule:
         self, ctx: FileContext, node: ast.AST, message: str, hint: str = ""
     ) -> Finding:
         """Build a :class:`Finding` anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        snippet = ""
+        if 1 <= line <= len(ctx.source_lines):
+            snippet = ctx.source_lines[line - 1].strip()
         return Finding(
             path=ctx.path,
-            line=getattr(node, "lineno", 1),
+            line=line,
             col=getattr(node, "col_offset", 0),
             rule=self.name,
             message=message,
             hint=hint,
+            severity=self.severity,
+            snippet=snippet,
         )
 
 

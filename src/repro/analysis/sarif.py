@@ -1,0 +1,154 @@
+"""SARIF 2.1.0 serialisation of lint reports.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests; ``repro lint
+--format sarif`` emits one run per invocation so findings appear as
+code-scanning alerts with rule metadata, severity, and clickable
+locations.  The mapping is intentionally small and lossless:
+
+* one ``run`` with tool ``repro-lint``;
+* one ``reportingDescriptor`` per rule that *ran* (id = rule name,
+  ``shortDescription`` = rule description, ``help`` = the rule class
+  docstring);
+* one ``result`` per active finding: ``level`` is the finding severity
+  (``error`` / ``warning`` / ``note``), the fix hint travels in the
+  message, columns are converted from the linter's 0-based to SARIF's
+  1-based convention, and paths are emitted as forward-slash relative
+  URIs under ``%SRCROOT%``.
+
+Suppressed findings are emitted with a matching ``suppressions`` entry
+(kind ``inSource``) so dashboards can distinguish "fixed" from
+"justified" over time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+from typing import Any, Dict, List, Optional, Sequence, Type
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import REGISTRY, Rule
+from repro.analysis.runner import LintReport
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+_TOOL_URI = "https://github.com/paper-repro/compressive-sensing-traffic"
+
+
+def _artifact_uri(path: str) -> str:
+    """Forward-slash relative URI for a finding path."""
+    pure = PurePath(path)
+    if pure.is_absolute():
+        # Keep the path usable even when a caller linted absolute paths;
+        # SARIF consumers resolve it against srcRoot heuristically.
+        return pure.as_posix().lstrip("/")
+    return pure.as_posix()
+
+
+def _rule_descriptor(rule_cls: Type[Rule]) -> Dict[str, Any]:
+    descriptor: Dict[str, Any] = {
+        "id": rule_cls.name,
+        "name": rule_cls.__name__,
+        "shortDescription": {"text": rule_cls.description},
+        "defaultConfiguration": {"level": rule_cls.severity},
+    }
+    doc = (rule_cls.__doc__ or "").strip()
+    if doc:
+        descriptor["help"] = {"text": doc}
+    return descriptor
+
+
+def _result(finding: Finding, rule_index: Dict[str, int], suppressed: bool) -> Dict[str, Any]:
+    message = finding.message
+    if finding.hint:
+        message += f" Fix: {finding.hint}."
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": finding.severity,
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _artifact_uri(finding.path),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.snippet:
+        result["locations"][0]["physicalLocation"]["region"]["snippet"] = {
+            "text": finding.snippet
+        }
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "inSource", "justification": "repro-lint: disable comment"}
+        ]
+    return result
+
+
+def to_sarif(
+    report: LintReport,
+    rules: Optional[Sequence[Rule]] = None,
+    tool_version: str = "1.0.0",
+) -> Dict[str, Any]:
+    """The SARIF 2.1.0 log object for one lint run.
+
+    ``rules`` are the rule instances that ran (default: the full
+    registry), so the descriptor list reflects the actual configuration
+    rather than just the rules that happened to fire.
+    """
+    if rules is not None:
+        rule_classes = [type(rule) for rule in rules]
+    else:
+        rule_classes = list(REGISTRY.values())
+    # Rules that fired but were not in the declared set (defensive).
+    declared = {cls.name for cls in rule_classes}
+    for finding in [*report.findings, *report.suppressed]:
+        if finding.rule not in declared:
+            rule_classes.append(REGISTRY[finding.rule])
+            declared.add(finding.rule)
+    rule_index = {cls.name: i for i, cls in enumerate(rule_classes)}
+
+    results: List[Dict[str, Any]] = [
+        _result(f, rule_index, suppressed=False) for f in report.findings
+    ]
+    results.extend(
+        _result(f, rule_index, suppressed=True) for f in report.suppressed
+    )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": _TOOL_URI,
+                        "version": tool_version,
+                        "rules": [_rule_descriptor(cls) for cls in rule_classes],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    report: LintReport,
+    rules: Optional[Sequence[Rule]] = None,
+    tool_version: str = "1.0.0",
+) -> str:
+    """:func:`to_sarif` as a stable, indented JSON string."""
+    return json.dumps(to_sarif(report, rules, tool_version), indent=2, sort_keys=False)

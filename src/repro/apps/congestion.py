@@ -135,7 +135,7 @@ class CongestionMonitor:
                         cluster.add(neighbour)
                         frontier.append(neighbour)
             if len(cluster) >= min_size:
-                mean_c = float(np.mean([row[col_of[s]] for s in cluster]))
+                mean_c = float(np.mean([row[col_of[s]] for s in sorted(cluster)]))
                 hotspots.append(
                     Hotspot(
                         slot=slot,

@@ -11,8 +11,13 @@ Python:
 * ``evaluate``     — score an estimate against a ground-truth TCM.
 * ``integrity``    — print the integrity report of a measurement TCM.
 * ``experiments``  — run the paper's full experiment battery.
-* ``lint``         — run the project's numerical-correctness linter
-  (:mod:`repro.analysis`) over source paths.
+* ``lint``         — run the project's numerical-correctness and
+  parallel-safety linter (:mod:`repro.analysis`) over source paths.
+  Exit codes: 0 = clean, 1 = findings (after baseline filtering),
+  2 = usage/parse/internal error.
+* ``verify-determinism`` — double-run the parallel entry points
+  (serial vs worker pool) and fail unless the results are
+  bit-identical (:mod:`repro.analysis.determinism`).
 * ``bench``        — time the hot paths (solvers, tuning, baselines)
   and write a machine-readable ``BENCH_<date>.json``.
 """
@@ -211,11 +216,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
     from repro.analysis import REGISTRY, get_rules, lint_paths
+    from repro.analysis.baseline import (
+        BaselineMismatch,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis.sarif import render_sarif
 
     if args.list_rules:
         for name, cls in REGISTRY.items():
-            print(f"{name:24s} {cls.description}")
+            print(f"{name:24s} [{cls.severity:7s}] {cls.description}")
         return 0
+    if args.update_baseline and not args.baseline:
+        print("error: --update-baseline requires --baseline", file=sys.stderr)
+        return 2
     paths = args.paths or [str(Path(__file__).resolve().parent)]
     try:
         rules = get_rules(args.rules.split(",")) if args.rules else None
@@ -227,21 +242,72 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except (ValueError, SyntaxError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if args.format == "json":
-        payload = [
-            {
-                "path": f.path,
-                "line": f.line,
-                "col": f.col,
-                "rule": f.rule,
-                "message": f.message,
-                "hint": f.hint,
-            }
-            for f in report.findings
-        ]
-        print(json.dumps(payload, indent=2))
+
+    if args.update_baseline:
+        out = write_baseline(args.baseline, report)
+        print(f"recorded {len(report.findings)} finding(s) -> {out}")
+        return 0
+
+    new_findings = report.findings
+    accepted_count = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (BaselineMismatch, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        new_findings, accepted = apply_baseline(report, baseline)
+        accepted_count = len(accepted)
+
+    if args.format == "sarif":
+        rendered = render_sarif(report, rules=rules)
+    elif args.format == "json":
+        rendered = json.dumps(
+            [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "rule": f.rule,
+                    "severity": f.severity,
+                    "message": f.message,
+                    "hint": f.hint,
+                }
+                for f in new_findings
+            ],
+            indent=2,
+        )
     else:
-        print(report.render())
+        lines = [finding.render() for finding in new_findings]
+        summary = f"{len(new_findings)} finding(s)"
+        if accepted_count:
+            summary += f" ({accepted_count} baselined)"
+        if report.suppressed:
+            summary += f", {len(report.suppressed)} suppressed"
+        lines.append(summary)
+        rendered = "\n".join(lines)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return 0 if not new_findings else 1
+
+
+def _cmd_verify_determinism(args: argparse.Namespace) -> int:
+    from repro.analysis.determinism import run_determinism_suite
+
+    try:
+        report = run_determinism_suite(
+            checks=args.checks,
+            smoke=args.smoke,
+            seed=args.seed,
+            max_workers=args.max_workers,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(report.render())
     return 0 if report.ok else 1
 
 
@@ -324,7 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_integrity)
 
     p = sub.add_parser("experiments", help="run the paper's experiment battery")
-    p.add_argument("--profile", choices=("quick", "paper"), default="quick")
+    p.add_argument("--profile", choices=("smoke", "quick", "paper"), default="quick")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--max-workers",
@@ -349,7 +415,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--depart-s", type=float, default=0.0, dest="depart_s")
     p.set_defaults(func=_cmd_plan)
 
-    p = sub.add_parser("lint", help="run the numerical-correctness linter")
+    p = sub.add_parser(
+        "lint",
+        help="run the numerical-correctness and parallel-safety linter",
+        epilog=(
+            "exit codes: 0 = clean (or every finding baselined/suppressed); "
+            "1 = at least one new finding; 2 = bad usage, unreadable "
+            "baseline, or parse/internal error"
+        ),
+    )
     p.add_argument(
         "paths",
         nargs="*",
@@ -361,9 +435,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="findings output format",
+        help="findings output format (sarif = SARIF 2.1.0 for code scanning)",
+    )
+    p.add_argument(
+        "--output",
+        default=None,
+        help="write the rendered output to this file instead of stdout",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON of accepted findings; only findings not in it "
+        "fail the run",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        dest="update_baseline",
+        help="rewrite --baseline from the current findings and exit 0",
     )
     p.add_argument(
         "--list-rules",
@@ -372,6 +463,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "verify-determinism",
+        help="prove serial == parallel bit-for-bit at the runtime seams",
+        epilog=(
+            "runs each parallel entry point twice (max_workers=1 vs N) and "
+            "diffs the results bit for bit; exit 1 on any mismatch"
+        ),
+    )
+    p.add_argument(
+        "--checks",
+        nargs="+",
+        default=None,
+        metavar="CHECK",
+        help="subset to run: completion, tuning, run-all (default: all)",
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-fast CI workloads instead of the quick profile",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        dest="max_workers",
+        help="parallel-side pool width (default: min(4, cores))",
+    )
+    p.set_defaults(func=_cmd_verify_determinism)
 
     p = sub.add_parser("bench", help="run the performance benchmark harness")
     p.add_argument(

@@ -4,7 +4,8 @@
 text blocks; ``main`` prints them (``python -m repro.experiments.runner``).
 The ``quick`` profile shrinks durations and the Table 1 network so the
 battery finishes in a few minutes; the ``paper`` profile uses the
-paper's full scales.
+paper's full scales; the ``smoke`` profile shrinks everything to CI
+scale (seconds) for the determinism harness.
 
 With ``max_workers`` set, independent figure/table cells fan out over a
 thread pool (the inner work is NumPy/LAPACK, which releases the GIL)
@@ -22,7 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.utils.parallel import parallel_map
 
@@ -55,25 +56,29 @@ from repro.experiments.structure_study import (
     run_structure_study,
 )
 
-PROFILES = ("quick", "paper")
+PROFILES = ("smoke", "quick", "paper")
 
 
 def _battery_jobs(
     profile: str, seed: int
-) -> List[Callable[[], Dict[str, str]]]:
-    """Independent figure/table cells, each returning its rendered blocks.
+) -> Dict[str, Callable[[], Dict[str, str]]]:
+    """Independent figure/table cells by name, each returning its blocks.
 
     Every job builds its own config (seeded independently), so jobs can
-    run in any order or concurrently without changing any output.
+    run in any order or concurrently without changing any output.  The
+    ``smoke`` profile shrinks every study to a few seconds total — used
+    by ``repro verify-determinism --smoke`` and CI, not for reading off
+    paper numbers.
     """
     quick = profile == "quick"
-    days = 3.0 if quick else 7.0
+    smoke = profile == "smoke"
+    days = 0.5 if smoke else (3.0 if quick else 7.0)
 
     def integrity_job() -> Dict[str, str]:
         result = run_integrity_study(
             IntegrityStudyConfig(
-                scale=0.1 if quick else 1.0,
-                duration_days=1.0,
+                scale=0.05 if smoke else (0.1 if quick else 1.0),
+                duration_days=0.5 if smoke else 1.0,
                 seed=seed,
             )
         )
@@ -93,24 +98,47 @@ def _battery_jobs(
 
     def sweep_job(city: str, key: str) -> Callable[[], Dict[str, str]]:
         def job() -> Dict[str, str]:
-            sweep = run_error_vs_integrity(
-                ErrorVsIntegrityConfig(city=city, days=days, seed=seed)
+            config = (
+                ErrorVsIntegrityConfig(
+                    city=city,
+                    days=days,
+                    granularities_s=(1800.0,),
+                    integrities=(0.2, 0.5),
+                    seed=seed,
+                )
+                if smoke
+                else ErrorVsIntegrityConfig(city=city, days=days, seed=seed)
             )
-            return {key: sweep.render()}
+            return {key: run_error_vs_integrity(config).render()}
 
         return job
 
     def cdf_job(city: str, key: str) -> Callable[[], Dict[str, str]]:
         def job() -> Dict[str, str]:
-            cdf = run_error_cdf(ErrorCdfConfig(city=city, days=days, seed=seed))
-            return {key: cdf.render()}
+            config = (
+                ErrorCdfConfig(
+                    city=city, days=days, granularities_s=(1800.0,), seed=seed
+                )
+                if smoke
+                else ErrorCdfConfig(city=city, days=days, seed=seed)
+            )
+            return {key: run_error_cdf(config).render()}
 
         return job
 
     def params_job() -> Dict[str, str]:
-        params = run_param_sensitivity(
-            ParamSensitivityConfig(days=days, seed=seed)
+        config = (
+            ParamSensitivityConfig(
+                days=days,
+                rank_sweep=(2, 4),
+                lambda_sweep=(1.0, 10.0),
+                lambda_sweep_rank=4,
+                seed=seed,
+            )
+            if smoke
+            else ParamSensitivityConfig(days=days, seed=seed)
         )
+        params = run_param_sensitivity(config)
         return {"fig15": params.render_rank(), "fig16": params.render_lambda()}
 
     def selection_job(integ: float, key: str) -> Callable[[], Dict[str, str]]:
@@ -129,10 +157,14 @@ def _battery_jobs(
     def sampling_job() -> Dict[str, str]:
         sampling = run_sampling_study(
             SamplingStudyConfig(
-                days=0.5 if quick else 1.0,
-                fleet_sizes=(100, 250) if quick else (100, 250, 500, 1_000),
+                days=0.25 if smoke else (0.5 if quick else 1.0),
+                fleet_sizes=(
+                    (50,) if smoke else ((100, 250) if quick else (100, 250, 500, 1_000))
+                ),
                 reporting_intervals_s=(
-                    (60.0, 300.0) if quick else (30.0, 120.0, 300.0)
+                    (300.0,)
+                    if smoke
+                    else ((60.0, 300.0) if quick else (30.0, 120.0, 300.0))
                 ),
                 seed=seed,
             )
@@ -140,53 +172,79 @@ def _battery_jobs(
         return {"sampling_extension": sampling.render()}
 
     def robustness_job() -> Dict[str, str]:
-        robustness = run_robustness(
-            RobustnessConfig(days=1.0 if quick else 3.0, seed=seed)
+        config = (
+            RobustnessConfig(
+                days=days,
+                noise_levels_kmh=(0.0, 2.0),
+                bias_levels_kmh=(0.0,),
+                seed=seed,
+            )
+            if smoke
+            else RobustnessConfig(days=1.0 if quick else 3.0, seed=seed)
         )
-        return {"robustness_extension": robustness.render()}
+        return {"robustness_extension": run_robustness(config).render()}
 
     def streaming_job() -> Dict[str, str]:
         streaming = run_streaming_study(
             StreamingStudyConfig(
-                days=0.5 if quick else 1.0,
-                num_vehicles=80 if quick else 150,
+                days=0.25 if smoke else (0.5 if quick else 1.0),
+                num_vehicles=40 if smoke else (80 if quick else 150),
                 seed=seed,
             )
         )
         return {"streaming_extension": streaming.render()}
 
-    return [
-        integrity_job,
-        structure_job,
-        sweep_job("shanghai", "fig11"),
-        sweep_job("shenzhen", "fig12"),
-        cdf_job("shanghai", "fig13"),
-        cdf_job("shenzhen", "fig14"),
-        params_job,
-        selection_job(0.2, "fig17"),
-        selection_job(0.4, "fig18"),
-        runtimes_job,
-        sampling_job,
-        robustness_job,
-        streaming_job,
-    ]
+    return {
+        "integrity": integrity_job,
+        "structure": structure_job,
+        "sweep_shanghai": sweep_job("shanghai", "fig11"),
+        "sweep_shenzhen": sweep_job("shenzhen", "fig12"),
+        "cdf_shanghai": cdf_job("shanghai", "fig13"),
+        "cdf_shenzhen": cdf_job("shenzhen", "fig14"),
+        "params": params_job,
+        "selection_020": selection_job(0.2, "fig17"),
+        "selection_040": selection_job(0.4, "fig18"),
+        "runtimes": runtimes_job,
+        "sampling": sampling_job,
+        "robustness": robustness_job,
+        "streaming": streaming_job,
+    }
+
+
+def job_names(profile: str = "quick") -> Tuple[str, ...]:
+    """The battery's job names, in submission order, for ``only=``."""
+    if profile not in PROFILES:
+        raise ValueError(f"profile must be one of {PROFILES}, got {profile!r}")
+    return tuple(_battery_jobs(profile, seed=0))
 
 
 def run_all(
-    profile: str = "quick", seed: int = 0, max_workers: Optional[int] = None
+    profile: str = "quick",
+    seed: int = 0,
+    max_workers: Optional[int] = None,
+    only: Optional[Sequence[str]] = None,
 ) -> Dict[str, str]:
     """Execute every experiment; returns {section name: rendered text}.
 
     ``max_workers`` fans the independent cells out over a thread pool
     (``None``/``1`` = serial).  Results are identical either way; cells
     that share a simulated city deduplicate the build through the
-    scenario cache.
+    scenario cache.  ``only`` restricts the battery to the named jobs
+    (see :func:`job_names`) without changing their outputs — used by
+    ``repro verify-determinism`` to drop the wall-clock studies.
     """
     if profile not in PROFILES:
         raise ValueError(f"profile must be one of {PROFILES}, got {profile!r}")
+    jobs = _battery_jobs(profile, seed)
+    if only is not None:
+        unknown = [name for name in only if name not in jobs]
+        if unknown:
+            raise KeyError(f"unknown job(s) {unknown} (known: {list(jobs)})")
+        wanted = set(only)
+        jobs = {name: job for name, job in jobs.items() if name in wanted}
     results = parallel_map(
         lambda job: job(),
-        _battery_jobs(profile, seed),
+        list(jobs.values()),
         max_workers=max_workers,
         backend="thread",
     )
@@ -207,11 +265,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="thread-pool width for independent cells (default: serial)",
     )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        metavar="JOB",
+        help="run only these named jobs (see repro.experiments.runner.job_names)",
+    )
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
     blocks = run_all(
-        profile=args.profile, seed=args.seed, max_workers=args.max_workers
+        profile=args.profile,
+        seed=args.seed,
+        max_workers=args.max_workers,
+        only=args.only,
     )
     for name, text in blocks.items():
         print(f"==== {name} " + "=" * max(0, 60 - len(name)))

@@ -1,0 +1,126 @@
+"""Tests for repro.analysis.baseline (the accepted-findings ratchet)."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    BaselineMismatch,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+
+DIRTY = textwrap.dedent(
+    """
+    def total(values):
+        return sum(v for v in set(values))
+    """
+)
+
+DIRTIER = DIRTY + textwrap.dedent(
+    """
+    def total2(values):
+        return sum(x for x in set(values)) * 2
+    """
+)
+
+
+def report_of(source, path="pkg/mod.py"):
+    return lint_source(source, path=path)
+
+
+class TestFingerprint:
+    def test_stable_across_line_moves(self):
+        base = report_of(DIRTY).findings[0]
+        shifted = report_of("\n\n\n" + DIRTY).findings[0]
+        assert base.line != shifted.line
+        assert fingerprint(base) == fingerprint(shifted)
+
+    def test_changes_with_path_and_content(self):
+        a = report_of(DIRTY, path="a.py").findings[0]
+        b = report_of(DIRTY, path="b.py").findings[0]
+        assert fingerprint(a) != fingerprint(b)
+
+
+class TestRatchet:
+    def test_accepted_findings_pass(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, report_of(DIRTY))
+        new, accepted = apply_baseline(report_of(DIRTY), load_baseline(path))
+        assert new == []
+        assert len(accepted) == len(report_of(DIRTY).findings)
+
+    def test_new_finding_fails(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, report_of(DIRTY))
+        new, accepted = apply_baseline(
+            report_of(DIRTIER), load_baseline(path)
+        )
+        assert new, "the extra finding must not be covered"
+        assert accepted, "the original finding is still covered"
+
+    def test_update_baseline_re_accepts(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, report_of(DIRTIER))
+        new, _ = apply_baseline(report_of(DIRTIER), load_baseline(path))
+        assert new == []
+
+    def test_duplicate_lines_counted_as_multiset(self, tmp_path):
+        doubled = DIRTY + DIRTY.replace("def total", "def total_again")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, report_of(DIRTY))
+        new, accepted = apply_baseline(
+            report_of(doubled), load_baseline(path)
+        )
+        # Same snippet twice, only one accepted occurrence.
+        assert len(accepted) == 1
+        assert len(new) == 1
+
+    def test_empty_baseline_file_shape(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, report_of("x = 1\n"))
+        payload = json.loads(path.read_text())
+        assert payload["version"] == BASELINE_VERSION
+        assert payload["entries"] == {}
+
+
+class TestBaselineValidation:
+    def test_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json")
+        with pytest.raises(BaselineMismatch):
+            load_baseline(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(BaselineMismatch):
+            load_baseline(path)
+
+    def test_rejects_malformed_entry(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {"version": BASELINE_VERSION, "entries": {"abc": {"count": "x"}}}
+            )
+        )
+        with pytest.raises(BaselineMismatch):
+            load_baseline(path)
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_loads_and_src_is_covered(self):
+        from pathlib import Path
+
+        from repro.analysis import lint_paths
+
+        root = Path(__file__).resolve().parents[1]
+        baseline = load_baseline(root / ".lint-baseline.json")
+        report = lint_paths([str(root / "src" / "repro")])
+        new, _ = apply_baseline(report, baseline)
+        assert new == []

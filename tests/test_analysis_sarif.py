@@ -1,0 +1,105 @@
+"""Tests for repro.analysis.sarif (SARIF 2.1.0 serialisation)."""
+
+import json
+import textwrap
+
+from repro.analysis import REGISTRY, lint_source, render_sarif, to_sarif
+from repro.analysis.sarif import SARIF_SCHEMA_URI, SARIF_VERSION
+
+FIXTURE = textwrap.dedent(
+    """
+    from repro.utils.parallel import parallel_map
+
+    TOTALS = {}
+
+    def work(item):
+        TOTALS[item] = item * 2
+        return item
+
+    def run(items):
+        return parallel_map(work, items, max_workers=4)
+
+    def total(values):
+        # repro-lint: disable-next-line=unordered-iteration
+        return sum(v for v in set(values))
+    """
+)
+
+
+def fixture_report():
+    return lint_source(FIXTURE, path="pkg/fixture.py")
+
+
+class TestSarifShape:
+    def test_golden_schema_fields(self):
+        log = to_sarif(fixture_report())
+        assert log["$schema"] == SARIF_SCHEMA_URI
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert len(log["runs"]) == 1
+        run = log["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        # Every registered rule is declared, with metadata.
+        declared = {rule["id"] for rule in driver["rules"]}
+        assert declared == set(REGISTRY)
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "error",
+                "warning",
+                "note",
+            )
+
+    def test_results_reference_declared_rules(self):
+        log = to_sarif(fixture_report())
+        run = log["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert run["results"], "fixture should produce findings"
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1  # SARIF columns are 1-based
+            uri = result["locations"][0]["physicalLocation"][
+                "artifactLocation"
+            ]
+            assert uri["uri"] == "pkg/fixture.py"
+            assert uri["uriBaseId"] == "%SRCROOT%"
+
+    def test_active_finding_level_and_message(self):
+        log = to_sarif(fixture_report())
+        shared = next(
+            r
+            for r in log["runs"][0]["results"]
+            if r["ruleId"] == "worker-shared-state"
+        )
+        assert shared["level"] == "error"
+        assert "Fix:" in shared["message"]["text"]
+        assert "suppressions" not in shared
+
+    def test_suppressed_finding_is_marked(self):
+        log = to_sarif(fixture_report())
+        suppressed = [
+            r for r in log["runs"][0]["results"] if "suppressions" in r
+        ]
+        assert suppressed, "fixture contains a suppressed finding"
+        assert all(
+            s["suppressions"][0]["kind"] == "inSource" for s in suppressed
+        )
+        assert {s["ruleId"] for s in suppressed} == {"unordered-iteration"}
+
+    def test_render_is_valid_json_roundtrip(self):
+        report = fixture_report()
+        assert json.loads(render_sarif(report)) == to_sarif(report)
+
+    def test_rules_subset_still_declares_fired_rules(self):
+        from repro.analysis import get_rules
+
+        report = fixture_report()
+        log = to_sarif(report, rules=get_rules(["float-equality"]))
+        declared = {
+            rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]
+        }
+        # The subset plus every rule that actually fired in the report.
+        assert "float-equality" in declared
+        assert {f.rule for f in report.findings} <= declared

@@ -140,3 +140,85 @@ class TestReportCommand:
         parser = build_parser()
         args = parser.parse_args(["report", "out.md", "--profile", "quick"])
         assert args.output == "out.md"
+
+
+class TestLintCommand:
+    DIRTY = "def total(values):\n    return sum(v for v in set(values))\n"
+    CLEAN = "def total(values):\n    return sum(sorted(set(values)))\n"
+
+    def test_exit_codes(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.DIRTY)
+        clean = tmp_path / "clean.py"
+        clean.write_text(self.CLEAN)
+        assert main(["lint", str(clean)]) == 0
+        assert main(["lint", str(dirty)]) == 1
+        assert main(["lint", str(tmp_path / "missing.py")]) == 2
+        assert main(["lint", str(dirty), "--rules", "no-such-rule"]) == 2
+        capsys.readouterr()
+
+    def test_sarif_output_file(self, tmp_path, capsys):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.DIRTY)
+        out = tmp_path / "out.sarif"
+        rc = main(["lint", str(dirty), "--format", "sarif", "--output", str(out)])
+        assert rc == 1  # findings still fail the run
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"]
+        capsys.readouterr()
+
+    def test_baseline_roundtrip(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.DIRTY)
+        baseline = tmp_path / "base.json"
+        # --update-baseline records and exits 0; the next run is covered.
+        assert main(
+            ["lint", str(dirty), "--baseline", str(baseline), "--update-baseline"]
+        ) == 0
+        assert main(["lint", str(dirty), "--baseline", str(baseline)]) == 0
+        # A new finding is not covered and fails.
+        dirty.write_text(self.DIRTY + "\ndef t2(v):\n    return sum(x for x in set(v))\n")
+        assert main(["lint", str(dirty), "--baseline", str(baseline)]) == 1
+        capsys.readouterr()
+
+    def test_update_baseline_requires_baseline(self, capsys):
+        assert main(["lint", "--update-baseline"]) == 2
+        capsys.readouterr()
+
+    def test_bad_baseline_is_usage_error(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.CLEAN)
+        bad = tmp_path / "base.json"
+        bad.write_text("not json")
+        assert main(["lint", str(dirty), "--baseline", str(bad)]) == 2
+        capsys.readouterr()
+
+
+class TestVerifyDeterminismCommand:
+    def test_parser_accepts(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["verify-determinism", "--smoke", "--checks", "completion", "tuning"]
+        )
+        assert args.smoke and args.checks == ["completion", "tuning"]
+
+    def test_unknown_check_is_usage_error(self, capsys):
+        assert main(["verify-determinism", "--smoke", "--checks", "nope"]) == 2
+        capsys.readouterr()
+
+    def test_smoke_subset_passes(self, capsys):
+        rc = main(
+            [
+                "verify-determinism",
+                "--smoke",
+                "--checks",
+                "completion",
+                "--max-workers",
+                "2",
+            ]
+        )
+        assert rc == 0
+        assert "bit-identical" in capsys.readouterr().out

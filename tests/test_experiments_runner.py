@@ -36,10 +36,18 @@ class TestMain:
 
 
 class TestBatteryJobs:
-    def test_thirteen_independent_jobs(self):
+    def test_thirteen_named_jobs(self):
         jobs = runner._battery_jobs("quick", seed=0)
         assert len(jobs) == 13
-        assert all(callable(job) for job in jobs)
+        assert all(callable(job) for job in jobs.values())
+        assert list(jobs) == list(runner.job_names("quick"))
+
+    def test_job_names_stable_across_profiles(self):
+        names = runner.job_names("quick")
+        assert names == runner.job_names("smoke") == runner.job_names("paper")
+        assert "runtimes" in names and "streaming" in names
+        with pytest.raises(ValueError):
+            runner.job_names("huge")
 
     def test_parallel_merges_blocks_in_job_order(self, monkeypatch):
         # Replace the battery with stub jobs so the fan-out/merge logic
@@ -54,7 +62,7 @@ class TestBatteryJobs:
 
                 return job
 
-            return [make("a"), make("b"), make("c")]
+            return {key: make(key) for key in ("a", "b", "c")}
 
         monkeypatch.setattr(runner, "_battery_jobs", fake_jobs)
         serial = runner.run_all(profile="quick", seed=0)
@@ -65,3 +73,15 @@ class TestBatteryJobs:
             "c": "text-c",
         }
         assert list(serial) == ["a", "b", "c"]
+
+    def test_only_filters_jobs(self, monkeypatch):
+        def fake_jobs(profile, seed):
+            return {
+                key: (lambda key=key: {key: f"text-{key}"})
+                for key in ("a", "b", "c")
+            }
+
+        monkeypatch.setattr(runner, "_battery_jobs", fake_jobs)
+        assert runner.run_all(only=("c", "a")) == {"a": "text-a", "c": "text-c"}
+        with pytest.raises(KeyError):
+            runner.run_all(only=("a", "nope"))

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Static-analysis gate: repro_lint (always) + ruff + mypy (when installed).
+# Static-analysis gate: tracked-bytecode guard + repro_lint (with the
+# committed baseline) + verify-determinism smoke (always) + ruff + mypy
+# (when installed).
 #
 # Usage: tools/check.sh [--require-all]
 #
-# repro_lint is part of this package and always runs.  ruff and mypy are
-# optional dev dependencies; when they are not installed the step is
-# skipped with a notice so the gate stays runnable in minimal
-# environments.  Pass --require-all (CI does) to turn a missing tool
-# into a failure instead of a skip.
+# repro_lint and the determinism harness are part of this package and
+# always run.  ruff and mypy are optional dev dependencies; when they
+# are not installed the step is skipped with a notice so the gate stays
+# runnable in minimal environments.  Pass --require-all (CI does) to
+# turn a missing tool into a failure instead of a skip.
 
 set -u -o pipefail
 
@@ -48,8 +50,25 @@ maybe_step() {
     fi
 }
 
-run_step "repro_lint (numerical-correctness rules)" \
-    python -m repro.cli lint src/repro
+tracked_bytecode() {
+    local tracked
+    tracked=$(git ls-files '*.pyc' '*.pyo')
+    if [ -n "$tracked" ]; then
+        echo "    tracked bytecode files:" >&2
+        echo "$tracked" | sed 's/^/      /' >&2
+        return 1
+    fi
+    return 0
+}
+
+run_step "tracked-bytecode (no .pyc under version control)" \
+    tracked_bytecode
+
+run_step "repro_lint (numerical-correctness + parallel-safety rules)" \
+    python -m repro.cli lint src/repro --baseline .lint-baseline.json
+
+run_step "verify-determinism (serial == parallel, bit for bit)" \
+    python -m repro.cli verify-determinism --smoke
 
 maybe_step "ruff (syntax + undefined names)" ruff \
     python -m ruff check src tests
