@@ -20,6 +20,16 @@ Python:
   bit-identical (:mod:`repro.analysis.determinism`).
 * ``bench``        — time the hot paths (solvers, tuning, baselines)
   and write a machine-readable ``BENCH_<date>.json``.
+* ``trace``        — inspect run manifests: ``trace summarize`` prints
+  the per-phase rollup and the top-N spans of a manifest
+  (:mod:`repro.obs`).
+* ``obs``          — export a manifest's spans (JSONL) or metrics
+  (JSONL / Prometheus text) for external tooling.
+
+``experiments``, ``verify-determinism``, and ``bench`` accept
+``--manifest PATH`` to write a run manifest (enabling observability for
+that invocation).  Exit codes follow the repo convention: 0 = success,
+1 = findings/regression/mismatch, 2 = usage or input error.
 """
 
 from __future__ import annotations
@@ -157,6 +167,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     argv = ["--profile", args.profile, "--seed", str(args.seed)]
     if args.max_workers is not None:
         argv += ["--max-workers", str(args.max_workers)]
+    if args.manifest:
+        argv += ["--manifest", args.manifest]
     return runner_main(argv)
 
 
@@ -297,6 +309,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_verify_determinism(args: argparse.Namespace) -> int:
     from repro.analysis.determinism import run_determinism_suite
 
+    if args.manifest:
+        from repro.obs import trace as obs_trace
+
+        obs_trace.enable()
     try:
         report = run_determinism_suite(
             checks=args.checks,
@@ -308,6 +324,30 @@ def _cmd_verify_determinism(args: argparse.Namespace) -> int:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     print(report.render())
+    if args.manifest:
+        from repro.obs import manifest as obs_manifest
+
+        payload = obs_manifest.build_manifest(
+            "verify-determinism",
+            config={
+                "checks": list(args.checks) if args.checks else [],
+                "smoke": bool(args.smoke),
+                "seed": args.seed,
+                "max_workers": args.max_workers,
+            },
+            seed=args.seed,
+            jobs=[
+                {
+                    "name": check.name,
+                    "status": "ok" if check.ok else "mismatch",
+                    "wall_s": check.elapsed_s,
+                    "detail": check.detail,
+                }
+                for check in report.checks
+            ],
+        )
+        out = obs_manifest.write_manifest(payload, args.manifest)
+        print(f"manifest: {out}")
     return 0 if report.ok else 1
 
 
@@ -318,6 +358,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_perf_bench,
     )
 
+    if args.manifest:
+        from repro.obs import trace as obs_trace
+
+        obs_trace.enable()
     report = run_perf_bench(
         smoke=args.smoke,
         seed=args.seed,
@@ -328,6 +372,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(report.render())
     out = report.write_json(args.output or default_output_name())
     print(f"wrote {out}")
+    if args.manifest:
+        from repro.obs import manifest as obs_manifest
+
+        payload = obs_manifest.build_manifest(
+            "bench",
+            config={
+                "smoke": bool(args.smoke),
+                "seed": args.seed,
+                "repeats": args.repeats,
+                "max_workers": args.max_workers,
+            },
+            seed=args.seed,
+            jobs=[
+                {
+                    "name": f"{record.case}/{record.algorithm}",
+                    "status": "ok",
+                    "wall_s": record.wall_s,
+                }
+                for record in report.records
+            ],
+        )
+        manifest_out = obs_manifest.write_manifest(payload, args.manifest)
+        print(f"manifest: {manifest_out}")
     if args.compare:
         comparison = compare_with_baseline(
             report, args.compare, threshold=args.compare_threshold
@@ -335,6 +402,68 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(comparison.render())
         if not comparison.ok:
             return 1
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import load_manifest
+    from repro.obs.schema import validate_manifest
+    from repro.obs.summarize import summarize_manifest
+
+    try:
+        payload = load_manifest(args.manifest)
+        validate_manifest(payload)
+        rendered = summarize_manifest(payload, top=args.top)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(rendered)
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import load_manifest
+    from repro.obs.metrics import render_prometheus
+    from repro.obs.summarize import render_spans_jsonl, spans_from_manifest
+
+    try:
+        payload = load_manifest(args.manifest)
+        if args.what == "spans":
+            if args.format != "jsonl":
+                print("error: spans export only supports jsonl", file=sys.stderr)
+                return 2
+            rendered = render_spans_jsonl(spans_from_manifest(payload))
+        else:
+            metrics = payload.get("metrics")
+            if not isinstance(metrics, dict):
+                raise ValueError(f"{args.manifest} has no metrics section")
+            if args.format == "prometheus":
+                rendered = render_prometheus(metrics)
+            else:
+                import json
+
+                lines = []
+                for kind in ("counters", "gauges", "histograms"):
+                    for name, value in sorted(metrics.get(kind, {}).items()):
+                        entry = {"name": name, "kind": kind.rstrip("s")}
+                        if isinstance(value, dict):
+                            entry.update(value)
+                        else:
+                            entry["value"] = value
+                        lines.append(
+                            json.dumps(
+                                entry, sort_keys=True, separators=(",", ":")
+                            )
+                        )
+                rendered = "\n".join(lines)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
     return 0
 
 
@@ -398,6 +527,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="max_workers",
         help="thread-pool width for independent figure/table cells",
+    )
+    p.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write a run manifest here (enables observability for the run)",
     )
     p.set_defaults(func=_cmd_experiments)
 
@@ -492,6 +627,12 @@ def build_parser() -> argparse.ArgumentParser:
         dest="max_workers",
         help="parallel-side pool width (default: min(4, cores))",
     )
+    p.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write a run manifest here (enables observability for the run)",
+    )
     p.set_defaults(func=_cmd_verify_determinism)
 
     p = sub.add_parser("bench", help="run the performance benchmark harness")
@@ -538,7 +679,60 @@ def build_parser() -> argparse.ArgumentParser:
         dest="compare_threshold",
         help="wall-clock regression factor that fails the comparison",
     )
+    p.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write a run manifest here (enables observability for the run)",
+    )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("trace", help="inspect run manifests (observability)")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    ps = trace_sub.add_parser(
+        "summarize",
+        help="per-phase rollup and top-N spans of a run manifest",
+        epilog=(
+            "the manifest is validated against the committed schema first; "
+            "exit 2 on unreadable or invalid input"
+        ),
+    )
+    ps.add_argument("manifest", help="run manifest JSON (from --manifest runs)")
+    ps.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="number of longest spans to list (default: 10)",
+    )
+    ps.set_defaults(func=_cmd_trace_summarize)
+
+    p = sub.add_parser(
+        "obs", help="export observability data from run manifests"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    pe = obs_sub.add_parser(
+        "export",
+        help="export a manifest's spans or metrics for external tooling",
+    )
+    pe.add_argument("manifest", help="run manifest JSON (from --manifest runs)")
+    pe.add_argument(
+        "--what",
+        choices=("spans", "metrics"),
+        default="spans",
+        help="which section to export (default: spans)",
+    )
+    pe.add_argument(
+        "--format",
+        choices=("jsonl", "prometheus"),
+        default="jsonl",
+        help="jsonl (spans or metrics) or prometheus (metrics only)",
+    )
+    pe.add_argument(
+        "--output",
+        default=None,
+        help="write here instead of stdout",
+    )
+    pe.set_defaults(func=_cmd_obs_export)
 
     p = sub.add_parser("anomalies", help="detect incidents in a complete TCM")
     p.add_argument("input", help="complete TCM (.npz)")

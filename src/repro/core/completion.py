@@ -56,6 +56,8 @@ from typing import Callable, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.tcm import TrafficConditionMatrix
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.utils.contracts import shapes
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import SeedLike, ensure_rng
@@ -275,17 +277,32 @@ class CompressiveSensingCompleter:
         groupings: Optional[Tuple["_MaskGroups", "_MaskGroups"]] = None
         if self.mask_aware and self.solver == "grouped":
             groupings = (_MaskGroups(b_arr), _MaskGroups(b_arr.T))
-        runs: List[_RunOutcome] = parallel_map(
-            lambda init: self._run_als(m_arr, b_arr, init, observed, groupings),
-            inits,
-            max_workers=self.max_workers,
-            backend="thread",
-        )
+        with obs_trace.span(
+            "als.complete",
+            rows=m,
+            cols=n,
+            rank=r,
+            solver=self.solver if self.mask_aware else "stacked",
+            restarts=self.restarts,
+        ):
+            runs: List[_RunOutcome] = parallel_map(
+                lambda init: self._run_als(m_arr, b_arr, init, observed, groupings),
+                inits,
+                max_workers=self.max_workers,
+                backend="thread",
+                span_name="als.restart",
+            )
 
         best_idx = min(range(len(runs)), key=lambda i: runs[i][0])
         best_obj, best_left, best_right, _ = runs[best_idx]
         restart_histories = [history for _, _, _, history in runs]
         iterations_run = sum(len(h) for h in restart_histories)
+        if obs_trace.enabled():
+            obs_metrics.inc("als.completions")
+            obs_metrics.inc("als.restarts", self.restarts)
+            for history in restart_histories:
+                obs_metrics.observe("als.iterations_to_convergence", len(history))
+            obs_metrics.observe("als.objective", best_obj)
 
         estimate = best_left @ best_right.T + offset
         if self.clip_min is not None or self.clip_max is not None:

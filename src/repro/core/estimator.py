@@ -22,6 +22,7 @@ from repro.core.completion import (
 )
 from repro.core.tcm import TimeGrid, TrafficConditionMatrix
 from repro.core.tuning import GeneticTuner, TuningResult
+from repro.obs import trace as obs_trace
 from repro.probes.aggregation import AggregationConfig, aggregate_reports
 from repro.probes.report import ReportBatch
 from repro.utils.contracts import shapes
@@ -134,8 +135,11 @@ class TrafficEstimator:
         segment_ids: Sequence[int],
     ) -> EstimationOutput:
         """Full pipeline: aggregate reports, then complete the matrix."""
-        measurements = self.aggregate(reports, grid, segment_ids)
-        return self.estimate(measurements)
+        with obs_trace.span(
+            "estimate.from_reports", reports=int(reports.times_s.size)
+        ):
+            measurements = self.aggregate(reports, grid, segment_ids)
+            return self.estimate(measurements)
 
     @shapes(TrafficConditionMatrix)
     def estimate(self, measurements: TrafficConditionMatrix) -> EstimationOutput:
@@ -146,7 +150,8 @@ class TrafficEstimator:
             tuner = self._tuner or GeneticTuner(
                 solver=self.solver, max_workers=self.max_workers, seed=self._seed
             )
-            tuning = tuner.tune(measurements)
+            with obs_trace.span("estimate.tune"):
+                tuning = tuner.tune(measurements)
             rank, lam = tuning.rank, tuning.lam
             self.last_tuning = tuning
 
@@ -162,7 +167,8 @@ class TrafficEstimator:
             max_workers=self.max_workers,
             seed=self._seed,
         )
-        result = completer.complete(measurements)
+        with obs_trace.span("estimate.complete", rank=rank, lam=float(lam)):
+            result = completer.complete(measurements)
         estimate_tcm = TrafficConditionMatrix(
             result.estimate,
             grid=measurements.grid,

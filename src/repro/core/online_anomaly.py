@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.streaming import SlotEstimate
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.utils.validation import check_fraction, check_positive
 
 
@@ -146,6 +148,9 @@ class OnlineAnomalyMonitor:
         self._count[bucket] = count + 1
 
         self.alerts.extend(alerts)
+        if obs_trace.enabled():
+            obs_metrics.inc("anomaly.slots_observed")
+            obs_metrics.inc("anomaly.alerts", len(alerts))
         return alerts
 
     def observe_many(

@@ -29,6 +29,8 @@ import numpy as np
 
 from repro.core.completion import CompressiveSensingCompleter, PAPER_LAMBDA, PAPER_RANK
 from repro.core.tcm import TimeGrid, TrafficConditionMatrix
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.probes.report import ProbeReport
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive
@@ -154,6 +156,7 @@ class StreamingEstimator:
         self._sums[j] += report.speed_kmh
         self._counts[j] += 1
 
+    @obs_trace.traced("stream.close_slot")
     def _close_slot(self) -> SlotEstimate:
         """Finalize the current slot, slide the window, re-complete."""
         n = len(self.segment_ids)
@@ -203,6 +206,11 @@ class StreamingEstimator:
 
         cold = self._warm_left is None or self._warm_left.shape[0] != window_m.shape[0]
         iterations = self.cold_iterations if cold else self.warm_iterations
+        if obs_trace.enabled():
+            obs_metrics.inc("stream.recompletions")
+            obs_metrics.inc(
+                "stream.cold_starts" if cold else "stream.warm_starts"
+            )
         completer = CompressiveSensingCompleter(
             rank=self.rank,
             lam=self.lam,

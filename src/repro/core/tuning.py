@@ -45,6 +45,8 @@ import numpy as np
 from repro.core.completion import CompressiveSensingCompleter
 from repro.core.tcm import TrafficConditionMatrix
 from repro.metrics.errors import nmae
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_fraction, check_matrix_pair
@@ -288,37 +290,47 @@ class GeneticTuner:
         max_rank = min(self.rank_bounds[1], min(m_arr.shape))
         min_rank = min(self.rank_bounds[0], max_rank)
 
-        # 1) Initialization: uniform in rank, log-uniform in lambda.
-        genomes = [
-            self._random_genome(min_rank, max_rank, rng)
-            for _ in range(self.population_size)
-        ]
-        population = self._evaluate_batch(genomes, session)
-        population.sort(key=lambda c: c.fitness)
-
-        history: List[float] = []
-        best = population[0]
-        stall = 0
-        generations_run = 0
-
-        for _ in range(self.generations):
-            generations_run += 1
-            population = self._next_generation(
-                population, min_rank, max_rank, rng, session
-            )
+        with obs_trace.span(
+            "ga.tune",
+            population=self.population_size,
+            generations=self.generations,
+        ):
+            # 1) Initialization: uniform in rank, log-uniform in lambda.
+            genomes = [
+                self._random_genome(min_rank, max_rank, rng)
+                for _ in range(self.population_size)
+            ]
+            with obs_trace.span("ga.generation", index=0):
+                population = self._evaluate_batch(genomes, session)
             population.sort(key=lambda c: c.fitness)
-            history.append(population[0].fitness)
-            if population[0].fitness < best.fitness - 1e-9:
-                best = population[0]
-                stall = 0
-            else:
-                stall += 1
-                if (
-                    self.stall_generations is not None
-                    and stall >= self.stall_generations
-                ):
-                    break
 
+            history: List[float] = []
+            best = population[0]
+            stall = 0
+            generations_run = 0
+
+            for _ in range(self.generations):
+                generations_run += 1
+                with obs_trace.span("ga.generation", index=generations_run):
+                    population = self._next_generation(
+                        population, min_rank, max_rank, rng, session
+                    )
+                population.sort(key=lambda c: c.fitness)
+                history.append(population[0].fitness)
+                if population[0].fitness < best.fitness - 1e-9:
+                    best = population[0]
+                    stall = 0
+                else:
+                    stall += 1
+                    if (
+                        self.stall_generations is not None
+                        and stall >= self.stall_generations
+                    ):
+                        break
+
+        if obs_trace.enabled():
+            obs_metrics.observe("ga.generations_run", generations_run)
+            obs_metrics.observe("ga.best_fitness", best.fitness)
         return TuningResult(
             rank=best.rank,
             lam=best.lam,
@@ -374,12 +386,19 @@ class GeneticTuner:
                 )
         tasks = list(fresh.values())
         fitnesses = parallel_map(
-            _evaluate_fitness, tasks, max_workers=self.max_workers, backend="thread"
+            _evaluate_fitness,
+            tasks,
+            max_workers=self.max_workers,
+            backend="thread",
+            span_name="ga.fitness",
         )
         for task, fitness in zip(tasks, fitnesses):
             session.cache[_genome_key(task.rank, task.lam)] = fitness
         session.evaluations += len(tasks)
         session.hits += len(genomes) - len(tasks)
+        if obs_trace.enabled():
+            obs_metrics.inc("ga.evaluations", len(tasks))
+            obs_metrics.inc("ga.cache.hits", len(genomes) - len(tasks))
         return [
             Candidate(rank, lam, session.cache[key])
             for (rank, lam, _), key in zip(genomes, keys)

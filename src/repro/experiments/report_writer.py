@@ -60,16 +60,55 @@ def render_bench_section(bench_path: Union[str, Path]) -> str:
     return "\n".join(lines)
 
 
+def render_manifest_section(manifest_path: Union[str, Path]) -> str:
+    """Markdown per-phase timing rollup of a committed ``MANIFEST_*.json``.
+
+    Reads the run manifest's span trace (:mod:`repro.obs`) and renders
+    where the battery's wall time went, so the reproduction report
+    records the cost profile of the run alongside its results.
+    """
+    from repro.obs.manifest import load_manifest
+    from repro.obs.summarize import per_phase_rollup, spans_from_manifest
+
+    payload = load_manifest(manifest_path)
+    spans = spans_from_manifest(payload)
+    kind = payload.get("kind", "?")
+    sha = str(payload.get("git_sha") or "-")[:12]
+    lines: List[str] = [
+        f"Run manifest: `{Path(manifest_path).name}` "
+        f"(kind `{kind}`, git `{sha}`, {len(spans)} spans; "
+        "regenerate with `repro experiments --manifest <path>` and "
+        "inspect with `repro trace summarize <path>`).",
+    ]
+    if not spans:
+        lines.append("")
+        lines.append("No spans recorded (observability was off for this run).")
+        return "\n".join(lines)
+    phases = per_phase_rollup(spans)
+    traced_total = sum(total for _, _, total in phases)
+    lines += [
+        "",
+        "| phase | spans | total (s) | share |",
+        "|---|---|---|---|",
+    ]
+    for name, count, total in phases:
+        share = f"{100.0 * total / traced_total:.1f}%" if traced_total > 0 else "—"
+        lines.append(f"| {name} | {count} | {total:.3f} | {share} |")
+    return "\n".join(lines)
+
+
 def render_report(
     blocks: Mapping[str, str],
     profile: str = "quick",
     seed: int = 0,
     bench_path: Optional[Union[str, Path]] = None,
+    manifest_path: Optional[Union[str, Path]] = None,
 ) -> str:
     """Lay rendered blocks out as one Markdown document.
 
     ``bench_path`` (a committed ``BENCH_*.json``) appends a performance
-    section summarizing the benchmark artifact.
+    section summarizing the benchmark artifact; ``manifest_path`` (a
+    committed ``MANIFEST_*.json``) appends the per-phase timing rollup.
     """
     if not blocks:
         raise ValueError("no blocks to render")
@@ -96,6 +135,11 @@ def render_report(
         lines.append("")
         lines.append(render_bench_section(bench_path))
         lines.append("")
+    if manifest_path is not None:
+        lines.append("## Run timing (per-phase rollup)")
+        lines.append("")
+        lines.append(render_manifest_section(manifest_path))
+        lines.append("")
     lines.append("---")
     lines.append(
         "Generated by `repro.experiments.report_writer` "
@@ -111,18 +155,26 @@ def default_bench_path() -> Optional[Path]:
     return candidates[-1] if candidates else None
 
 
+def default_manifest_path() -> Optional[Path]:
+    """The newest committed ``MANIFEST_*.json`` in the working tree, if any."""
+    candidates = sorted(Path.cwd().glob("MANIFEST_*.json"))
+    return candidates[-1] if candidates else None
+
+
 def write_report(
     path: Union[str, Path],
     profile: str = "quick",
     seed: int = 0,
     blocks: Optional[Dict[str, str]] = None,
     bench_path: Optional[Union[str, Path]] = None,
+    manifest_path: Optional[Union[str, Path]] = None,
 ) -> Path:
     """Run the battery (unless ``blocks`` given) and write the report.
 
-    ``bench_path`` defaults to the newest ``BENCH_*.json`` in the
-    current directory (pass a falsy non-None value to disable).
-    Returns the written path.
+    ``bench_path`` / ``manifest_path`` default to the newest
+    ``BENCH_*.json`` / ``MANIFEST_*.json`` in the current directory
+    (pass a falsy non-None value to disable either).  Returns the
+    written path.
     """
     if profile not in PROFILES:
         raise ValueError(f"profile must be one of {PROFILES}, got {profile!r}")
@@ -130,8 +182,16 @@ def write_report(
         blocks = run_all(profile=profile, seed=seed)
     if bench_path is None:
         bench_path = default_bench_path()
+    if manifest_path is None:
+        manifest_path = default_manifest_path()
     path = Path(path)
     path.write_text(
-        render_report(blocks, profile=profile, seed=seed, bench_path=bench_path or None)
+        render_report(
+            blocks,
+            profile=profile,
+            seed=seed,
+            bench_path=bench_path or None,
+            manifest_path=manifest_path or None,
+        )
     )
     return path

@@ -25,6 +25,8 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import manifest as obs_manifest
+from repro.obs import trace as obs_trace
 from repro.utils.parallel import parallel_map
 
 from repro.experiments.error_cdf import ErrorCdfConfig, run_error_cdf
@@ -211,6 +213,17 @@ def _battery_jobs(
     }
 
 
+def _named_job(item: Tuple[str, Callable[[], Dict[str, str]]]) -> Dict[str, str]:
+    """Run one battery cell under a ``job.<name>`` span.
+
+    The span shows up in run manifests (``jobs_from_spans``); while
+    observability is off it is the shared no-op.
+    """
+    name, job = item
+    with obs_trace.span(f"job.{name}"):
+        return job()
+
+
 def job_names(profile: str = "quick") -> Tuple[str, ...]:
     """The battery's job names, in submission order, for ``only=``."""
     if profile not in PROFILES:
@@ -242,12 +255,14 @@ def run_all(
             raise KeyError(f"unknown job(s) {unknown} (known: {list(jobs)})")
         wanted = set(only)
         jobs = {name: job for name, job in jobs.items() if name in wanted}
-    results = parallel_map(
-        lambda job: job(),
-        list(jobs.values()),
-        max_workers=max_workers,
-        backend="thread",
-    )
+    with obs_trace.span("run_all", profile=profile, seed=seed, jobs=len(jobs)):
+        results = parallel_map(
+            _named_job,
+            list(jobs.items()),
+            max_workers=max_workers,
+            backend="thread",
+            span_name="runner.dispatch",
+        )
     blocks: Dict[str, str] = {}
     for rendered in results:
         blocks.update(rendered)
@@ -272,7 +287,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="JOB",
         help="run only these named jobs (see repro.experiments.runner.job_names)",
     )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a run manifest (JSON) here after the battery; enables "
+            "observability for this run so the manifest carries spans"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.manifest:
+        obs_trace.enable()
 
     started = time.perf_counter()
     blocks = run_all(
@@ -286,6 +313,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(text)
         print()
     print(f"total: {time.perf_counter() - started:.1f}s")
+
+    if args.manifest:
+        spans = obs_trace.collector().snapshot()
+        payload = obs_manifest.build_manifest(
+            "run-all",
+            config={
+                "profile": args.profile,
+                "seed": args.seed,
+                "max_workers": args.max_workers,
+                "only": list(args.only) if args.only else [],
+            },
+            seed=args.seed,
+            jobs=obs_manifest.jobs_from_spans(spans),
+            spans=spans,
+        )
+        out = obs_manifest.write_manifest(payload, args.manifest)
+        print(f"manifest: {out}")
     return 0
 
 

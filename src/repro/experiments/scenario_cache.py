@@ -37,6 +37,9 @@ from typing import Any, Callable, Dict, Mapping, Tuple, TypeVar
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
 T = TypeVar("T")
 
 
@@ -99,17 +102,21 @@ class ScenarioCache:
         with self._lock:
             if key in self._entries:
                 self._hits += 1
+                obs_metrics.inc("scenario_cache.hits")
                 return self._entries[key]  # type: ignore[no-any-return]
             key_lock = self._key_locks.setdefault(key, threading.Lock())
         with key_lock:
             with self._lock:
                 if key in self._entries:
                     self._hits += 1
+                    obs_metrics.inc("scenario_cache.hits")
                     return self._entries[key]  # type: ignore[no-any-return]
-            value = builder()
+            with obs_trace.span("scenario.build", key=key[:12]):
+                value = builder()
             with self._lock:
                 self._entries[key] = value
                 self._misses += 1
+            obs_metrics.inc("scenario_cache.misses")
         return value
 
     def clear(self) -> None:

@@ -1,0 +1,222 @@
+"""Run manifests: one canonical JSON artifact per pipeline invocation.
+
+A manifest is the durable record of *what a run actually did*: which
+entry point (``run_all`` / ``repro bench`` / ``repro
+verify-determinism``), under which configuration (hashed canonically,
+so two manifests with the same hash ran the same workload), from which
+seeds and git commit, with which package versions, and — when
+observability was on — the full span trace and a snapshot of every
+metric.  CI uploads manifests as artifacts; ``repro trace summarize``
+renders them for humans.
+
+The payload shape is pinned by the committed JSON schema next to this
+module (``manifest_schema.json``) and checked by
+:func:`repro.obs.schema.validate_manifest`; bump :data:`SCHEMA_VERSION`
+when the shape changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+SCHEMA_VERSION = 1
+
+#: The conventional manifest kinds; free-form kinds are allowed (the
+#: schema constrains the type, not the vocabulary).
+KINDS = ("run-all", "bench", "verify-determinism")
+
+__all__ = [
+    "KINDS",
+    "SCHEMA_VERSION",
+    "build_manifest",
+    "config_hash",
+    "default_manifest_name",
+    "git_sha",
+    "jobs_from_spans",
+    "load_manifest",
+    "package_versions",
+    "write_manifest",
+]
+
+
+def _canonical(obj: Any) -> Any:
+    """Canonical JSON-able form of a config value (stable across runs).
+
+    Dataclasses become sorted dicts, tuples become lists, NumPy scalars
+    collapse to Python scalars via ``item()``.  Unrepresentable values
+    raise ``TypeError`` instead of hashing something unstable.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _canonical(dataclasses.asdict(obj))
+    if isinstance(obj, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    item = getattr(obj, "item", None)
+    if callable(item):  # NumPy scalars
+        value = item()
+        if isinstance(value, (bool, int, float, str)):
+            return value
+    raise TypeError(f"cannot canonicalize {type(obj).__name__!r} into a manifest")
+
+
+def config_hash(config: Mapping[str, Any]) -> str:
+    """SHA-256 of the canonical JSON encoding of a run's configuration."""
+    payload = json.dumps(
+        _canonical(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def git_sha(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The current commit's SHA, or ``None`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def package_versions() -> Dict[str, str]:
+    """Versions of the interpreter and the packages that shape results."""
+    versions = {"python": platform.python_version()}
+    for name in ("numpy", "scipy", "networkx"):
+        module = sys.modules.get(name)
+        if module is None:
+            try:
+                module = __import__(name)
+            except ImportError:
+                continue
+        versions[name] = str(getattr(module, "__version__", "unknown"))
+    try:
+        from repro import __version__ as repro_version
+
+        versions["repro"] = repro_version
+    except ImportError:
+        pass
+    return versions
+
+
+def jobs_from_spans(
+    spans: Sequence[_trace.Span], prefix: str = "job."
+) -> List[Dict[str, Any]]:
+    """Manifest ``jobs`` entries derived from per-job spans.
+
+    The experiment runner opens one ``job.<name>`` span per battery
+    cell; a span that recorded an ``error`` attribute (the tracer sets
+    it when the body raises) becomes ``status: "error"``.
+    """
+    jobs: List[Dict[str, Any]] = []
+    for s in spans:
+        if not s.name.startswith(prefix):
+            continue
+        entry: Dict[str, Any] = {
+            "name": s.name[len(prefix):],
+            "status": "error" if "error" in s.attrs else "ok",
+            "wall_s": s.duration_s,
+        }
+        if "error" in s.attrs:
+            entry["detail"] = str(s.attrs["error"])
+        jobs.append(entry)
+    return jobs
+
+
+def build_manifest(
+    kind: str,
+    config: Optional[Mapping[str, Any]] = None,
+    seed: Optional[int] = None,
+    jobs: Optional[Sequence[Mapping[str, Any]]] = None,
+    spans: Optional[Sequence[_trace.Span]] = None,
+    metrics_snapshot: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the manifest payload for one finished invocation.
+
+    ``spans`` and ``metrics_snapshot`` default to the live collector and
+    registry (the usual case: enable observability, run, build).  The
+    payload validates against the committed schema by construction —
+    ``tests/test_obs_manifest.py`` holds that line.
+    """
+    if not kind:
+        raise ValueError("manifest kind must be a non-empty string")
+    config_payload = _canonical(config) if config is not None else {}
+    span_list = (
+        list(spans) if spans is not None else _trace.collector().snapshot()
+    )
+    job_list: List[Dict[str, Any]] = []
+    for job in jobs or ():
+        entry: Dict[str, Any] = {"name": str(job["name"])}
+        entry["status"] = str(job.get("status", "ok"))
+        wall = job.get("wall_s")
+        entry["wall_s"] = None if wall is None else float(wall)
+        if "detail" in job:
+            entry["detail"] = str(job["detail"])
+        job_list.append(entry)
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": str(kind),
+        # Epoch timestamp of manifest creation; spans carry the
+        # monotonic timeline, this anchors the artifact in calendar time.
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+        "config": config_payload,
+        "config_sha256": config_hash(config_payload),
+        "seed": None if seed is None else int(seed),
+        "git_sha": git_sha(),
+        "versions": package_versions(),
+        "platform": {
+            "system": platform.system(),
+            "machine": platform.machine(),
+        },
+        "jobs": job_list,
+        "spans": [s.to_payload() for s in span_list],
+        "metrics": (
+            dict(metrics_snapshot)
+            if metrics_snapshot is not None
+            else _metrics.registry().snapshot()
+        ),
+    }
+
+
+def write_manifest(
+    payload: Mapping[str, Any], path: Union[str, Path]
+) -> Path:
+    """Write a manifest payload as pretty, key-sorted JSON."""
+    out = Path(path)
+    out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return out
+
+
+def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a manifest file; raises ``ValueError`` on non-manifest JSON."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or "schema" not in raw or "kind" not in raw:
+        raise ValueError(f"{path} is not a run manifest (no schema/kind keys)")
+    return raw
+
+
+def default_manifest_name(kind: str) -> str:
+    """Conventional artifact name, ``MANIFEST_<kind>_<utc date>.json``."""
+    stamp = datetime.now(timezone.utc).date().isoformat()
+    return f"MANIFEST_{kind}_{stamp}.json"

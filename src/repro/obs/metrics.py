@@ -1,0 +1,349 @@
+"""Metrics registry: counters, gauges, histograms + two exporters.
+
+The pipeline's quantitative health signals — ALS sweeps to convergence,
+per-solver residual objectives, GA fitness-cache hit rate, scenario
+cache hits/misses, map-matcher candidates examined, pool utilization —
+are recorded here when observability is on and snapshotted into run
+manifests.
+
+Three instrument kinds, all thread-safe:
+
+* :class:`Counter` — monotonically increasing total (``inc``).
+* :class:`Gauge` — last-write-wins level (``set``).
+* :class:`Histogram` — streaming aggregate of observed values: count,
+  sum, min, max, and counts under a fixed set of upper bounds (the
+  Prometheus cumulative-bucket convention, ``+Inf`` implied).
+
+Exporters:
+
+* :meth:`MetricsRegistry.to_jsonl` — one JSON object per line per
+  metric, mechanical to diff and to load into any log pipeline.
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus text
+  exposition format (``# TYPE`` headers, ``_count``/``_sum``/
+  ``_bucket{le=...}`` series for histograms).
+
+Like the tracer, every module-level convenience function
+(:func:`inc`, :func:`set_gauge`, :func:`observe`) checks the global
+enabled flag first and returns immediately when observability is off.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs import trace
+
+Number = Union[int, float]
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "inc",
+    "observe",
+    "registry",
+    "reset",
+    "set_gauge",
+]
+
+#: Default histogram bucket upper bounds.  Wide on purpose: the same
+#: instrument records sub-millisecond candidate counts and multi-second
+#: completion objectives; per-metric bounds can override.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.01,
+    0.1,
+    1.0,
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+)
+
+def _check_name(name: str) -> str:
+    if not name or any(ch.isspace() for ch in name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _prom_name(name: str) -> str:
+    """Metric name mangled into the Prometheus charset."""
+    out = [ch if (ch.isalnum() or ch in "_:") else "_" for ch in name]
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+class Counter:
+    """Monotonic counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = _check_name(name)
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, value: Number = 1) -> None:
+        if value < 0:
+            raise ValueError(f"counter increments must be >= 0, got {value}")
+        with self._lock:
+            self._value += float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins level."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = _check_name(name)
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, value: Number) -> None:
+        with self._lock:
+            self._value += float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Streaming aggregate of observations with cumulative buckets."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = _check_name(name)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(math.isnan(b) for b in bounds):
+            raise ValueError("bucket bounds must not be NaN")
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._bucket_counts = [0] * len(bounds)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: Number) -> None:
+        v = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += v
+            if v < self._min:
+                self._min = v
+            if v > self._max:
+                self._max = v
+            for i, bound in enumerate(self.bounds):
+                if v <= bound:
+                    self._bucket_counts[i] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def to_payload(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "name": self.name,
+                "kind": self.kind,
+                "count": self._count,
+                "sum": self._sum,
+                "min": None if self._count == 0 else self._min,
+                "max": None if self._count == 0 else self._max,
+                "buckets": {
+                    f"{bound:g}": count
+                    for bound, count in zip(self.bounds, self._bucket_counts)
+                },
+            }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot-exportable."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors -----------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(
+                    name, buckets if buckets is not None else DEFAULT_BUCKETS
+                )
+            return instrument
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return (
+                len(self._counters) + len(self._gauges) + len(self._histograms)
+            )
+
+    # -- snapshots and exporters --------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The manifest's ``metrics`` section: every instrument, by kind."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        return {
+            "counters": {c.name: c.value for c in sorted(counters, key=lambda i: i.name)},
+            "gauges": {g.name: g.value for g in sorted(gauges, key=lambda i: i.name)},
+            "histograms": {
+                h.name: {
+                    key: value
+                    for key, value in h.to_payload().items()
+                    if key not in ("name", "kind")
+                }
+                for h in sorted(histograms, key=lambda i: i.name)
+            },
+        }
+
+    def to_jsonl(self) -> str:
+        """One compact JSON object per metric per line."""
+        with self._lock:
+            instruments: List[Union[Counter, Gauge, Histogram]] = [
+                *self._counters.values(),
+                *self._gauges.values(),
+                *self._histograms.values(),
+            ]
+        lines = [
+            json.dumps(i.to_payload(), sort_keys=True, separators=(",", ":"))
+            for i in sorted(instruments, key=lambda i: (i.kind, i.name))
+        ]
+        return "\n".join(lines)
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (0.0.4)."""
+        return render_prometheus(self.snapshot())
+
+
+def render_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` payload as Prometheus text.
+
+    Module-level so a *stored* manifest's metric section can be exported
+    without reconstructing live instruments (``repro obs export``).
+    """
+    lines: List[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {float(value):g}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {float(value):g}")
+    for name, h in sorted(snapshot.get("histograms", {}).items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        for bound, count in sorted(
+            ((float(b), c) for b, c in h.get("buckets", {}).items())
+        ):
+            lines.append(f'{prom}_bucket{{le="{bound:g}"}} {int(count)}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {int(h["count"])}')
+        lines.append(f"{prom}_sum {float(h['sum']):g}")
+        lines.append(f"{prom}_count {int(h['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _registry
+
+
+def reset() -> None:
+    """Drop every instrument (test/benchmark hygiene)."""
+    _registry.clear()
+
+
+# ----------------------------------------------------------------------
+# Zero-cost-when-off conveniences (the instrumented call sites use these)
+# ----------------------------------------------------------------------
+def inc(name: str, value: Number = 1) -> None:
+    """Increment a counter — no-op while observability is off."""
+    if not trace.enabled():
+        return
+    _registry.counter(name).inc(value)
+
+
+def set_gauge(name: str, value: Number) -> None:
+    """Set a gauge — no-op while observability is off."""
+    if not trace.enabled():
+        return
+    _registry.gauge(name).set(value)
+
+
+def observe(name: str, value: Number) -> None:
+    """Record a histogram observation — no-op while observability is off."""
+    if not trace.enabled():
+        return
+    _registry.histogram(name).observe(value)

@@ -1,0 +1,99 @@
+"""Manifest validation against the committed JSON schema.
+
+The schema lives next to this module (``manifest_schema.json``) and is
+shipped as package data, so validation works from an installed wheel as
+well as a checkout.  The ``jsonschema`` package is not a dependency of
+this project; :func:`check` implements the small draft-07 subset the
+manifest schema actually uses — ``type`` (including type lists),
+``required``, ``properties``, ``items``, ``enum``, and ``minimum`` —
+and deliberately nothing more.  Growing the schema beyond that subset
+must grow this validator in the same commit (the round-trip test in
+``tests/test_obs_manifest.py`` enforces agreement).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping
+
+__all__ = ["SCHEMA_PATH", "check", "load_schema", "validate_manifest"]
+
+SCHEMA_PATH = Path(__file__).with_name("manifest_schema.json")
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, Mapping),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def load_schema() -> Dict[str, Any]:
+    """The committed manifest schema, parsed."""
+    raw = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    if not isinstance(raw, dict):
+        raise ValueError(f"{SCHEMA_PATH} does not contain a JSON object")
+    return raw
+
+
+def _type_ok(value: Any, type_spec: Any) -> bool:
+    names = type_spec if isinstance(type_spec, list) else [type_spec]
+    for name in names:
+        checker = _TYPE_CHECKS.get(str(name))
+        if checker is not None and checker(value):
+            return True
+    return False
+
+
+def check(value: Any, schema: Mapping[str, Any], path: str = "$") -> List[str]:
+    """Problems (empty = valid) of ``value`` against a schema subset."""
+    problems: List[str] = []
+
+    type_spec = schema.get("type")
+    if type_spec is not None and not _type_ok(value, type_spec):
+        problems.append(
+            f"{path}: expected type {type_spec}, got {type(value).__name__}"
+        )
+        return problems  # structural checks below assume the right type
+
+    enum = schema.get("enum")
+    if enum is not None and value not in enum:
+        problems.append(f"{path}: {value!r} not in enum {enum}")
+
+    minimum = schema.get("minimum")
+    if (
+        minimum is not None
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and value < minimum
+    ):
+        problems.append(f"{path}: {value!r} below minimum {minimum}")
+
+    if isinstance(value, Mapping):
+        for key in schema.get("required", []):
+            if key not in value:
+                problems.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, sub_schema in properties.items():
+            if key in value:
+                problems.extend(check(value[key], sub_schema, f"{path}.{key}"))
+
+    if isinstance(value, list):
+        items = schema.get("items")
+        if items is not None:
+            for i, element in enumerate(value):
+                problems.extend(check(element, items, f"{path}[{i}]"))
+
+    return problems
+
+
+def validate_manifest(payload: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` listing every schema violation, if any."""
+    problems = check(payload, load_schema())
+    if problems:
+        joined = "\n  ".join(problems)
+        raise ValueError(f"manifest does not match the schema:\n  {joined}")

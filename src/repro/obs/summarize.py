@@ -1,0 +1,193 @@
+"""Human-readable views of a stored run manifest.
+
+``repro trace summarize <manifest.json>`` renders three tables from the
+manifest's span list:
+
+* **per-phase rollup** — spans grouped by the root span they nest
+  under (a *phase* is a root span's name: an experiment job, one
+  ``als.complete`` call, a bench case...), with total wall time and
+  share of the traced total;
+* **per-name aggregate** — every span name with call count, total,
+  mean, and max duration (the "where does the time go" table);
+* **top-N spans** — the longest individual spans.
+
+``repro obs export`` uses :func:`render_spans_jsonl` /
+:func:`repro.obs.metrics.render_prometheus` to turn the same manifest
+into machine formats.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.obs.trace import Span, span_tree
+
+__all__ = [
+    "per_name_aggregate",
+    "per_phase_rollup",
+    "render_spans_jsonl",
+    "spans_from_manifest",
+    "summarize_manifest",
+]
+
+
+def spans_from_manifest(payload: Mapping[str, Any]) -> List[Span]:
+    """The manifest's span list, re-hydrated."""
+    raw = payload.get("spans", [])
+    if not isinstance(raw, list):
+        raise ValueError("manifest 'spans' is not a list")
+    return [Span.from_payload(entry) for entry in raw]
+
+
+def per_phase_rollup(spans: Sequence[Span]) -> List[Tuple[str, int, float]]:
+    """``(phase, span count, total seconds)`` per top-level span name.
+
+    Each span is attributed to the phase of its top-level ancestor; the
+    total sums *top-level* durations only (children overlap their
+    parents, so summing every span would double-count).  While the top
+    level holds only one distinct name (e.g. one ``run_all`` wrapping
+    the battery, whose children are identical pool-dispatch wrappers),
+    the rollup descends a level — so the table shows the per-job
+    breakdown rather than a single 100% row.
+    """
+    roots, children = span_tree(list(spans))
+    while len({r.name for r in roots}) == 1:
+        deeper = [kid for r in roots for kid in children.get(r.span_id, [])]
+        if not deeper:
+            break
+        roots = deeper
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for root in roots:
+        totals[root.name] = totals.get(root.name, 0.0) + root.duration_s
+        size = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            size += 1
+            stack.extend(children.get(node.span_id, []))
+        counts[root.name] = counts.get(root.name, 0) + size
+    return sorted(
+        ((name, counts[name], totals[name]) for name in totals),
+        key=lambda row: -row[2],
+    )
+
+
+def per_name_aggregate(
+    spans: Sequence[Span],
+) -> List[Tuple[str, int, float, float, float]]:
+    """``(name, count, total_s, mean_s, max_s)`` per span name."""
+    totals: Dict[str, List[float]] = {}
+    for s in spans:
+        totals.setdefault(s.name, []).append(s.duration_s)
+    rows = [
+        (name, len(ds), sum(ds), sum(ds) / len(ds), max(ds))
+        for name, ds in totals.items()
+    ]
+    rows.sort(key=lambda row: -row[2])
+    return rows
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def summarize_manifest(payload: Mapping[str, Any], top: int = 10) -> str:
+    """The ``repro trace summarize`` report for one manifest payload."""
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    spans = spans_from_manifest(payload)
+    kind = payload.get("kind", "?")
+    sha = payload.get("git_sha") or "-"
+    config_sha = str(payload.get("config_sha256", ""))[:12] or "-"
+    seed = payload.get("seed")
+    header = (
+        f"manifest: kind={kind} seed={seed} config={config_sha} "
+        f"git={str(sha)[:12]} spans={len(spans)}"
+    )
+    lines = [header]
+
+    jobs = payload.get("jobs") or []
+    if jobs:
+        not_ok = sum(1 for j in jobs if j.get("status") != "ok")
+        lines.append(
+            f"jobs: {len(jobs)} recorded, "
+            + (f"{not_ok} not ok" if not_ok else "all ok")
+        )
+
+    if not spans:
+        lines.append("no spans recorded (observability was off for this run)")
+        return "\n".join(lines)
+
+    phases = per_phase_rollup(spans)
+    traced_total = sum(total for _, _, total in phases)
+    lines += ["", f"per-phase rollup (traced total {traced_total:.3f}s):"]
+    lines.append(
+        _table(
+            ["phase", "spans", "total (s)", "share"],
+            [
+                [
+                    name,
+                    str(count),
+                    f"{total:.3f}",
+                    f"{100.0 * total / traced_total:5.1f}%"
+                    if traced_total > 0
+                    else "-",
+                ]
+                for name, count, total in phases
+            ],
+        )
+    )
+
+    aggregate = per_name_aggregate(spans)
+    lines += ["", "by span name:"]
+    lines.append(
+        _table(
+            ["name", "count", "total (s)", "mean (s)", "max (s)"],
+            [
+                [name, str(count), f"{total:.3f}", f"{mean:.4f}", f"{mx:.4f}"]
+                for name, count, total, mean, mx in aggregate
+            ],
+        )
+    )
+
+    longest = sorted(spans, key=lambda s: -s.duration_s)[:top]
+    lines += ["", f"top {min(top, len(spans))} spans:"]
+    lines.append(
+        _table(
+            ["name", "duration (s)", "thread", "pid"],
+            [
+                [s.name, f"{s.duration_s:.4f}", s.thread, str(s.pid)]
+                for s in longest
+            ],
+        )
+    )
+
+    metrics = payload.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        lines += ["", "counters:"]
+        lines.append(
+            _table(
+                ["name", "value"],
+                [[name, f"{value:g}"] for name, value in sorted(counters.items())],
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_spans_jsonl(spans: Sequence[Span]) -> str:
+    """One compact JSON object per span per line (the trace artifact)."""
+    return "\n".join(
+        json.dumps(s.to_payload(), sort_keys=True, separators=(",", ":"))
+        for s in spans
+    )

@@ -29,6 +29,8 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.tcm import TimeGrid, TrafficConditionMatrix
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.probes.report import ReportBatch
 
 AGGREGATION_METHODS = ("bincount", "scalar")
@@ -101,6 +103,7 @@ def _accumulate_bincount(
     return sums, counts
 
 
+@obs_trace.traced("ingest.aggregate")
 def aggregate_reports(
     batch: ReportBatch,
     grid: TimeGrid,
@@ -168,6 +171,9 @@ def aggregate_reports(
     values = np.zeros_like(sums)
     np.divide(sums, counts, out=values, where=counts > 0)
     values[~mask] = 0.0
+    if obs_trace.enabled():
+        obs_metrics.inc("ingest.reports", len(batch))
+        obs_metrics.inc("ingest.cells_observed", int(mask.sum()))
     return TrafficConditionMatrix(
         values, mask, grid=grid, segment_ids=list(segment_ids)
     )

@@ -29,6 +29,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.roadnet.geometry import Point, heading_deg, point_segment_distance
 from repro.roadnet.network import RoadNetwork
 from repro.probes.report import ReportBatch
@@ -276,32 +278,41 @@ class MapMatcher:
         if xs.size == 0:
             return out
 
-        cxs, cys = self.index.cell_coords(xs, ys)
-        order = np.lexsort((cys, cxs))
-        scx, scy = cxs[order], cys[order]
-        changed = (scx[1:] != scx[:-1]) | (scy[1:] != scy[:-1])
-        starts = np.concatenate(
-            ([0], np.flatnonzero(changed) + 1, [order.size])
-        )
-        for g in range(starts.size - 1):
-            idx = order[starts[g] : starts[g + 1]]
-            cx, cy = int(scx[starts[g]]), int(scy[starts[g]])
-            pending = idx
-            for rings in (1, 2):
-                if pending.size == 0:
-                    break
-                rows = self._candidate_rows(cx, cy, rings)
-                if rows.size == 0:
-                    continue
-                heads = None if headings_deg is None else headings_deg[pending]
-                scores, within = self._score_candidates(
-                    xs[pending], ys[pending], heads, rows
-                )
-                matched = within.any(axis=1)
-                if matched.any():
-                    best = np.argmin(scores[matched], axis=1)
-                    out[pending[matched]] = self._sorted_ids[rows[best]]
-                pending = pending[~matched]
+        instrumented = obs_trace.enabled()
+        candidates_examined = 0
+        with obs_trace.span("ingest.match", reports=int(xs.size)):
+            cxs, cys = self.index.cell_coords(xs, ys)
+            order = np.lexsort((cys, cxs))
+            scx, scy = cxs[order], cys[order]
+            changed = (scx[1:] != scx[:-1]) | (scy[1:] != scy[:-1])
+            starts = np.concatenate(
+                ([0], np.flatnonzero(changed) + 1, [order.size])
+            )
+            for g in range(starts.size - 1):
+                idx = order[starts[g] : starts[g + 1]]
+                cx, cy = int(scx[starts[g]]), int(scy[starts[g]])
+                pending = idx
+                for rings in (1, 2):
+                    if pending.size == 0:
+                        break
+                    rows = self._candidate_rows(cx, cy, rings)
+                    if rows.size == 0:
+                        continue
+                    if instrumented:
+                        candidates_examined += int(pending.size) * int(rows.size)
+                    heads = None if headings_deg is None else headings_deg[pending]
+                    scores, within = self._score_candidates(
+                        xs[pending], ys[pending], heads, rows
+                    )
+                    matched = within.any(axis=1)
+                    if matched.any():
+                        best = np.argmin(scores[matched], axis=1)
+                        out[pending[matched]] = self._sorted_ids[rows[best]]
+                    pending = pending[~matched]
+        if instrumented:
+            obs_metrics.inc("mapmatch.candidates_examined", candidates_examined)
+            obs_metrics.inc("mapmatch.reports", int(xs.size))
+            obs_metrics.inc("mapmatch.matched", int(np.count_nonzero(out >= 0)))
         return out
 
     def match_batch(self, batch: ReportBatch, method: str = "vectorized") -> ReportBatch:

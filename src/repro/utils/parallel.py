@@ -29,6 +29,9 @@ import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
+
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
 
@@ -60,6 +63,7 @@ def parallel_map(
     items: Sequence[ItemT],
     max_workers: Optional[int] = None,
     backend: str = "thread",
+    span_name: str = "parallel.task",
 ) -> List[ResultT]:
     """``[fn(item) for item in items]``, optionally on a worker pool.
 
@@ -79,18 +83,36 @@ def parallel_map(
         Pool size; ``None``/``0``/``1`` run serially.
     backend:
         ``"serial"``, ``"thread"``, or ``"process"``.
+    span_name:
+        Span name for per-job tracing when observability is enabled
+        (:mod:`repro.obs`); ignored — at zero cost — while it is off.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r} (choose from {BACKENDS})")
     jobs = list(items)
     workers = resolve_workers(max_workers, len(jobs))
     if backend == "serial" or workers <= 1:
+        if _obs_trace.enabled():
+            # Serial path still records one span per job so traces are
+            # comparable across worker counts.
+            task = _obs_trace.pool_task(fn, span_name)
+            return [_obs_trace.absorb_remote(task(item)) for item in jobs]
         return [fn(item) for item in jobs]
     executor: Executor
     if backend == "thread":
         executor = ThreadPoolExecutor(max_workers=workers)
     else:
         executor = ProcessPoolExecutor(max_workers=workers)
+    if _obs_trace.enabled():
+        _obs_metrics.set_gauge("pool.workers", workers)
+        _obs_metrics.inc("pool.jobs", len(jobs))
+        # Wrapping captures the driver's active span at dispatch time so
+        # worker spans re-parent into the driver trace (process-backend
+        # spans travel back in an envelope unwrapped by absorb_remote).
+        task = _obs_trace.pool_task(fn, span_name)
+        with executor:
+            wrapped = list(executor.map(task, jobs))
+        return [_obs_trace.absorb_remote(r) for r in wrapped]
     with executor:
         # Executor.map preserves submission order and re-raises the
         # first failing job's exception on iteration.

@@ -170,6 +170,19 @@ class TestLintCommand:
         assert log["runs"][0]["results"]
         capsys.readouterr()
 
+    def test_sarif_exit_2_on_usage_error(self, tmp_path, capsys):
+        # CI's SARIF render step treats exit 1 as "findings rendered" and
+        # anything else as a real failure; usage errors must stay exit 2
+        # in SARIF mode too.
+        missing = tmp_path / "missing.py"
+        rc = main(["lint", str(missing), "--format", "sarif"])
+        assert rc == 2
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.DIRTY)
+        assert main(["lint", str(dirty), "--format", "sarif",
+                     "--rules", "no-such-rule"]) == 2
+        capsys.readouterr()
+
     def test_baseline_roundtrip(self, tmp_path, capsys):
         dirty = tmp_path / "dirty.py"
         dirty.write_text(self.DIRTY)
@@ -194,6 +207,125 @@ class TestLintCommand:
         bad = tmp_path / "base.json"
         bad.write_text("not json")
         assert main(["lint", str(dirty), "--baseline", str(bad)]) == 2
+        capsys.readouterr()
+
+
+class TestObservabilityCommands:
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        # --manifest flips the process-global switch; leave no residue.
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import trace as obs_trace
+
+        obs_trace.disable()
+        obs_trace.reset()
+        obs_metrics.reset()
+        yield
+        obs_trace.disable()
+        obs_trace.reset()
+        obs_metrics.reset()
+
+    def _write_manifest(self, tmp_path):
+        from repro.obs import manifest, metrics as obs_metrics, trace as obs_trace
+
+        obs_trace.enable()
+        with obs_trace.span("run_all", profile="smoke"):
+            with obs_trace.span("job.alpha"):
+                obs_metrics.inc("als.completions")
+        payload = manifest.build_manifest(
+            "run-all", config={"profile": "smoke"}, seed=0,
+            jobs=manifest.jobs_from_spans(obs_trace.collector().snapshot()),
+        )
+        return manifest.write_manifest(payload, tmp_path / "m.json")
+
+    def test_parser_accepts_manifest_flags(self):
+        parser = build_parser()
+        for argv in (
+            ["experiments", "--manifest", "m.json"],
+            ["bench", "--smoke", "--manifest", "m.json"],
+            ["verify-determinism", "--smoke", "--manifest", "m.json"],
+            ["trace", "summarize", "m.json", "--top", "5"],
+            ["obs", "export", "m.json", "--what", "metrics",
+             "--format", "prometheus"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_trace_summarize_round_trip(self, tmp_path, capsys):
+        path = self._write_manifest(tmp_path)
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "kind=run-all" in out
+        assert "per-phase rollup" in out
+        assert "job.alpha" in out
+
+    def test_trace_summarize_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_summarize_rejects_non_manifest(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"hello\": 1}")
+        assert main(["trace", "summarize", str(bad)]) == 2
+        capsys.readouterr()
+
+    def test_obs_export_spans_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = self._write_manifest(tmp_path)
+        assert main(["obs", "export", str(path)]) == 0
+        lines = [ln for ln in capsys.readouterr().out.splitlines() if ln]
+        parsed = [json.loads(ln) for ln in lines]
+        assert {p["name"] for p in parsed} == {"run_all", "job.alpha"}
+
+    def test_obs_export_metrics_prometheus(self, tmp_path, capsys):
+        path = self._write_manifest(tmp_path)
+        out_file = tmp_path / "metrics.prom"
+        rc = main([
+            "obs", "export", str(path), "--what", "metrics",
+            "--format", "prometheus", "--output", str(out_file),
+        ])
+        assert rc == 0
+        assert "als_completions 1" in out_file.read_text()
+        capsys.readouterr()
+
+    def test_obs_export_metrics_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = self._write_manifest(tmp_path)
+        assert main(["obs", "export", str(path), "--what", "metrics"]) == 0
+        lines = [json.loads(ln) for ln in capsys.readouterr().out.splitlines() if ln]
+        assert any(
+            d["name"] == "als.completions" and d["kind"] == "counter"
+            for d in lines
+        )
+
+    def test_obs_export_spans_prometheus_is_usage_error(self, tmp_path, capsys):
+        path = self._write_manifest(tmp_path)
+        rc = main([
+            "obs", "export", str(path), "--what", "spans",
+            "--format", "prometheus",
+        ])
+        assert rc == 2
+        assert "only supports jsonl" in capsys.readouterr().err
+
+    def test_verify_determinism_manifest_end_to_end(self, tmp_path, capsys):
+        from repro.obs import manifest, schema
+
+        out = tmp_path / "verify.json"
+        rc = main([
+            "verify-determinism", "--smoke", "--checks", "completion",
+            "--max-workers", "2", "--manifest", str(out),
+        ])
+        assert rc == 0
+        payload = manifest.load_manifest(out)
+        schema.validate_manifest(payload)
+        assert payload["kind"] == "verify-determinism"
+        assert [j["name"] for j in payload["jobs"]] == ["completion"]
+        assert payload["jobs"][0]["status"] == "ok"
+        assert payload["spans"]  # observability was on for the run
+        # And the stored manifest renders.
+        assert main(["trace", "summarize", str(out)]) == 0
         capsys.readouterr()
 
 

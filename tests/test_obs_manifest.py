@@ -1,0 +1,222 @@
+"""Tests for repro.obs.manifest, .schema, and .summarize."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import manifest, metrics, schema, summarize, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    trace.disable()
+    trace.reset()
+    metrics.reset()
+    yield
+    trace.disable()
+    trace.reset()
+    metrics.reset()
+
+
+def _traced_run():
+    """Populate the live collector/registry with a small realistic trace."""
+    trace.enable()
+    with trace.span("run_all", profile="smoke"):
+        with trace.span("job.alpha"):
+            metrics.inc("als.completions")
+            metrics.observe("als.objective", 1.25)
+        with trace.span("job.beta"):
+            pass
+    metrics.set_gauge("pool.workers", 2)
+
+
+class TestConfigHash:
+    def test_stable_across_key_order(self):
+        a = manifest.config_hash({"b": 2, "a": 1})
+        b = manifest.config_hash({"a": 1, "b": 2})
+        assert a == b and len(a) == 64
+
+    def test_differs_on_value_change(self):
+        assert manifest.config_hash({"a": 1}) != manifest.config_hash({"a": 2})
+
+    def test_canonicalizes_tuples_and_numpy_scalars(self):
+        a = manifest.config_hash({"xs": (1, 2), "n": np.int64(3)})
+        b = manifest.config_hash({"xs": [1, 2], "n": 3})
+        assert a == b
+
+    def test_rejects_unrepresentable(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            manifest.config_hash({"fn": object()})
+
+
+class TestBuildManifest:
+    def test_validates_against_committed_schema(self):
+        _traced_run()
+        payload = manifest.build_manifest(
+            "run-all", config={"profile": "smoke"}, seed=0,
+            jobs=manifest.jobs_from_spans(trace.collector().snapshot()),
+        )
+        schema.validate_manifest(payload)  # must not raise
+        assert payload["schema"] == manifest.SCHEMA_VERSION
+        assert payload["config_sha256"] == manifest.config_hash(
+            {"profile": "smoke"}
+        )
+        assert payload["versions"]["python"]
+        assert "numpy" in payload["versions"]
+
+    def test_json_roundtrip(self, tmp_path):
+        _traced_run()
+        payload = manifest.build_manifest("bench", config={"smoke": True})
+        path = manifest.write_manifest(payload, tmp_path / "m.json")
+        loaded = manifest.load_manifest(path)
+        schema.validate_manifest(loaded)
+        assert loaded["kind"] == "bench"
+        assert len(loaded["spans"]) == len(payload["spans"])
+        # Spans survive the trip intact.
+        assert summarize.spans_from_manifest(loaded) == trace.collector().snapshot()
+
+    def test_defaults_to_live_collector_and_registry(self):
+        _traced_run()
+        payload = manifest.build_manifest("run-all")
+        assert len(payload["spans"]) == 3
+        assert payload["metrics"]["counters"]["als.completions"] == 1.0
+        assert payload["metrics"]["gauges"]["pool.workers"] == 2.0
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            manifest.build_manifest("")
+
+    def test_load_rejects_non_manifest_json(self, tmp_path):
+        path = tmp_path / "not.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError, match="not a run manifest"):
+            manifest.load_manifest(path)
+
+    def test_explicit_jobs_normalized(self):
+        payload = manifest.build_manifest(
+            "verify-determinism",
+            jobs=[{"name": "completion", "status": "ok", "wall_s": 1.5,
+                   "detail": "bit-identical"}],
+        )
+        schema.validate_manifest(payload)
+        (job,) = payload["jobs"]
+        assert job == {"name": "completion", "status": "ok", "wall_s": 1.5,
+                       "detail": "bit-identical"}
+
+
+class TestJobsFromSpans:
+    def test_extracts_and_strips_prefix(self):
+        _traced_run()
+        jobs = manifest.jobs_from_spans(trace.collector().snapshot())
+        assert [j["name"] for j in jobs] == ["alpha", "beta"]
+        assert all(j["status"] == "ok" for j in jobs)
+        assert all(j["wall_s"] >= 0 for j in jobs)
+
+    def test_error_attr_becomes_error_status(self):
+        trace.enable()
+        with pytest.raises(RuntimeError):
+            with trace.span("job.bad"):
+                raise RuntimeError("boom")
+        (job,) = manifest.jobs_from_spans(trace.collector().snapshot())
+        assert job["status"] == "error"
+        assert job["detail"] == "RuntimeError"
+
+
+class TestSchemaValidator:
+    def test_missing_required_key_reported(self):
+        payload = manifest.build_manifest("run-all")
+        del payload["config_sha256"]
+        with pytest.raises(ValueError, match="config_sha256"):
+            schema.validate_manifest(payload)
+
+    def test_wrong_type_reported_with_path(self):
+        payload = manifest.build_manifest("run-all")
+        payload["spans"] = "nope"
+        with pytest.raises(ValueError, match=r"\$\.spans"):
+            schema.validate_manifest(payload)
+
+    def test_schema_uses_only_supported_keywords(self):
+        # The local validator implements a deliberate draft-07 subset;
+        # the committed schema must not quietly grow beyond it.
+        supported = {
+            "$schema", "$id", "title", "description", "type", "required",
+            "properties", "items", "enum", "minimum",
+            "additionalProperties",
+        }
+
+        def walk(node):
+            if isinstance(node, dict):
+                for key, value in node.items():
+                    yield key
+                    yield from walk(value)
+            elif isinstance(node, list):
+                for value in node:
+                    yield from walk(value)
+
+        loaded = schema.load_schema()
+        keywords = {
+            k for k in walk(loaded)
+            if k in  # only keyword positions matter, not property names
+            {"$ref", "oneOf", "anyOf", "allOf", "patternProperties",
+             "format", "pattern", "maximum", "exclusiveMinimum",
+             "minLength", "maxLength", "minItems", "maxItems",
+             "uniqueItems", "const", "dependencies", "if", "then", "else"}
+        }
+        assert not keywords, f"schema uses unsupported keywords: {keywords}"
+        assert "type" in loaded and loaded["type"] == "object"
+        assert supported  # silence unused warning, documents the contract
+
+
+class TestSummarize:
+    def test_round_trip_render(self):
+        _traced_run()
+        payload = manifest.build_manifest(
+            "run-all", config={"profile": "smoke"}, seed=7,
+            jobs=manifest.jobs_from_spans(trace.collector().snapshot()),
+        )
+        text = summarize.summarize_manifest(payload, top=5)
+        assert "kind=run-all" in text
+        assert "seed=7" in text
+        assert "jobs: 2 recorded, all ok" in text
+        assert "per-phase rollup" in text
+        assert "run_all" in text
+        assert "counters:" in text
+        assert "als.completions" in text
+
+    def test_no_spans_fallback(self):
+        payload = manifest.build_manifest("bench")
+        text = summarize.summarize_manifest(payload)
+        assert "no spans recorded" in text
+
+    def test_rejects_bad_top(self):
+        payload = manifest.build_manifest("bench")
+        with pytest.raises(ValueError, match="top"):
+            summarize.summarize_manifest(payload, top=0)
+
+    def test_per_phase_rollup_descends_into_sole_root(self):
+        # One root wrapping everything would be a useless 100% row; the
+        # rollup breaks out the root's direct children instead.
+        _traced_run()
+        rows = summarize.per_phase_rollup(trace.collector().snapshot())
+        assert {name for name, _, _ in rows} == {"job.alpha", "job.beta"}
+        assert all(count == 1 for _, count, _ in rows)
+
+    def test_per_phase_rollup_multi_root_counts_descendants_once(self):
+        trace.enable()
+        with trace.span("phase.a"):
+            with trace.span("phase.a.child"):
+                pass
+        with trace.span("phase.b"):
+            pass
+        rows = summarize.per_phase_rollup(trace.collector().snapshot())
+        by_name = {name: count for name, count, _ in rows}
+        assert by_name == {"phase.a": 2, "phase.b": 1}
+
+    def test_render_spans_jsonl(self):
+        _traced_run()
+        spans = trace.collector().snapshot()
+        lines = summarize.render_spans_jsonl(spans).splitlines()
+        assert len(lines) == 3
+        parsed = [json.loads(line) for line in lines]
+        assert {p["name"] for p in parsed} == {"run_all", "job.alpha", "job.beta"}

@@ -1,0 +1,160 @@
+"""Tests for repro.obs.metrics: instruments, registry, exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    trace.disable()
+    trace.reset()
+    metrics.reset()
+    yield
+    trace.disable()
+    trace.reset()
+    metrics.reset()
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = metrics.Counter("jobs")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            metrics.Counter("jobs").inc(-1)
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            metrics.Counter("")
+        with pytest.raises(ValueError):
+            metrics.Counter("has space")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = metrics.Gauge("workers")
+        g.set(4)
+        g.set(2)
+        assert g.value == 2.0
+
+    def test_add(self):
+        g = metrics.Gauge("level")
+        g.add(1.5)
+        g.add(-0.5)
+        assert g.value == 1.0
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        h = metrics.Histogram("iters", buckets=(1, 10, 100))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 555.5
+        assert h.mean == pytest.approx(555.5 / 4)
+        payload = h.to_payload()
+        assert payload["min"] == 0.5 and payload["max"] == 500
+        # Cumulative buckets: each bound counts everything at or below it.
+        assert payload["buckets"] == {"1": 1, "10": 2, "100": 3}
+
+    def test_empty_histogram_payload(self):
+        payload = metrics.Histogram("empty").to_payload()
+        assert payload["count"] == 0
+        assert payload["min"] is None and payload["max"] is None
+
+    def test_rejects_empty_or_nan_buckets(self):
+        with pytest.raises(ValueError):
+            metrics.Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            metrics.Histogram("h", buckets=(1.0, math.nan))
+
+
+class TestRegistry:
+    def test_instruments_created_once(self):
+        reg = metrics.MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_snapshot_shape(self):
+        reg = metrics.MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.gauge("workers").set(2)
+        reg.histogram("iters", buckets=(10,)).observe(4)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"hits": 3.0}
+        assert snap["gauges"] == {"workers": 2.0}
+        assert snap["histograms"]["iters"]["count"] == 1
+        assert snap["histograms"]["iters"]["buckets"] == {"10": 1}
+
+    def test_jsonl_one_object_per_line(self):
+        reg = metrics.MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("g").set(1)
+        lines = [json.loads(line) for line in reg.to_jsonl().splitlines()]
+        assert [(d["kind"], d["name"]) for d in lines] == [
+            ("counter", "a"), ("counter", "z"), ("gauge", "g"),
+        ]
+
+    def test_prometheus_format(self):
+        reg = metrics.MetricsRegistry()
+        reg.counter("cache.hits").inc(7)
+        reg.gauge("pool.workers").set(2)
+        h = reg.histogram("als.iters", buckets=(10, 100))
+        h.observe(5)
+        h.observe(50)
+        text = reg.to_prometheus()
+        assert "# TYPE cache_hits counter\ncache_hits 7" in text
+        assert "# TYPE pool_workers gauge\npool_workers 2" in text
+        assert 'als_iters_bucket{le="10"} 1' in text
+        assert 'als_iters_bucket{le="100"} 2' in text
+        assert 'als_iters_bucket{le="+Inf"} 2' in text
+        assert "als_iters_sum 55" in text
+        assert "als_iters_count 2" in text
+        assert text.endswith("\n")
+
+    def test_render_prometheus_from_stored_snapshot(self):
+        # The obs-export path: a manifest's metrics section round-trips
+        # through JSON before rendering (keys become strings).
+        snap = {
+            "counters": {"n": 1.0},
+            "gauges": {},
+            "histograms": {
+                "h": {"count": 2, "sum": 3.0, "min": 1.0, "max": 2.0,
+                      "buckets": {"1": 1, "10": 2}},
+            },
+        }
+        rendered = metrics.render_prometheus(json.loads(json.dumps(snap)))
+        assert 'h_bucket{le="1"} 1' in rendered
+        assert 'h_bucket{le="+Inf"} 2' in rendered
+
+    def test_empty_registry_renders_empty(self):
+        assert metrics.MetricsRegistry().to_prometheus() == ""
+        assert metrics.MetricsRegistry().to_jsonl() == ""
+
+
+class TestZeroCostConveniences:
+    def test_noop_while_disabled(self):
+        metrics.inc("c")
+        metrics.set_gauge("g", 1)
+        metrics.observe("h", 1)
+        assert len(metrics.registry()) == 0
+
+    def test_record_while_enabled(self):
+        trace.enable()
+        metrics.inc("c", 2)
+        metrics.set_gauge("g", 3)
+        metrics.observe("h", 4)
+        snap = metrics.registry().snapshot()
+        assert snap["counters"]["c"] == 2.0
+        assert snap["gauges"]["g"] == 3.0
+        assert snap["histograms"]["h"]["count"] == 1

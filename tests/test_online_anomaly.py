@@ -94,6 +94,56 @@ class TestDetection:
         assert len(monitor.alerts) == 1
 
 
+class TestEdgeCases:
+    def test_single_slot_update_initializes_quietly(self):
+        # The very first observation of a slot-of-day bucket seeds the
+        # EWMA (mean = observation) and must never alert.
+        monitor = OnlineAnomalyMonitor([0, 1], slot_s=900.0, slots_per_day=4)
+        alerts = monitor.observe(estimate(0, [3.0, 80.0]))
+        assert alerts == []
+        assert np.array_equal(monitor._mean[0], [3.0, 80.0])
+        assert np.all(monitor._count[0] == 1)
+
+    def test_empty_segment_list(self):
+        # Degenerate but valid: nothing tracked, nothing alerted.
+        monitor = OnlineAnomalyMonitor([], slot_s=900.0, slots_per_day=4)
+        assert monitor.observe(estimate(0, [])) == []
+        assert monitor.observe_many([estimate(1, []), estimate(2, [])]) == []
+
+    def test_zero_variance_history_does_not_warn(self):
+        # Identical observations drive the EWMA variance toward zero;
+        # the 1e-6 floor must keep the z-score finite (RuntimeWarnings
+        # are errors under this suite's filterwarnings).
+        monitor = OnlineAnomalyMonitor(
+            [0], slot_s=900.0, slots_per_day=1, threshold_sigmas=3.0
+        )
+        for slot in range(50):
+            monitor.observe(estimate(slot, [40.0]))
+        alerts = monitor.observe(estimate(50, [39.0]))
+        assert all(np.isfinite(a.z_score) for a in alerts)
+
+    def test_obs_counters_record_slots_and_alerts(self):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import trace as obs_trace
+
+        obs_trace.reset()
+        obs_metrics.reset()
+        obs_trace.enable()
+        try:
+            monitor = OnlineAnomalyMonitor(
+                [0], slot_s=900.0, slots_per_day=4, threshold_sigmas=3.0
+            )
+            feed_days(monitor, 4, days=4)
+            monitor.observe(estimate(16, [4.0]))
+            snap = obs_metrics.registry().snapshot()
+            assert snap["counters"]["anomaly.slots_observed"] == 17.0
+            assert snap["counters"]["anomaly.alerts"] == 1.0
+        finally:
+            obs_trace.disable()
+            obs_trace.reset()
+            obs_metrics.reset()
+
+
 class TestEndToEnd:
     def test_with_streaming_estimator(self, ground_truth):
         """Monitor runs on top of the streaming estimator's output."""

@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments.report_writer import (
     SECTION_TITLES,
+    render_manifest_section,
     render_report,
     write_report,
 )
@@ -30,6 +31,45 @@ class TestRenderReport:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             render_report({})
+
+
+class TestRenderManifestSection:
+    @pytest.fixture()
+    def manifest_path(self, tmp_path):
+        from repro.obs import manifest, trace
+
+        trace.reset()
+        trace.enable()
+        try:
+            with trace.span("job.table1"):
+                pass
+        finally:
+            trace.disable()
+        payload = manifest.build_manifest(
+            "run-all",
+            config={"profile": "smoke"},
+            spans=trace.collector().drain(),
+        )
+        return manifest.write_manifest(payload, tmp_path / "m.json")
+
+    def test_renders_phase_table(self, manifest_path):
+        text = render_manifest_section(manifest_path)
+        assert "| phase | spans | total (s) | share |" in text
+        assert "job.table1" in text
+        assert "repro trace summarize" in text
+
+    def test_spanless_manifest_falls_back(self, tmp_path):
+        from repro.obs import manifest
+
+        payload = manifest.build_manifest("bench", spans=[])
+        path = manifest.write_manifest(payload, tmp_path / "empty.json")
+        assert "No spans recorded" in render_manifest_section(path)
+
+    def test_report_includes_manifest_section(self, manifest_path):
+        text = render_report(
+            {"table1": "rows"}, manifest_path=manifest_path
+        )
+        assert "## Run timing (per-phase rollup)" in text
 
 
 class TestWriteReport:

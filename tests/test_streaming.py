@@ -154,3 +154,87 @@ class TestEstimation:
         est.flush()
         assert est._warm_left is not None
         assert est._warm_left.shape[0] == 3
+
+
+class TestEdgeCases:
+    def test_empty_window_flush_publishes_zeros(self):
+        # Closing a slot with no observations at all: the window mask is
+        # entirely empty, so completion is skipped and zeros published.
+        est = make_estimator()
+        result = est.flush()
+        assert result.observed_fraction == 0.0
+        assert np.array_equal(result.speeds_kmh, np.zeros(3))
+        tcm = est.window_tcm()
+        assert tcm.num_slots == 1
+        assert not tcm.mask.any()
+
+    def test_single_slot_update(self):
+        # One observed slot (fewer rows than the window): the cold solve
+        # runs on the 1-row window and publishes the observation verbatim
+        # where measured, a finite non-negative estimate elsewhere.
+        est = make_estimator()
+        est.ingest(report(5.0, 0, 30.0))
+        result = est.flush()
+        assert result.slot_start_s == 0.0
+        assert result.speeds_kmh[0] == pytest.approx(30.0)
+        assert np.all(np.isfinite(result.speeds_kmh))
+        assert np.all(result.speeds_kmh >= 0.0)
+        assert est._warm_left is not None
+        assert est._warm_left.shape[0] == 1
+
+    def test_empty_slot_between_observed_slots(self):
+        # A fully unobserved slot inside an observed stream still gets a
+        # (completed) estimate rather than zeros.
+        est = make_estimator()
+        for k in (0, 1, 3, 4):
+            est.ingest(report(k * 60.0 + 5, 0, 30.0))
+            est.ingest(report(k * 60.0 + 15, 1, 30.0))
+        est.flush()
+        gap = est.estimates[2]
+        assert gap.observed_fraction == 0.0
+        assert np.all(np.isfinite(gap.speeds_kmh))
+
+    def test_obs_metrics_record_cold_and_warm_starts(self):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import trace as obs_trace
+
+        obs_trace.reset()
+        obs_metrics.reset()
+        obs_trace.enable()
+        try:
+            est = make_estimator(window_slots=3)
+            for k in range(6):
+                est.ingest(report(k * 60.0 + 5, 0, 30.0))
+            est.flush()
+            snap = obs_metrics.registry().snapshot()
+            assert snap["counters"]["stream.recompletions"] == 6.0
+            assert snap["counters"]["stream.cold_starts"] >= 1.0
+            assert snap["counters"]["stream.warm_starts"] >= 1.0
+            names = {s.name for s in obs_trace.collector().snapshot()}
+            assert "stream.close_slot" in names
+        finally:
+            obs_trace.disable()
+            obs_trace.reset()
+            obs_metrics.reset()
+
+    def test_instrumentation_does_not_change_estimates(self):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import trace as obs_trace
+
+        def run():
+            est = make_estimator()
+            for k in range(5):
+                est.ingest(report(k * 60.0 + 5, 0, 30.0))
+                est.ingest(report(k * 60.0 + 15, 1, 35.0))
+            est.flush()
+            return np.vstack([e.speeds_kmh for e in est.estimates])
+
+        baseline = run()
+        obs_trace.enable()
+        try:
+            traced = run()
+        finally:
+            obs_trace.disable()
+            obs_trace.reset()
+            obs_metrics.reset()
+        assert np.array_equal(baseline, traced)

@@ -73,7 +73,7 @@ run_step "verify-determinism (serial == parallel, bit for bit)" \
 maybe_step "ruff (syntax + undefined names)" ruff \
     python -m ruff check src tests
 
-maybe_step "mypy (strict on repro.core/utils/metrics/analysis)" mypy \
+maybe_step "mypy (strict on repro.core/utils/metrics/analysis/obs)" mypy \
     python -m mypy
 
 if [ "$status" -ne 0 ]; then
