@@ -10,6 +10,19 @@ workers, fork-unsafe RNG capture, unordered iteration feeding
 order-sensitive reductions, unlocked cross-thread cache mutation, and
 ``as_completed`` results aggregated positionally.
 
+The lint is whole-program: every linted file is loaded into a
+:class:`~repro.analysis.callgraph.Program` (project-aware import
+resolution + call graph), a bottom-up effect fixpoint
+(:mod:`repro.analysis.effects`) infers which functions transitively
+mutate shared state, draw from shared RNG, touch the clock, do I/O, or
+iterate unordered collections, and the parallel-safety rules fire
+*through* helper calls with a full provenance chain (rendered by
+``repro lint --explain`` and SARIF ``codeFlows``).  The same effect
+tables statically verify ``@effects(...)`` purity contracts
+(:mod:`repro.utils.contracts`), and a dtype-drift rule pack
+(:mod:`repro.analysis.dtype_rules`) guards ``@hot_path`` kernels
+against silent float64 promotion.
+
 See :mod:`repro.analysis.rules` for the rule catalogue,
 :mod:`repro.analysis.runner` for the driver and the
 ``# repro-lint: disable=<rule>`` suppression syntax,
@@ -24,12 +37,22 @@ least one new finding, 2 = bad usage, unreadable baseline, or
 parse/internal error.
 """
 
-from repro.analysis.findings import SEVERITIES, Finding
+from repro.analysis.findings import SEVERITIES, Finding, TraceFrame
 from repro.analysis.rules import REGISTRY, FileContext, Rule, all_rules, get_rules
 
-# Importing the module registers the parallel-safety rules in REGISTRY.
+# Importing these modules registers their rules in REGISTRY.
 from repro.analysis import parallel_rules as _parallel_rules  # noqa: F401
-from repro.analysis.runner import LintReport, lint_file, lint_paths, lint_source
+from repro.analysis import dtype_rules as _dtype_rules  # noqa: F401
+from repro.analysis.callgraph import FunctionId, Program
+from repro.analysis.effects import ProgramEffects, infer_effects
+from repro.analysis.runner import (
+    PROGRAM_RULE_NAMES,
+    LintReport,
+    lint_file,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
 from repro.analysis.baseline import (
     BaselineMismatch,
     apply_baseline,
@@ -41,16 +64,23 @@ from repro.analysis.sarif import render_sarif, to_sarif
 
 __all__ = [
     "Finding",
+    "TraceFrame",
     "SEVERITIES",
     "FileContext",
     "Rule",
     "REGISTRY",
     "all_rules",
     "get_rules",
+    "FunctionId",
+    "Program",
+    "ProgramEffects",
+    "infer_effects",
+    "PROGRAM_RULE_NAMES",
     "LintReport",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "BaselineMismatch",
     "apply_baseline",
     "fingerprint",

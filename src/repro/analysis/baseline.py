@@ -44,10 +44,19 @@ class BaselineMismatch(ValueError):
 
 
 def fingerprint(finding: Finding) -> str:
-    """Stable identity of a finding across unrelated edits."""
-    blob = "::".join(
-        (PurePath(finding.path).as_posix(), finding.rule, finding.snippet.strip())
-    )
+    """Stable identity of a finding across unrelated edits.
+
+    Whole-program findings fold in the *offender end* of the provenance
+    chain (the last trace frame's file, function, and note): several
+    transitive findings can anchor at the same pool-submission line, and
+    accepting one must not accept a future one that reaches a different
+    hazard through the same submit call.
+    """
+    parts = [PurePath(finding.path).as_posix(), finding.rule, finding.snippet.strip()]
+    if finding.trace:
+        tail = finding.trace[-1]
+        parts.extend((PurePath(tail.path).as_posix(), tail.function, tail.note))
+    blob = "::".join(parts)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
 
 

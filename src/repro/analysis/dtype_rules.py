@@ -1,0 +1,280 @@
+"""Dtype-drift lint rules for ``@hot_path`` functions.
+
+The float32 solver-backend work (ROADMAP item 2) only pays off if the
+hot numerical kernels *stay* in the working dtype end to end.  NumPy
+makes silent drift easy: ``np.zeros(n)`` allocates float64 regardless of
+what the surrounding computation uses, ``np.array([0.5, 1.0])`` infers
+float64 from Python literals, and one float64 temporary promotes every
+array it touches.  In a float32 pipeline each of these doubles memory
+traffic and quietly changes round-off behaviour — the estimate is
+*plausibly* different, never visibly wrong.
+
+These rules run only inside functions marked
+:func:`repro.utils.contracts.hot_path` (completion sweeps, map-matching,
+aggregation), where dtype discipline is a hard requirement rather than a
+style preference:
+
+* ``dtype-upcast-in-hot-path`` — a float64-defaulting allocator
+  (``np.zeros``/``ones``/``empty``/``eye``/``identity``/``linspace``)
+  called without ``dtype=``, or an explicit ``.astype(np.float64)`` /
+  ``.astype(float)``.  Tie the allocation to an input instead:
+  ``np.zeros(n, dtype=x.dtype)``.
+* ``implicit-float64-literal`` — ``np.array``/``np.asarray``/``np.full``
+  building an array *from Python float literals* without ``dtype=``; the
+  literal decides the dtype, not the pipeline.
+* ``dtype-dropping-op`` — an arithmetic op mixing a local whose dtype
+  was deliberately tied to an input (``dtype=x.dtype`` /
+  ``.astype(x.dtype)``) with a float64-allocated local: NumPy promotion
+  silently discards the tied dtype.
+
+The dtype facts are a per-function, assignment-order dataflow over plain
+``name = ...`` bindings — deliberately local and conservative, matching
+how the kernels in ``repro.core`` are actually written.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.engine import attribute_chain
+from repro.analysis.findings import Finding
+from repro.analysis.rules import FileContext, Rule, register
+
+__all__ = [
+    "DtypeUpcastRule",
+    "ImplicitFloat64LiteralRule",
+    "DtypeDroppingOpRule",
+    "hot_path_functions",
+]
+
+#: Allocators whose default dtype is float64.
+_F64_ALLOCATORS = frozenset({"zeros", "ones", "empty", "eye", "identity", "linspace"})
+#: Constructors that infer dtype from their (possibly literal) contents.
+_INFERRING_CTORS = frozenset({"array", "asarray", "full"})
+
+
+def hot_path_functions(
+    tree: ast.Module,
+) -> Iterator["ast.FunctionDef | ast.AsyncFunctionDef"]:
+    """Functions in ``tree`` decorated with ``@hot_path`` (any spelling)."""
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            chain = attribute_chain(target)
+            if chain and chain[-1] == "hot_path":
+                yield node
+                break
+
+
+def _np_call_tail(call: ast.Call) -> str:
+    """``np.<tail>``/``numpy.<tail>`` call tail, or ``''``."""
+    chain = attribute_chain(call.func)
+    if len(chain) >= 2 and chain[0] in ("np", "numpy"):
+        return chain[-1]
+    return ""
+
+
+def _dtype_keyword(call: ast.Call) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == "dtype":
+            return kw.value
+    return None
+
+
+def _is_input_tied(expr: ast.expr) -> bool:
+    """Whether a dtype expression derives from a value (``x.dtype``)."""
+    return isinstance(expr, ast.Attribute) and expr.attr == "dtype"
+
+
+def _is_float64_dtype(expr: ast.expr) -> bool:
+    """Whether a dtype expression names float64 (``np.float64``/``float``/str)."""
+    chain = attribute_chain(expr)
+    if chain and chain[-1] == "float64":
+        return True
+    if isinstance(expr, ast.Name) and expr.id == "float":
+        return True
+    return isinstance(expr, ast.Constant) and expr.value in ("float64", "f8")
+
+
+def _contains_float_literal(expr: ast.expr) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Constant) and type(node.value) is float:
+            return True
+    return False
+
+
+#: Dtype fact of a local: tied to an input ("tied") or float64 ("f64").
+_Facts = Dict[str, str]
+
+
+def _value_fact(value: ast.expr) -> str:
+    """Dtype fact established by an assignment's right-hand side."""
+    if isinstance(value, ast.Call):
+        # x = y.astype(z.dtype) / y.astype(np.float64)
+        func = value.func
+        if isinstance(func, ast.Attribute) and func.attr == "astype" and value.args:
+            if _is_input_tied(value.args[0]):
+                return "tied"
+            if _is_float64_dtype(value.args[0]):
+                return "f64"
+            return ""
+        tail = _np_call_tail(value)
+        if tail in _F64_ALLOCATORS | _INFERRING_CTORS:
+            dtype = _dtype_keyword(value)
+            if dtype is not None:
+                if _is_input_tied(dtype):
+                    return "tied"
+                if _is_float64_dtype(dtype):
+                    return "f64"
+                return ""  # explicitly chosen non-f64 dtype: no drift here
+            if tail in _F64_ALLOCATORS:
+                return "f64"
+            if tail in _INFERRING_CTORS and _contains_float_literal(
+                value.args[0] if value.args else value
+            ):
+                return "f64"
+    return ""
+
+
+def _local_facts(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> _Facts:
+    """Assignment-order dtype facts for plain ``name = ...`` bindings."""
+    facts: _Facts = {}
+    assigns: List[Tuple[int, str, ast.expr]] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                assigns.append((node.lineno, target.id, node.value))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                assigns.append((node.lineno, node.target.id, node.value))
+    for _line, name, value in sorted(assigns, key=lambda t: t[0]):
+        fact = _value_fact(value)
+        if fact:
+            facts[name] = fact
+        elif name in facts:
+            del facts[name]  # rebound to something we can't classify
+    return facts
+
+
+class _HotPathRule(Rule):
+    """Base: run :meth:`check_function` on every ``@hot_path`` function."""
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for func in hot_path_functions(tree):
+            yield from self.check_function(func, ctx)
+
+    def check_function(
+        self, func: "ast.FunctionDef | ast.AsyncFunctionDef", ctx: FileContext
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@register
+class DtypeUpcastRule(_HotPathRule):
+    """Flag float64-defaulting allocations/casts in ``@hot_path`` code."""
+
+    name = "dtype-upcast-in-hot-path"
+    description = "float64-defaulting allocation or cast in a @hot_path function"
+    severity = "warning"
+
+    def check_function(
+        self, func: "ast.FunctionDef | ast.AsyncFunctionDef", ctx: FileContext
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            tail = _np_call_tail(node)
+            if tail in _F64_ALLOCATORS and _dtype_keyword(node) is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"np.{tail}(...) without dtype= allocates float64 "
+                    f"regardless of the kernel's working dtype",
+                    "tie the allocation to an input: "
+                    f"np.{tail}(..., dtype=<input>.dtype)",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+                and _is_float64_dtype(node.args[0])
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "explicit .astype(float64) upcasts inside a hot path",
+                    "cast to an input-derived dtype (.astype(x.dtype)) or "
+                    "drop the cast",
+                )
+
+
+@register
+class ImplicitFloat64LiteralRule(_HotPathRule):
+    """Flag literal-inferred float64 arrays in ``@hot_path`` code."""
+
+    name = "implicit-float64-literal"
+    description = "array built from float literals without dtype= in a @hot_path function"
+    severity = "warning"
+
+    def check_function(
+        self, func: "ast.FunctionDef | ast.AsyncFunctionDef", ctx: FileContext
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            tail = _np_call_tail(node)
+            if (
+                tail in _INFERRING_CTORS
+                and node.args
+                and _dtype_keyword(node) is None
+                and _contains_float_literal(node.args[-1] if tail == "full" else node.args[0])
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"np.{tail}(...) infers float64 from its Python float "
+                    "literal(s), ignoring the pipeline dtype",
+                    "pass dtype= explicitly (ideally tied to an input)",
+                )
+
+
+@register
+class DtypeDroppingOpRule(_HotPathRule):
+    """Flag promotion that silently discards an input-tied dtype."""
+
+    name = "dtype-dropping-op"
+    description = "arithmetic mixes an input-tied local with a float64 local"
+    severity = "warning"
+
+    def check_function(
+        self, func: "ast.FunctionDef | ast.AsyncFunctionDef", ctx: FileContext
+    ) -> Iterator[Finding]:
+        facts = _local_facts(func)
+        if not facts:
+            return
+        for node in ast.walk(func):
+            if not isinstance(node, ast.BinOp):
+                continue
+            sides = {
+                facts.get(side.id, "")
+                for side in (node.left, node.right)
+                if isinstance(side, ast.Name)
+            }
+            if sides == {"tied", "f64"}:
+                tied = (
+                    node.left.id
+                    if isinstance(node.left, ast.Name)
+                    and facts.get(node.left.id) == "tied"
+                    else node.right.id  # type: ignore[union-attr]
+                )
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"operation promotes {tied!r} (dtype tied to an input) "
+                    "to float64 through a float64-allocated operand",
+                    "allocate the other operand with the same tied dtype",
+                )

@@ -1,0 +1,770 @@
+"""Bottom-up effect inference over the whole-program call graph.
+
+Each function of a :class:`~repro.analysis.callgraph.Program` gets an
+*effect set* — which of the seven effects in
+:data:`repro.utils.contracts.EFFECT_NAMES` its body performs directly,
+plus everything reachable through resolved calls:
+
+===================== ==================================================
+``mutates-global``     writes a module global (rebind, ``+=``, item or
+                       attribute assignment, in-place method)
+``mutates-nonlocal``   writes a closure variable, a mutable default
+                       argument, or instance state outside ``__init__``
+``rng``                creates or draws randomness; sub-kinds separate
+                       the global ``np.random``/``random`` streams
+                       (``rng-global``), a generator shared through a
+                       closure/global (``rng-shared``), local creation
+                       (``rng-create``), and drawing from an explicit
+                       generator (``rng-draw``)
+``wall-clock``         reads any clock (``time.time``, ``perf_counter``,
+                       ``datetime.now``, ...)
+``io``                 file/stream I/O (``open``, ``np.save``,
+                       ``Path.write_text``, ``print``, ...)
+``env``                reads ``os.environ`` / ``os.getenv``
+``unordered-iteration`` iterates a set-like or filesystem-ordered source
+                       into an order-sensitive reduction
+===================== ==================================================
+
+Direct effects are extracted per function with the same scope/dataflow
+machinery the per-module rules use, so both layers agree on what counts
+as "shared".  The fixpoint then runs one pass over the SCC condensation
+in reverse topological order (mutual recursion is relaxed inside each
+component), recording for every reachable effect a representative
+**provenance chain** of call steps — the ``worker → helper → offender``
+story that ``repro lint --explain`` and SARIF ``codeFlows`` render.
+
+Two deliberate policies:
+
+* Calls into ``repro.obs`` propagate **no** effects.  Observability
+  instrumentation reads ``perf_counter`` and writes manifests by design;
+  charging those to every instrumented caller would make every contract
+  in the codebase unsatisfiable.  The obs layer's own hygiene is kept by
+  its tests, not by effect contracts.
+* Instance-state mutation (``self.x = ...`` outside ``__init__``) counts
+  against purity contracts but does **not** fire the transitive
+  worker-shared-state rule: without receiver tracking the analysis
+  cannot tell a worker-local object from a shared one, and a method
+  mutating a fresh local instance is the dominant, safe case.
+
+On top of the inferred sets, :func:`contract_findings` statically
+verifies ``@effects(...)`` declarations
+(:func:`repro.utils.contracts.effects`): any reachable effect outside
+the declared set is an ``effect-contract`` error carrying the full
+provenance chain.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import FunctionId, FunctionInfo, Program
+from repro.analysis.engine import (
+    attribute_chain,
+    is_unordered_expr,
+    iter_scope_nodes,
+    order_sensitive_sink,
+    scope_mutations,
+    unordered_source_label,
+)
+from repro.analysis.findings import Finding, TraceFrame
+from repro.analysis.rules import Rule, FileContext, register
+from repro.utils.contracts import EFFECT_NAMES
+
+__all__ = [
+    "CallStep",
+    "EffectContract",
+    "EffectSource",
+    "ProgramEffects",
+    "ReachableEffect",
+    "build_trace",
+    "contract_findings",
+    "direct_effects",
+    "infer_effects",
+    "parse_contract",
+]
+
+
+@dataclass(frozen=True)
+class EffectSource:
+    """One directly-performed effect: what, which flavour, and where."""
+
+    effect: str  # one of EFFECT_NAMES
+    kind: str  # sub-kind, e.g. "rng-global" vs "rng-create"
+    path: str
+    line: int
+    function: str  # qualname of the function performing it
+    detail: str  # human-readable description of the offending site
+
+
+@dataclass(frozen=True)
+class CallStep:
+    """One hop of a provenance chain: ``caller`` calls ``callee``."""
+
+    caller: FunctionId
+    line: int  # call-site line in the caller
+    callee: FunctionId
+
+
+@dataclass(frozen=True)
+class ReachableEffect:
+    """An effect reachable from a function, with one provenance chain.
+
+    ``chain`` is empty for the function's own direct effects; each
+    :class:`CallStep` walks one call deeper toward the offender.
+    """
+
+    source: EffectSource
+    chain: Tuple[CallStep, ...] = ()
+
+    @property
+    def hops(self) -> int:
+        return len(self.chain)
+
+
+#: Reachable-effect table of one function, keyed by (effect, kind).
+EffectTable = Dict[Tuple[str, str], ReachableEffect]
+
+
+# ----------------------------------------------------------------------
+# Direct-effect extraction
+# ----------------------------------------------------------------------
+_RNG_CREATE_TAILS = frozenset(
+    {"ensure_rng", "spawn_rngs", "default_rng", "RandomState", "Generator", "SeedSequence"}
+)
+_RNG_DRAW_TAILS = frozenset(
+    {
+        "normal",
+        "standard_normal",
+        "integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "poisson",
+        "binomial",
+        "exponential",
+        "gamma",
+        "beta",
+        "random",
+        "bytes",
+        "multivariate_normal",
+    }
+)
+_STDLIB_RANDOM_TAILS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "shuffle",
+        "choice",
+        "choices",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "seed",
+        "getrandbits",
+    }
+)
+_TIME_MODULE_CLOCKS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "localtime",
+        "gmtime",
+    }
+)
+#: Clock functions distinctive enough to match as bare names
+#: (``from time import perf_counter``); bare ``time`` is too ambiguous.
+_BARE_CLOCK_NAMES = frozenset(
+    {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns", "time_ns", "process_time"}
+)
+_PATH_IO_TAILS = frozenset(
+    {
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+        "mkdir",
+        "unlink",
+        "touch",
+        "rmdir",
+        "symlink_to",
+    }
+)
+_IO_MODULE_HEADS = frozenset({"json", "pickle", "yaml", "tomllib", "np", "numpy"})
+_IO_MODULE_TAILS = frozenset(
+    {
+        "dump",
+        "load",
+        "save",
+        "savez",
+        "savez_compressed",
+        "savetxt",
+        "loadtxt",
+        "genfromtxt",
+        "fromfile",
+        "tofile",
+    }
+)
+_OS_IO_TAILS = frozenset(
+    {"remove", "makedirs", "mkdir", "rmdir", "rename", "replace", "chdir", "symlink", "listdir", "scandir"}
+)
+#: Constructors / dunders whose self-mutation is object construction,
+#: not a shared-state effect.
+_CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__", "__setstate__"})
+
+_Emit = Callable[[str, str, ast.AST, str], None]
+
+
+def direct_effects(info: FunctionInfo) -> List[EffectSource]:
+    """Effects ``info``'s body performs itself (no call propagation)."""
+    out: List[EffectSource] = []
+    seen: Set[Tuple[str, str, int]] = set()
+    scope = info.scope
+    minfo = info.module
+    fn_tail = info.fid.qualname.rsplit(".", 1)[-1]
+    in_constructor = fn_tail in _CONSTRUCTORS
+
+    def emit(effect: str, kind: str, node: ast.AST, detail: str) -> None:
+        line = getattr(node, "lineno", info.line)
+        key = (effect, kind, line)
+        if key in seen:
+            return
+        seen.add(key)
+        out.append(
+            EffectSource(
+                effect=effect,
+                kind=kind,
+                path=minfo.path,
+                line=line,
+                function=info.fid.qualname,
+                detail=detail,
+            )
+        )
+
+    for mutation in scope_mutations(scope):
+        if mutation.name in ("self", "cls"):
+            if in_constructor:
+                continue
+            target = (
+                f"{mutation.name}.{mutation.attr}" if mutation.attr else mutation.name
+            )
+            emit(
+                "mutates-nonlocal",
+                "instance-state",
+                mutation.node,
+                f"mutates instance state {target!r}",
+            )
+        elif mutation.resolution == "global":
+            emit(
+                "mutates-global",
+                "global",
+                mutation.node,
+                f"mutates module global {mutation.name!r}",
+            )
+        elif mutation.resolution == "closure":
+            emit(
+                "mutates-nonlocal",
+                "closure",
+                mutation.node,
+                f"mutates closure variable {mutation.name!r}",
+            )
+        elif (
+            mutation.resolution == "param"
+            and mutation.name in scope.mutable_default_params
+        ):
+            emit(
+                "mutates-nonlocal",
+                "mutable-default",
+                mutation.node,
+                f"mutates mutable default argument {mutation.name!r}",
+            )
+
+    for node in iter_scope_nodes(scope.node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            if node.id in scope.globals_decl:
+                emit(
+                    "mutates-global",
+                    "rebind",
+                    node,
+                    f"rebinds module global {node.id!r} (global declaration)",
+                )
+            elif node.id in scope.nonlocals_decl:
+                emit(
+                    "mutates-nonlocal",
+                    "rebind",
+                    node,
+                    f"rebinds nonlocal {node.id!r}",
+                )
+        elif isinstance(node, ast.Call):
+            _call_effects(node, info, emit)
+        elif isinstance(node, ast.Attribute):
+            if attribute_chain(node)[:2] == ["os", "environ"]:
+                emit("env", "environ", node, "reads os.environ")
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if is_unordered_expr(node.iter, scope):
+                sink = order_sensitive_sink(node)
+                if sink:
+                    emit(
+                        "unordered-iteration",
+                        "loop",
+                        node,
+                        f"iterates {unordered_source_label(node.iter)} "
+                        f"(order not deterministic) and {sink}",
+                    )
+        elif isinstance(node, ast.ListComp):
+            for gen in node.generators:
+                if is_unordered_expr(gen.iter, scope):
+                    emit(
+                        "unordered-iteration",
+                        "comprehension",
+                        node,
+                        f"builds a list from {unordered_source_label(gen.iter)}, "
+                        "inheriting its nondeterministic order",
+                    )
+                    break
+    return out
+
+
+def _call_effects(call: ast.Call, info: FunctionInfo, emit: _Emit) -> None:
+    """Classify one call site into rng / wall-clock / io / env effects."""
+    chain = attribute_chain(call.func)
+    if not chain:
+        return
+    head, tail = chain[0], chain[-1]
+    dotted = ".".join(chain)
+    scope = info.scope
+
+    # --- rng --------------------------------------------------------
+    if head in ("np", "numpy") and len(chain) >= 3 and chain[1] == "random":
+        if tail in _RNG_CREATE_TAILS:
+            emit("rng", "rng-create", call, f"creates an RNG via {dotted}(...)")
+        else:
+            emit(
+                "rng",
+                "rng-global",
+                call,
+                f"draws from the global np.random stream ({dotted})",
+            )
+        return
+    if head == "random" and len(chain) == 2 and tail in _STDLIB_RANDOM_TAILS:
+        emit(
+            "rng",
+            "rng-global",
+            call,
+            f"uses the global stdlib random stream (random.{tail})",
+        )
+        return
+    if tail in _RNG_CREATE_TAILS:
+        emit("rng", "rng-create", call, f"creates an RNG via {tail}(...)")
+        return
+    if len(chain) == 2 and tail in _RNG_DRAW_TAILS:
+        root = head
+        lowered = root.lower()
+        rng_like = "rng" in lowered or lowered in ("rs", "random_state", "gen")
+        bind_scope = scope.lookup_scope(root)
+        rng_bound = bind_scope is not None and root in bind_scope.rng_bound
+        if not (rng_like or rng_bound):
+            pass  # .choice()/.shuffle() on a non-RNG object
+        else:
+            resolution = scope.resolve(root)
+            if resolution in ("global", "closure"):
+                emit(
+                    "rng",
+                    "rng-shared",
+                    call,
+                    f"draws from RNG {root!r} bound outside the function "
+                    f"({root}.{tail})",
+                )
+            else:
+                emit("rng", "rng-draw", call, f"draws from RNG {root!r} ({root}.{tail})")
+            return
+
+    # --- wall clock -------------------------------------------------
+    if (
+        (head == "time" and len(chain) == 2 and tail in _TIME_MODULE_CLOCKS)
+        or (len(chain) == 1 and tail in _BARE_CLOCK_NAMES)
+        or tail == "utcnow"
+        or (
+            tail in ("now", "today")
+            and len(chain) >= 2
+            and chain[-2] in ("datetime", "date", "Timestamp")
+        )
+    ):
+        emit("wall-clock", "clock", call, f"reads the clock via {dotted}(...)")
+        return
+
+    # --- io ---------------------------------------------------------
+    if len(chain) == 1 and tail in ("open", "print", "input"):
+        emit("io", "stream", call, f"performs I/O via {tail}(...)")
+        return
+    if tail in _PATH_IO_TAILS:
+        emit("io", "filesystem", call, f"touches the filesystem via .{tail}(...)")
+        return
+    if len(chain) >= 2 and head in _IO_MODULE_HEADS and tail in _IO_MODULE_TAILS:
+        emit("io", "serialization", call, f"serialises to/from a file via {dotted}(...)")
+        return
+    if len(chain) == 2 and head == "os" and tail in _OS_IO_TAILS:
+        emit("io", "filesystem", call, f"touches the filesystem via {dotted}(...)")
+        return
+    if head == "shutil":
+        emit("io", "filesystem", call, f"touches the filesystem via {dotted}(...)")
+        return
+
+    # --- env --------------------------------------------------------
+    if tail in ("getenv", "putenv") and (head == "os" or len(chain) == 1):
+        emit("env", "environ", call, f"reads the environment via {dotted}(...)")
+
+
+def unordered_param_sinks(info: FunctionInfo) -> Dict[str, Tuple[int, str]]:
+    """Parameters that feed an order-sensitive sink *if* unordered.
+
+    The per-module rules cannot see that ``helper(cluster)`` iterates a
+    ``set`` when the set-ness lives in the caller; this summary is the
+    callee half of that interprocedural step — ``infer_effects`` joins
+    it with set-like arguments at each resolved call site.
+    """
+    out: Dict[str, Tuple[int, str]] = {}
+    scope = info.scope
+
+    def param_name(expr: ast.expr) -> str:
+        if isinstance(expr, ast.Name) and scope.resolve(expr.id) == "param":
+            return expr.id
+        return ""
+
+    for node in iter_scope_nodes(scope.node):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            name = param_name(node.iter)
+            if name:
+                sink = order_sensitive_sink(node)
+                if sink:
+                    out.setdefault(
+                        name,
+                        (node.lineno, f"iterates parameter {name!r} and {sink}"),
+                    )
+        elif isinstance(node, ast.ListComp):
+            for gen in node.generators:
+                name = param_name(gen.iter)
+                if name:
+                    out.setdefault(
+                        name,
+                        (
+                            node.lineno,
+                            f"builds a list from parameter {name!r}, "
+                            "baking its iteration order into the result",
+                        ),
+                    )
+        elif isinstance(node, ast.Call):
+            chain = attribute_chain(node.func)
+            fn_name = chain[-1] if chain else ""
+            if fn_name not in ("sum", "fsum", "list", "tuple", "enumerate"):
+                continue
+            for arg in node.args:
+                name = param_name(arg)
+                if name:
+                    out.setdefault(
+                        name,
+                        (
+                            node.lineno,
+                            f"{fn_name}() consumes parameter {name!r} in "
+                            "iteration order",
+                        ),
+                    )
+                elif isinstance(arg, ast.GeneratorExp):
+                    for gen in arg.generators:
+                        name = param_name(gen.iter)
+                        if name:
+                            out.setdefault(
+                                name,
+                                (
+                                    node.lineno,
+                                    f"{fn_name}() accumulates parameter {name!r} "
+                                    "in iteration order",
+                                ),
+                            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fixpoint
+# ----------------------------------------------------------------------
+class ProgramEffects:
+    """Per-function direct and reachable (transitive) effect tables."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.direct: Dict[FunctionId, Tuple[EffectSource, ...]] = {}
+        self.reachable: Dict[FunctionId, EffectTable] = {}
+
+    def effects_of(self, fid: FunctionId) -> EffectTable:
+        """Reachable-effect table of ``fid`` (empty when unknown)."""
+        return self.reachable.get(fid, {})
+
+    def reaches(self, fid: FunctionId, effect: str) -> List[ReachableEffect]:
+        """Reachable entries of ``fid`` carrying ``effect``, stable order."""
+        table = self.effects_of(fid)
+        return [
+            table[key] for key in sorted(table) if key[0] == effect
+        ]
+
+
+def _effect_transparent(fid: FunctionId) -> bool:
+    """Whether calls into ``fid`` contribute no effects (obs layer)."""
+    return fid.module == "repro.obs" or fid.module.startswith("repro.obs.")
+
+
+def infer_effects(program: Program) -> ProgramEffects:
+    """Compute the transitive effect fixpoint over the whole program."""
+    pe = ProgramEffects(program)
+    sinks: Dict[FunctionId, Dict[str, Tuple[int, str]]] = {}
+    for fid, info in program.functions.items():
+        pe.direct[fid] = tuple(direct_effects(info))
+        table: EffectTable = {}
+        for source in pe.direct[fid]:
+            table.setdefault((source.effect, source.kind), ReachableEffect(source=source))
+        pe.reachable[fid] = table
+        sinks[fid] = unordered_param_sinks(info)
+
+    # Interprocedural unordered-iteration: a set-like argument flowing
+    # into a parameter the callee feeds to an order-sensitive sink.
+    for fid, info in program.functions.items():
+        table = pe.reachable[fid]
+        for node in iter_scope_nodes(info.scope.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = program.resolve_call(node, info.scope, info.module)
+            if (
+                callee is None
+                or callee == fid
+                or callee not in program.functions
+                or _effect_transparent(callee)
+            ):
+                continue
+            callee_sinks = sinks.get(callee, {})
+            if not callee_sinks:
+                continue
+            callee_info = program.functions[callee]
+            for pname, arg in _match_call_args(node, callee_info):
+                if pname in callee_sinks and is_unordered_expr(arg, info.scope):
+                    sink_line, sink_detail = callee_sinks[pname]
+                    source = EffectSource(
+                        effect="unordered-iteration",
+                        kind="unordered-arg",
+                        path=callee_info.module.path,
+                        line=sink_line,
+                        function=callee.qualname,
+                        detail=(
+                            f"{sink_detail} — and the caller passes "
+                            f"{unordered_source_label(arg)}"
+                        ),
+                    )
+                    table.setdefault(
+                        ("unordered-iteration", "unordered-arg"),
+                        ReachableEffect(
+                            source=source,
+                            chain=(CallStep(fid, node.lineno, callee),),
+                        ),
+                    )
+
+    # Bottom-up propagation: reverse-topological SCC order means every
+    # callee outside the current component is already final; inside a
+    # component, relax until stable (adopt-if-absent keeps chains finite).
+    for component in program.sccs():
+        changed = True
+        while changed:
+            changed = False
+            for fid in component:
+                info = program.functions[fid]
+                mine = pe.reachable[fid]
+                for call in info.calls:
+                    callee = call.callee
+                    if callee not in program.functions or _effect_transparent(callee):
+                        continue
+                    for key, reachable in pe.reachable[callee].items():
+                        if key in mine:
+                            continue
+                        mine[key] = ReachableEffect(
+                            source=reachable.source,
+                            chain=(CallStep(fid, call.line, callee),)
+                            + reachable.chain,
+                        )
+                        changed = True
+    return pe
+
+
+def _match_call_args(
+    call: ast.Call, callee_info: FunctionInfo
+) -> Iterator[Tuple[str, ast.expr]]:
+    """Pair call arguments with callee parameter names (best effort)."""
+    args = callee_info.node.args
+    params = [a.arg for a in args.posonlyargs + args.args]
+    if params and params[0] in ("self", "cls"):
+        params = params[1:]  # bound-call receiver is not in call.args
+    for pname, arg in zip(params, call.args):
+        yield pname, arg
+    for kw in call.keywords:
+        if kw.arg:
+            yield kw.arg, kw.value
+
+
+# ----------------------------------------------------------------------
+# Provenance rendering
+# ----------------------------------------------------------------------
+def build_trace(
+    program: Program,
+    reachable: ReachableEffect,
+    head: Optional[TraceFrame] = None,
+) -> Tuple[TraceFrame, ...]:
+    """Provenance frames for a finding: optional head, calls, offender."""
+    frames: List[TraceFrame] = [] if head is None else [head]
+    for step in reachable.chain:
+        caller = program.functions.get(step.caller)
+        frames.append(
+            TraceFrame(
+                path=caller.module.path if caller is not None else "",
+                line=step.line,
+                function=step.caller.qualname,
+                note=f"calls {step.callee.qualname}()",
+            )
+        )
+    source = reachable.source
+    frames.append(
+        TraceFrame(
+            path=source.path,
+            line=source.line,
+            function=source.function,
+            note=source.detail,
+        )
+    )
+    return tuple(frames)
+
+
+# ----------------------------------------------------------------------
+# @effects contract verification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EffectContract:
+    """A parsed ``@effects(...)`` declaration on one function."""
+
+    allowed: "frozenset[str]"
+    line: int  # line of the decorator expression
+
+
+def parse_contract(info: FunctionInfo) -> Optional[EffectContract]:
+    """The ``@effects`` contract declared on ``info``, if any."""
+    for decorator in info.decorators:
+        if not isinstance(decorator, ast.Call):
+            continue
+        chain = attribute_chain(decorator.func)
+        if not chain or chain[-1] != "effects":
+            continue
+        allowed: Set[str] = set()
+        for arg in decorator.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                if arg.value != "pure":
+                    allowed.add(arg.value)
+        for kw in decorator.keywords:
+            if kw.arg == "allow":
+                allowed |= _string_elements(kw.value)
+        return EffectContract(allowed=frozenset(allowed & EFFECT_NAMES), line=decorator.lineno)
+    return None
+
+
+def _string_elements(node: ast.expr) -> Set[str]:
+    """String constants inside a set/list/tuple literal (or set([...]))."""
+    out: Set[str] = set()
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.add(elt.value)
+    elif isinstance(node, ast.Call):
+        for arg in node.args:
+            out |= _string_elements(arg)
+    return out
+
+
+def contract_findings(program: Program, effects: ProgramEffects) -> List[Finding]:
+    """Verify every ``@effects`` contract against the inferred fixpoint.
+
+    One finding per (function, violated effect name), anchored at the
+    ``def`` line so suppressions sit next to the contract, with the
+    representative (fewest-hops) provenance chain attached.
+    """
+    out: List[Finding] = []
+    for fid in sorted(program.functions):
+        info = program.functions[fid]
+        contract = parse_contract(info)
+        if contract is None:
+            continue
+        table = effects.effects_of(fid)
+        worst: Dict[str, ReachableEffect] = {}
+        for (effect, kind), reachable in sorted(table.items()):
+            if effect in contract.allowed:
+                continue
+            current = worst.get(effect)
+            if current is None or (reachable.hops, kind) < (
+                current.hops,
+                current.source.kind,
+            ):
+                worst[effect] = reachable
+        if not worst:
+            continue
+        declared = (
+            "'pure'"
+            if not contract.allowed
+            else "allow={" + ", ".join(sorted(contract.allowed)) + "}"
+        )
+        line = info.line
+        lines = info.module.source_lines
+        snippet = lines[line - 1].strip() if 1 <= line <= len(lines) else ""
+        for effect in sorted(worst):
+            reachable = worst[effect]
+            out.append(
+                Finding(
+                    path=info.module.path,
+                    line=line,
+                    col=getattr(info.node, "col_offset", 0),
+                    rule="effect-contract",
+                    message=(
+                        f"{fid.qualname!r} declares @effects({declared}) but "
+                        f"reaches effect {effect!r}: {reachable.source.detail}"
+                    ),
+                    hint=(
+                        "remove the effect, widen the contract "
+                        "(@effects(allow={...})), or suppress with a "
+                        "justification"
+                    ),
+                    severity="error",
+                    snippet=snippet,
+                    trace=build_trace(program, reachable),
+                )
+            )
+    return out
+
+
+@register
+class EffectContractRule(Rule):
+    """Registry stub for the whole-program ``@effects`` verification.
+
+    The findings are produced by :func:`contract_findings` during the
+    runner's program pass — registering the name here gives it the same
+    ``--rules`` selection, suppression, and baseline plumbing as every
+    per-file rule.
+    """
+
+    name = "effect-contract"
+    description = "@effects contract violated by a statically inferred effect"
+    severity = "error"
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())

@@ -41,7 +41,9 @@ __all__ = [
     "attribute_chain",
     "find_workers",
     "iter_scope_nodes",
+    "order_sensitive_sink",
     "scope_mutations",
+    "unordered_source_label",
 ]
 
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
@@ -364,6 +366,35 @@ def is_unordered_expr(node: ast.AST, scope: Scope) -> bool:
             return True
         return chain[-1] in _UNORDERED_CALL_TAILS
     return False
+
+
+def order_sensitive_sink(loop: "ast.For | ast.AsyncFor") -> str:
+    """How the loop's body depends on iteration order; '' when it doesn't.
+
+    Augmented assignments accumulate (float addition is not associative)
+    and ``list.append`` bakes the order into the output — the two sinks
+    that turn an unordered source into a nondeterministic result.
+    """
+    for node in ast.walk(loop):
+        if isinstance(node, ast.AugAssign):
+            return "accumulates with an augmented assignment"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "append"
+        ):
+            return "appends to a list"
+    return ""
+
+
+def unordered_source_label(node: ast.expr) -> str:
+    """Human label for an unordered iteration source expression."""
+    chain = attribute_chain(node if not isinstance(node, ast.Call) else node.func)
+    if isinstance(node, ast.Call) and chain:
+        return f"{'.'.join(chain)}(...)"
+    if isinstance(node, ast.Name):
+        return f"set {node.id!r}"
+    return "a set"
 
 
 # ----------------------------------------------------------------------

@@ -9,6 +9,12 @@ Each finding also carries a ``severity`` (``"error"`` / ``"warning"`` /
 ``"note"``, mapped 1:1 onto SARIF result levels) and a ``snippet`` — the
 stripped source line it anchors to, used by the baseline ratchet to
 fingerprint findings robustly against unrelated line-number drift.
+
+Findings produced by the whole-program passes (transitive parallel
+safety, effect contracts) additionally carry a ``trace``: the provenance
+chain ``worker → helper → offender`` as :class:`TraceFrame` steps.  The
+chain is rendered by ``repro lint --explain`` and serialised as SARIF
+``codeFlows`` so code-scanning UIs can step through it.
 """
 
 from __future__ import annotations
@@ -18,6 +24,36 @@ from typing import Tuple
 
 #: Recognised severity levels, most severe first (SARIF ``level`` values).
 SEVERITIES = ("error", "warning", "note")
+
+
+@dataclass(frozen=True)
+class TraceFrame:
+    """One step of a finding's provenance chain.
+
+    Attributes
+    ----------
+    path, line:
+        Source location of this step (the call site, or the offending
+        statement for the final frame).
+    function:
+        Qualified name of the function the step executes in
+        (``"<module>"`` for module-level code).
+    note:
+        What happens at this step, e.g. ``"submits worker 'work'"`` or
+        ``"mutates module global 'CACHE'"``.
+    """
+
+    path: str
+    line: int
+    function: str
+    note: str = ""
+
+    def render(self) -> str:
+        """``path:line (in function): note`` one-liner."""
+        text = f"{self.path}:{self.line} (in {self.function})"
+        if self.note:
+            text += f": {self.note}"
+        return text
 
 
 @dataclass(frozen=True, order=True)
@@ -42,6 +78,10 @@ class Finding:
     snippet:
         The stripped source line the finding anchors to (may be empty
         when the source is unavailable).
+    trace:
+        Provenance chain for whole-program findings, first frame nearest
+        the anchor (e.g. the pool submission site), last frame the
+        direct offender.  Empty for per-file findings.
     """
 
     path: str
@@ -52,6 +92,7 @@ class Finding:
     hint: str = field(compare=False, default="")
     severity: str = field(compare=False, default="warning")
     snippet: str = field(compare=False, default="")
+    trace: Tuple[TraceFrame, ...] = field(compare=False, default=())
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -64,11 +105,21 @@ class Finding:
         """``file:line:col`` reference (clickable in most editors)."""
         return f"{self.path}:{self.line}:{self.col}"
 
-    def render(self) -> str:
-        """One-line report: location, severity, rule, message, fix hint."""
+    def render(self, explain: bool = False) -> str:
+        """One-line report: location, severity, rule, message, fix hint.
+
+        With ``explain=True`` the provenance chain (when present) is
+        appended as indented, numbered steps — the ``--explain`` view.
+        """
         text = f"{self.location}: {self.severity}: [{self.rule}] {self.message}"
         if self.hint:
             text += f" (hint: {self.hint})"
+        if explain and self.trace:
+            steps = [
+                f"    {i}. {frame.render()}"
+                for i, frame in enumerate(self.trace, start=1)
+            ]
+            text += "\n" + "\n".join(steps)
         return text
 
     def as_tuple(self) -> Tuple[str, int, int, str]:

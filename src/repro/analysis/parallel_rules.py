@@ -41,6 +41,8 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.analysis.callgraph import Program, qualname_of_scope, scope_of_node
+from repro.analysis.effects import ProgramEffects, ReachableEffect, build_trace
 from repro.analysis.engine import (
     FunctionNode,
     Mutation,
@@ -51,9 +53,11 @@ from repro.analysis.engine import (
     find_workers,
     is_unordered_expr,
     iter_scope_nodes,
+    order_sensitive_sink,
     scope_mutations,
+    unordered_source_label,
 )
-from repro.analysis.findings import Finding
+from repro.analysis.findings import Finding, TraceFrame
 from repro.analysis.rules import FileContext, Rule, register
 
 __all__ = [
@@ -62,6 +66,7 @@ __all__ = [
     "UnorderedIterationRule",
     "UnlockedCacheMutationRule",
     "SubmitResultOrderingRule",
+    "transitive_worker_findings",
 ]
 
 
@@ -250,13 +255,13 @@ class UnorderedIterationRule(_EngineRule):
             if isinstance(node, (ast.For, ast.AsyncFor)) and is_unordered_expr(
                 node.iter, scope
             ):
-                sink = self._loop_sink(node)
+                sink = order_sensitive_sink(node)
                 if sink:
                     yield self.finding(
                         ctx,
                         node,
-                        f"iteration order of {self._source_label(node.iter)} is "
-                        f"not deterministic, and the loop {sink}",
+                        f"iteration order of {unordered_source_label(node.iter)} "
+                        f"is not deterministic, and the loop {sink}",
                         "iterate sorted(...) or aggregate order-insensitively",
                     )
             elif isinstance(node, ast.ListComp):
@@ -265,7 +270,7 @@ class UnorderedIterationRule(_EngineRule):
                         yield self.finding(
                             ctx,
                             node,
-                            f"list built from {self._source_label(gen.iter)} "
+                            f"list built from {unordered_source_label(gen.iter)} "
                             "inherits its nondeterministic order",
                             "wrap the source in sorted(...) or build a set",
                         )
@@ -294,7 +299,7 @@ class UnorderedIterationRule(_EngineRule):
                         yield self.finding(
                             ctx,
                             call,
-                            f"{fn_name}() over {self._source_label(gen.iter)} "
+                            f"{fn_name}() over {unordered_source_label(gen.iter)} "
                             "accumulates in nondeterministic order",
                             "sort the source first (float addition is not "
                             "associative; lists bake the order in)",
@@ -306,33 +311,11 @@ class UnorderedIterationRule(_EngineRule):
                 yield self.finding(
                     ctx,
                     call,
-                    f"{fn_name}() consumes {self._source_label(arg)} in "
+                    f"{fn_name}() consumes {unordered_source_label(arg)} in "
                     "nondeterministic order",
                     "use sorted(...) instead",
                 )
                 return
-
-    @staticmethod
-    def _loop_sink(loop: "ast.For | ast.AsyncFor") -> str:
-        for node in ast.walk(loop):
-            if isinstance(node, ast.AugAssign):
-                return "accumulates with an augmented assignment"
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "append"
-            ):
-                return "appends to a list"
-        return ""
-
-    @staticmethod
-    def _source_label(node: ast.expr) -> str:
-        chain = attribute_chain(node if not isinstance(node, ast.Call) else node.func)
-        if isinstance(node, ast.Call) and chain:
-            return f"{'.'.join(chain)}(...)"
-        if isinstance(node, ast.Name):
-            return f"set {node.id!r}"
-        return "a set"
 
 
 @register
@@ -552,3 +535,117 @@ class SubmitResultOrderingRule(_EngineRule):
             if isinstance(node, ast.AugAssign):
                 return True
         return False
+
+
+# ----------------------------------------------------------------------
+# Transitive (whole-program) worker checks
+# ----------------------------------------------------------------------
+#: ``mutates-nonlocal`` sub-kinds that imply *cross-worker* shared state.
+#: ``instance-state`` is deliberately absent: without receiver tracking
+#: the analysis cannot tell a worker-local object from a shared one, and
+#: direct ``self.<attr>`` mutation in a worker body is already caught by
+#: the per-module rule above.
+_SHARED_NONLOCAL_KINDS = frozenset({"closure", "mutable-default", "rebind"})
+
+#: ``rng`` sub-kinds unsafe to reach from a process-pool worker.  Local
+#: creation (``rng-create``) and drawing from an explicitly passed
+#: generator (``rng-draw``) are the *recommended* patterns and must not
+#: fire.
+_FORK_UNSAFE_RNG_KINDS = frozenset({"rng-global", "rng-shared"})
+
+
+def transitive_worker_findings(
+    program: Program, effects: ProgramEffects
+) -> List[Finding]:
+    """Fire the worker rules through the call graph, with provenance.
+
+    A pool-submitted function is flagged when anything *reachable* from
+    it carries an unsafe effect.  Direct hazards (zero call hops) are
+    skipped — the per-module rules already anchor those at the offending
+    statement; this pass owns everything behind at least one call, and
+    anchors the finding at the submission site with the full
+    ``submit → worker → helper → offender`` chain on ``Finding.trace``.
+    """
+    findings: List[Finding] = []
+    for minfo, worker, fid in program.workers():
+        if fid is None or fid not in program.functions:
+            continue
+        label = _worker_label(worker)
+        submit_line = worker.submit_node.lineno
+        submit_scope = scope_of_node(minfo, worker.submit_node)
+        head = TraceFrame(
+            path=minfo.path,
+            line=submit_line,
+            function=qualname_of_scope(submit_scope),
+            note=f"submits {label} via {worker.via} ({worker.backend} backend)",
+        )
+        snippet = ""
+        if 1 <= submit_line <= len(minfo.source_lines):
+            snippet = minfo.source_lines[submit_line - 1].strip()
+
+        def emit(
+            rule: str,
+            severity: str,
+            message: str,
+            hint: str,
+            reachable: ReachableEffect,
+        ) -> None:
+            findings.append(
+                Finding(
+                    path=minfo.path,
+                    line=submit_line,
+                    col=worker.submit_node.col_offset,
+                    rule=rule,
+                    message=message,
+                    hint=hint,
+                    severity=severity,
+                    snippet=snippet,
+                    trace=build_trace(program, reachable, head=head),
+                )
+            )
+
+        table = effects.effects_of(fid)
+        for (effect, kind), reachable in sorted(table.items()):
+            if reachable.hops < 1:
+                continue  # direct hazards belong to the per-module rules
+            hops = f"{reachable.hops} call(s) deep"
+            if effect == "mutates-global" or (
+                effect == "mutates-nonlocal" and kind in _SHARED_NONLOCAL_KINDS
+            ):
+                emit(
+                    "worker-shared-state",
+                    "error",
+                    f"{label} (submitted via {worker.via}) transitively "
+                    f"{reachable.source.detail} ({hops}) — workers race on "
+                    "shared state",
+                    "make the reachable helper pure or pass state explicitly; "
+                    "run `repro lint --explain` for the call chain",
+                    reachable,
+                )
+            elif (
+                effect == "rng"
+                and kind in _FORK_UNSAFE_RNG_KINDS
+                and worker.backend == "process"
+            ):
+                emit(
+                    "fork-unsafe-rng",
+                    "error",
+                    f"{label} on a process pool transitively "
+                    f"{reachable.source.detail} ({hops}) — forked children "
+                    "repeat the same stream",
+                    "derive per-task seeds up front "
+                    "(repro.utils.rng.spawn_rngs) and pass them as arguments",
+                    reachable,
+                )
+            elif effect == "unordered-iteration":
+                emit(
+                    "unordered-iteration",
+                    "warning",
+                    f"{label} (submitted via {worker.via}) reaches a "
+                    f"nondeterministic reduction: {reachable.source.detail} "
+                    f"({hops})",
+                    "sort the source before the order-sensitive sink; "
+                    "run `repro lint --explain` for the call chain",
+                    reachable,
+                )
+    return findings

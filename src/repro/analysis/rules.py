@@ -704,3 +704,22 @@ class IngestionLoopRule(Rule):
             lowered == suffix or lowered.endswith("_" + suffix)
             for suffix in self._BATCH_SUFFIXES
         )
+
+
+@register
+class UnusedSuppressionRule(Rule):
+    """Registry stub for the runner's suppression audit.
+
+    The findings are produced by :mod:`repro.analysis.runner` after all
+    other passes (it needs the full fired/suppressed picture), but the
+    rule is registered here so ``--rules``/severity filtering, SARIF
+    rule metadata, and ``disable=unused-suppression`` all treat it like
+    any other rule.
+    """
+
+    name = "unused-suppression"
+    description = "repro-lint suppression comment that silences no finding"
+    severity = "warning"
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())

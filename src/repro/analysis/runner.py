@@ -9,6 +9,24 @@ Suppression syntax (comment anywhere on the line)::
 ``disable=all`` silences every rule for the line.  Suppressions are
 parsed from real comment tokens (via :mod:`tokenize`), so the marker
 inside a string literal does not suppress anything.
+
+The run has three passes:
+
+1. **Per-file rules** — every registered :class:`~repro.analysis.rules.Rule`
+   over each file's AST (restricted to the changed set when the caller
+   scopes the run, e.g. ``repro lint --changed``).
+2. **Whole-program pass** — all files are loaded into one
+   :class:`~repro.analysis.callgraph.Program`, the effect fixpoint is
+   computed (:mod:`repro.analysis.effects`), and the transitive
+   parallel-safety checks plus ``@effects`` contract verification run
+   over the call graph.  Program findings carry provenance chains on
+   ``Finding.trace`` and are suppressed by the same inline comments,
+   keyed on the file and line they anchor to.
+3. **Suppression audit** — when the full registry ran, every
+   ``# repro-lint: disable[-next-line]=...`` comment that silenced
+   nothing is itself reported as ``unused-suppression`` (so stale
+   suppressions cannot hide future regressions).  The audit is skipped
+   for ``--rules``-restricted runs, where "nothing fired" is expected.
 """
 
 from __future__ import annotations
@@ -20,15 +38,35 @@ import tokenize
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.callgraph import Program
+from repro.analysis.effects import contract_findings, infer_effects
 from repro.analysis.findings import Finding
-from repro.analysis.rules import FileContext, Rule, all_rules
+from repro.analysis.parallel_rules import transitive_worker_findings
+from repro.analysis.rules import REGISTRY, FileContext, Rule, all_rules
 
-__all__ = ["LintReport", "lint_source", "lint_file", "lint_paths"]
+__all__ = [
+    "PROGRAM_RULE_NAMES",
+    "LintReport",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "lint_sources",
+]
+
+#: Rules (also) produced by the whole-program pass.  Selecting any of
+#: them via ``--rules`` keeps the program pass running; selecting none
+#: skips it entirely.
+PROGRAM_RULE_NAMES = frozenset(
+    {"worker-shared-state", "fork-unsafe-rng", "unordered-iteration", "effect-contract"}
+)
 
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*(disable(?:-next-line)?)\s*=\s*"
     r"([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
 )
+
+#: Effective line -> {rule name -> line of the suppression comment}.
+_SuppressionMap = Dict[int, Dict[str, int]]
 
 
 class LintReport:
@@ -42,9 +80,13 @@ class LintReport:
     def ok(self) -> bool:
         return not self.findings
 
-    def render(self) -> str:
-        """Human-readable multi-line report."""
-        lines = [f.render() for f in self.findings]
+    def render(self, explain: bool = False) -> str:
+        """Human-readable multi-line report.
+
+        With ``explain=True``, findings that carry a provenance chain
+        (whole-program findings) print it as indented, numbered steps.
+        """
+        lines = [f.render(explain=explain) for f in self.findings]
         summary = f"{len(self.findings)} finding(s)"
         if self.suppressed:
             summary += f", {len(self.suppressed)} suppressed"
@@ -52,9 +94,9 @@ class LintReport:
         return "\n".join(lines)
 
 
-def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> set of suppressed rule names ('all' wildcard)."""
-    suppressions: Dict[int, Set[str]] = {}
+def _parse_suppressions(source: str) -> _SuppressionMap:
+    """Map effective line -> {rule name -> comment line}."""
+    suppressions: _SuppressionMap = {}
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError):  # pragma: no cover - defensive
@@ -67,18 +109,150 @@ def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
             continue
         directive, raw_names = match.groups()
         names = {n.strip() for n in raw_names.split(",") if n.strip()}
-        line = tok.start[0]
-        if directive.endswith("next-line"):
-            line += 1
-        suppressions.setdefault(line, set()).update(names)
+        comment_line = tok.start[0]
+        line = comment_line + 1 if directive.endswith("next-line") else comment_line
+        entry = suppressions.setdefault(line, {})
+        for name in names:
+            entry.setdefault(name, comment_line)
     return suppressions
 
 
-def _is_suppressed(finding: Finding, suppressions: Dict[int, Set[str]]) -> bool:
+def _is_suppressed(finding: Finding, suppressions: _SuppressionMap) -> bool:
     names = suppressions.get(finding.line)
     if not names:
         return False
     return "all" in names or finding.rule in names
+
+
+def _unused_suppression_findings(
+    path: str,
+    source_lines: Sequence[str],
+    suppressions: _SuppressionMap,
+    suppressed: Sequence[Finding],
+) -> List[Finding]:
+    """``unused-suppression`` findings for comments that silenced nothing."""
+    fired_by_line: Dict[int, Set[str]] = {}
+    for finding in suppressed:
+        fired_by_line.setdefault(finding.line, set()).add(finding.rule)
+    out: List[Finding] = []
+    for effective_line in sorted(suppressions):
+        entries = suppressions[effective_line]
+        fired = fired_by_line.get(effective_line, set())
+        for name in sorted(entries):
+            if name == "unused-suppression":
+                continue  # opting out of this audit is always "used"
+            if name == "all":
+                if fired:
+                    continue
+                message = "disable=all suppresses no finding on this line"
+            elif name in fired:
+                continue
+            elif name not in REGISTRY:
+                message = (
+                    f"suppression names unknown rule {name!r} "
+                    "(typo? it can never fire)"
+                )
+            else:
+                message = f"suppression of {name!r} matches no finding on this line"
+            comment_line = entries[name]
+            snippet = ""
+            if 1 <= comment_line <= len(source_lines):
+                snippet = source_lines[comment_line - 1].strip()
+            out.append(
+                Finding(
+                    path=path,
+                    line=comment_line,
+                    col=0,
+                    rule="unused-suppression",
+                    message=message,
+                    hint="delete the stale comment (or fix the rule name)",
+                    severity="warning",
+                    snippet=snippet,
+                )
+            )
+    return out
+
+
+def _program_findings(files: Sequence[Tuple[str, str]]) -> List[Finding]:
+    """Whole-program pass: transitive worker checks + @effects contracts."""
+    program = Program.load(files)
+    effects = infer_effects(program)
+    findings = transitive_worker_findings(program, effects)
+    findings.extend(contract_findings(program, effects))
+    return findings
+
+
+def lint_sources(
+    files: Sequence[Tuple[str, str]],
+    rules: Optional[Sequence[Rule]] = None,
+    changed: Optional[Set[str]] = None,
+) -> LintReport:
+    """Lint ``(path, source)`` pairs as one program.
+
+    ``changed`` restricts *reporting* to the named paths (per-file rules
+    are only run there, and program findings anchored elsewhere are
+    dropped) while the whole-program pass still loads every file — so a
+    changed worker is checked against unchanged helpers.
+
+    Raises ``SyntaxError`` if a reported-on file does not parse — a file
+    the interpreter rejects is not silently skipped.
+    """
+    selected = list(rules) if rules is not None else all_rules()
+    selected_names = {rule.name for rule in selected}
+    full_registry = rules is None
+    run_program = full_registry or bool(PROGRAM_RULE_NAMES & selected_names)
+
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    suppression_maps: Dict[str, _SuppressionMap] = {}
+    suppressed_by_path: Dict[str, List[Finding]] = {}
+    lines_by_path: Dict[str, Sequence[str]] = {}
+
+    for path, source in files:
+        if changed is not None and path not in changed:
+            continue
+        tree = ast.parse(source, filename=path)
+        source_lines = source.splitlines()
+        ctx = FileContext(path=path, source_lines=source_lines)
+        suppressions = _parse_suppressions(source)
+        suppression_maps[path] = suppressions
+        suppressed_by_path[path] = []
+        lines_by_path[path] = source_lines
+        for rule in selected:
+            for finding in rule.check(tree, ctx):
+                if _is_suppressed(finding, suppressions):
+                    suppressed.append(finding)
+                    suppressed_by_path[path].append(finding)
+                else:
+                    active.append(finding)
+
+    if run_program:
+        for finding in _program_findings(files):
+            if finding.path not in suppression_maps:
+                continue  # anchored outside the reported-on set
+            if not full_registry and finding.rule not in selected_names:
+                continue
+            if _is_suppressed(finding, suppression_maps[finding.path]):
+                suppressed.append(finding)
+                suppressed_by_path[finding.path].append(finding)
+            else:
+                active.append(finding)
+
+    if full_registry:
+        for path in suppression_maps:
+            audit = _unused_suppression_findings(
+                path,
+                lines_by_path[path],
+                suppression_maps[path],
+                suppressed_by_path[path],
+            )
+            for finding in audit:
+                if _is_suppressed(finding, suppression_maps[path]):
+                    suppressed.append(finding)
+                else:
+                    active.append(finding)
+
+    return LintReport(active, suppressed)
 
 
 def lint_source(
@@ -86,29 +260,17 @@ def lint_source(
     path: str = "<string>",
     rules: Optional[Sequence[Rule]] = None,
 ) -> LintReport:
-    """Lint one source string.
+    """Lint one source string (as a single-module program).
 
-    Raises ``SyntaxError`` if the source does not parse — a file the
-    interpreter rejects is not silently skipped.
+    Raises ``SyntaxError`` if the source does not parse.
     """
-    tree = ast.parse(source, filename=path)
-    ctx = FileContext(path=path, source_lines=source.splitlines())
-    suppressions = _parse_suppressions(source)
-    active: List[Finding] = []
-    suppressed: List[Finding] = []
-    for rule in rules if rules is not None else all_rules():
-        for finding in rule.check(tree, ctx):
-            if _is_suppressed(finding, suppressions):
-                suppressed.append(finding)
-            else:
-                active.append(finding)
-    return LintReport(active, suppressed)
+    return lint_sources([(path, source)], rules=rules)
 
 
 def lint_file(path: "str | Path", rules: Optional[Sequence[Rule]] = None) -> LintReport:
     """Lint one Python file."""
     text = Path(path).read_text(encoding="utf-8")
-    return lint_source(text, path=str(path), rules=rules)
+    return lint_sources([(str(path), text)], rules=rules)
 
 
 def _iter_python_files(paths: Iterable["str | Path"]) -> List[Path]:
@@ -127,12 +289,23 @@ def _iter_python_files(paths: Iterable["str | Path"]) -> List[Path]:
 def lint_paths(
     paths: Iterable["str | Path"],
     rules: Optional[Sequence[Rule]] = None,
+    changed: Optional[Iterable["str | Path"]] = None,
 ) -> LintReport:
-    """Lint files and directories (recursively) into one report."""
-    findings: List[Finding] = []
-    suppressed: List[Finding] = []
+    """Lint files and directories (recursively) into one report.
+
+    ``changed`` (when given) names the files to report on; all files
+    under ``paths`` are still loaded so the whole-program pass sees the
+    complete call graph.
+    """
+    files: List[Tuple[str, str]] = []
     for file_path in _iter_python_files(paths):
-        report = lint_file(file_path, rules=rules)
-        findings.extend(report.findings)
-        suppressed.extend(report.suppressed)
-    return LintReport(findings, suppressed)
+        files.append((str(file_path), file_path.read_text(encoding="utf-8")))
+    changed_set: Optional[Set[str]] = None
+    if changed is not None:
+        # Match on resolved paths so "src/repro/cli.py" and the absolute
+        # path git reports identify the same file.
+        resolved_changed = {str(Path(c).resolve()) for c in changed}
+        changed_set = {
+            path for path, _ in files if str(Path(path).resolve()) in resolved_changed
+        }
+    return lint_sources(files, rules=rules, changed=changed_set)

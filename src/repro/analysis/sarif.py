@@ -16,6 +16,12 @@ locations.  The mapping is intentionally small and lossless:
   1-based convention, and paths are emitted as forward-slash relative
   URIs under ``%SRCROOT%``.
 
+Whole-program findings (the transitive parallel-safety rules and
+``effect-contract``) additionally carry their provenance chain as a
+``codeFlows`` thread flow — one location per step from the pool
+submission site through each intermediate call to the offending
+statement — which GitHub renders as an expandable path on the alert.
+
 Suppressed findings are emitted with a matching ``suppressions`` entry
 (kind ``inSource``) so dashboards can distinguish "fixed" from
 "justified" over time.
@@ -27,7 +33,7 @@ import json
 from pathlib import PurePath
 from typing import Any, Dict, List, Optional, Sequence, Type
 
-from repro.analysis.findings import Finding
+from repro.analysis.findings import Finding, TraceFrame
 from repro.analysis.rules import REGISTRY, Rule
 from repro.analysis.runner import LintReport
 
@@ -61,6 +67,22 @@ def _rule_descriptor(rule_cls: Type[Rule]) -> Dict[str, Any]:
     return descriptor
 
 
+def _thread_flow_location(frame: TraceFrame) -> Dict[str, Any]:
+    """One provenance step of a whole-program finding as a SARIF location."""
+    return {
+        "location": {
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": _artifact_uri(frame.path),
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {"startLine": frame.line},
+            },
+            "message": {"text": f"(in {frame.function}) {frame.note}"},
+        }
+    }
+
+
 def _result(finding: Finding, rule_index: Dict[str, int], suppressed: bool) -> Dict[str, Any]:
     message = finding.message
     if finding.hint:
@@ -89,6 +111,18 @@ def _result(finding: Finding, rule_index: Dict[str, int], suppressed: bool) -> D
         result["locations"][0]["physicalLocation"]["region"]["snippet"] = {
             "text": finding.snippet
         }
+    if finding.trace:
+        result["codeFlows"] = [
+            {
+                "threadFlows": [
+                    {
+                        "locations": [
+                            _thread_flow_location(frame) for frame in finding.trace
+                        ]
+                    }
+                ]
+            }
+        ]
     if suppressed:
         result["suppressions"] = [
             {"kind": "inSource", "justification": "repro-lint: disable comment"}

@@ -224,6 +224,33 @@ def _cmd_anomalies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_python_files(base: str) -> "list[str]":
+    """Absolute paths of Python files changed vs ``base`` (plus untracked).
+
+    Changed = ``git diff --name-only $(git merge-base base HEAD)`` plus
+    untracked files, so both committed and in-progress work count.
+    Raises ``RuntimeError`` when git (or the base ref) is unavailable.
+    """
+    import subprocess
+
+    def run(*argv: str) -> str:
+        proc = subprocess.run(
+            ["git", *argv], capture_output=True, text=True, check=False
+        )
+        if proc.returncode != 0:
+            detail = proc.stderr.strip() or proc.stdout.strip() or "unknown git error"
+            raise RuntimeError(f"git {' '.join(argv)} failed: {detail}")
+        return proc.stdout
+
+    root = Path(run("rev-parse", "--show-toplevel").strip())
+    merge_base = run("merge-base", base, "HEAD").strip()
+    names = set(run("diff", "--name-only", "-z", merge_base, "--").split("\0"))
+    names.update(run("ls-files", "--others", "--exclude-standard", "-z").split("\0"))
+    return sorted(
+        str(root / name) for name in names if name and name.endswith(".py")
+    )
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
@@ -243,10 +270,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.update_baseline and not args.baseline:
         print("error: --update-baseline requires --baseline", file=sys.stderr)
         return 2
+    if args.update_baseline and args.changed:
+        print(
+            "error: --update-baseline needs a full run, not --changed",
+            file=sys.stderr,
+        )
+        return 2
+    changed = None
+    if args.changed:
+        try:
+            changed = _changed_python_files(args.base)
+        except (OSError, RuntimeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not changed:
+            print(f"0 finding(s) (no Python files changed vs {args.base})")
+            return 0
     paths = args.paths or [str(Path(__file__).resolve().parent)]
     try:
         rules = get_rules(args.rules.split(",")) if args.rules else None
-        report = lint_paths(paths, rules=rules)
+        report = lint_paths(paths, rules=rules, changed=changed)
     except KeyError as exc:
         # KeyError's str() wraps the message in quotes; unwrap it.
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -284,13 +327,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                     "severity": f.severity,
                     "message": f.message,
                     "hint": f.hint,
+                    "trace": [
+                        {
+                            "path": frame.path,
+                            "line": frame.line,
+                            "function": frame.function,
+                            "note": frame.note,
+                        }
+                        for frame in f.trace
+                    ],
                 }
                 for f in new_findings
             ],
             indent=2,
         )
     else:
-        lines = [finding.render() for finding in new_findings]
+        lines = [finding.render(explain=args.explain) for finding in new_findings]
         summary = f"{len(new_findings)} finding(s)"
         if accepted_count:
             summary += f" ({accepted_count} baselined)"
@@ -596,6 +648,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="list_rules",
         help="print the rule catalogue and exit",
+    )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the call-chain provenance under each whole-program "
+        "finding (worker -> helper -> offending statement)",
+    )
+    p.add_argument(
+        "--changed",
+        action="store_true",
+        help="report only on Python files changed vs --base (the "
+        "whole-program pass still loads every file under paths)",
+    )
+    p.add_argument(
+        "--base",
+        default="origin/main",
+        help="git ref --changed diffs against (default: origin/main)",
     )
     p.set_defaults(func=_cmd_lint)
 

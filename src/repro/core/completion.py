@@ -58,7 +58,7 @@ import numpy as np
 from repro.core.tcm import TrafficConditionMatrix
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
-from repro.utils.contracts import shapes
+from repro.utils.contracts import effects, hot_path, shapes
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_matrix_pair
@@ -222,6 +222,7 @@ class CompressiveSensingCompleter:
         self._seed = seed
 
     # ------------------------------------------------------------------
+    @effects(allow={"rng"})
     @shapes("m n", "m n:bool")
     def complete(
         self,
@@ -444,6 +445,8 @@ def _gather_observed(m_arr: np.ndarray, b_arr: np.ndarray) -> _ObservedCells:
     return rows, cols, m_arr[rows, cols]
 
 
+@effects("pure")
+@hot_path
 def _stacked_solve(p_top: np.ndarray, q_top: np.ndarray, lam: float) -> np.ndarray:
     """The pseudocode's ``inverse([P; sqrt(lam) I], [Q; 0])``.
 
@@ -451,10 +454,12 @@ def _stacked_solve(p_top: np.ndarray, q_top: np.ndarray, lam: float) -> np.ndarr
     stacked (contradictory) system of Eq. 17.
     """
     r = p_top.shape[1]
-    gram = p_top.T @ p_top + lam * np.eye(r)
+    gram = p_top.T @ p_top + lam * np.eye(r, dtype=p_top.dtype)
     return np.linalg.solve(gram, p_top.T @ q_top)
 
 
+@effects("pure")
+@hot_path
 def _ridge_by_column(
     factor: np.ndarray, m_arr: np.ndarray, b_arr: np.ndarray, lam: float
 ) -> np.ndarray:
@@ -471,8 +476,8 @@ def _ridge_by_column(
     """
     m, r = factor.shape
     n = m_arr.shape[1]
-    out = np.zeros((n, r))
-    eye = lam * np.eye(r)
+    out = np.zeros((n, r), dtype=factor.dtype)
+    eye = lam * np.eye(r, dtype=factor.dtype)
     for j in range(n):
         rows = b_arr[:, j]
         if not rows.any():
@@ -483,6 +488,8 @@ def _ridge_by_column(
     return out
 
 
+@effects("pure")
+@hot_path
 def _ridge_by_column_batched(
     factor: np.ndarray, m_arr: np.ndarray, b_arr: np.ndarray, lam: float
 ) -> np.ndarray:
@@ -563,6 +570,8 @@ class _MaskGroups:
         # when patterns are much scarcer than columns.
         self.profitable = len(self.groups) <= max(8, self.num_columns // 8)
 
+    @effects("pure")
+    @hot_path
     def apply(
         self, factor: np.ndarray, m_arr: np.ndarray, b_arr: np.ndarray, lam: float
     ) -> np.ndarray:
@@ -570,8 +579,8 @@ class _MaskGroups:
         if not self.profitable:
             return _ridge_by_column_batched(factor, m_arr, b_arr, lam)
         r = factor.shape[1]
-        out = np.zeros((self.num_columns, r))
-        eye = lam * np.eye(r)
+        out = np.zeros((self.num_columns, r), dtype=factor.dtype)
+        eye = lam * np.eye(r, dtype=factor.dtype)
         for rows, cols in self.groups:
             if not rows.any():
                 continue
@@ -582,6 +591,8 @@ class _MaskGroups:
         return out
 
 
+@effects("pure")
+@hot_path
 def _ridge_by_column_grouped(
     factor: np.ndarray, m_arr: np.ndarray, b_arr: np.ndarray, lam: float
 ) -> np.ndarray:

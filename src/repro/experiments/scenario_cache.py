@@ -39,10 +39,12 @@ import numpy as np
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.utils.contracts import effects
 
 T = TypeVar("T")
 
 
+@effects("pure")
 def canonical_fields(obj: Any) -> Any:
     """Normalize a config-ish value into a canonical JSON-able form.
 
@@ -70,6 +72,7 @@ def canonical_fields(obj: Any) -> Any:
     )
 
 
+@effects("pure")
 def scenario_key(fields: Mapping[str, Any]) -> str:
     """SHA-256 of the canonical JSON encoding of the key fields."""
     payload = json.dumps(
@@ -88,6 +91,7 @@ class ScenarioCache:
         self._hits = 0
         self._misses = 0
 
+    @effects(allow={"mutates-nonlocal"})
     def get_or_build(
         self, fields: Mapping[str, Any], builder: Callable[[], T]
     ) -> T:

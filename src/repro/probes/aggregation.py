@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.tcm import TimeGrid, TrafficConditionMatrix
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.utils.contracts import hot_path
 from repro.probes.report import ReportBatch
 
 AGGREGATION_METHODS = ("bincount", "scalar")
@@ -89,6 +90,7 @@ def _columns_of(
     return sorter[pos], known
 
 
+@hot_path
 def _accumulate_bincount(
     slots: np.ndarray,
     cols: np.ndarray,
@@ -104,6 +106,7 @@ def _accumulate_bincount(
 
 
 @obs_trace.traced("ingest.aggregate")
+@hot_path
 def aggregate_reports(
     batch: ReportBatch,
     grid: TimeGrid,

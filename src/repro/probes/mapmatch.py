@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.utils.contracts import hot_path
 from repro.roadnet.geometry import Point, heading_deg, point_segment_distance
 from repro.roadnet.network import RoadNetwork
 from repro.probes.report import ReportBatch
@@ -216,6 +217,7 @@ class MapMatcher:
             self._row_cache[key] = rows
         return rows
 
+    @hot_path
     def _score_candidates(
         self,
         xs: np.ndarray,
@@ -253,6 +255,7 @@ class MapMatcher:
         scores = np.where(within, dist + cost, np.inf)
         return scores, within
 
+    @hot_path
     def match_arrays(
         self,
         xs: np.ndarray,

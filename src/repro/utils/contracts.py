@@ -39,6 +39,8 @@ from typing import (
     Any,
     Callable,
     Dict,
+    FrozenSet,
+    Iterable,
     List,
     Optional,
     Sequence,
@@ -251,6 +253,81 @@ def shapes(
         return cast(F, wrapper)
 
     return decorator
+
+
+# ----------------------------------------------------------------------
+# Effect contracts (statically verified by repro.analysis.effects)
+# ----------------------------------------------------------------------
+#: The effect taxonomy of the whole-program analysis.  Every effect a
+#: function (or anything it transitively calls) can carry is one of
+#: these; ``@effects`` contracts are declared against the same names.
+EFFECT_NAMES: FrozenSet[str] = frozenset(
+    {
+        "mutates-global",
+        "mutates-nonlocal",
+        "rng",
+        "wall-clock",
+        "io",
+        "env",
+        "unordered-iteration",
+    }
+)
+
+
+def effects(*declared: str, allow: Iterable[str] = ()) -> Callable[[F], F]:
+    """Declare the side effects a callable is permitted to have.
+
+    The contract is *statically* verified by ``repro lint``: the
+    whole-program effect-inference pass computes everything reachable
+    from the function through the call graph and reports an
+    ``effect-contract`` finding for any effect outside the declared set.
+    At runtime the decorator only tags the function (zero overhead) so
+    registries — e.g. the planned solver-backend registry — can
+    introspect purity via ``__repro_effects__``.
+
+    Usage::
+
+        @effects("pure")            # no effects at all
+        def kernel(p, q): ...
+
+        @effects(allow={"rng"})     # may draw randomness, nothing else
+        def complete(values, mask, *, rng=None): ...
+
+    ``"pure"`` is shorthand for the empty effect set and cannot be
+    combined with effect names.  Effect names outside
+    :data:`EFFECT_NAMES` are rejected at decoration time so the static
+    checker and the runtime tag can never disagree on vocabulary.
+    """
+    pure = "pure" in declared
+    names = {d for d in declared if d != "pure"}
+    allowed = names | set(allow)
+    if pure and allowed:
+        raise ValueError("@effects('pure') cannot be combined with effect names")
+    unknown = allowed - EFFECT_NAMES
+    if unknown:
+        known = ", ".join(sorted(EFFECT_NAMES))
+        raise ValueError(
+            f"unknown effect name(s) {sorted(unknown)!r} (known: {known})"
+        )
+
+    def decorator(func: F) -> F:
+        func.__repro_effects__ = frozenset(allowed)  # type: ignore[attr-defined]
+        return func
+
+    return decorator
+
+
+def hot_path(func: F) -> F:
+    """Mark a function as a numerical hot path.
+
+    Functions carrying this marker get the dtype-drift rule pack
+    (``dtype-upcast-in-hot-path``, ``implicit-float64-literal``,
+    ``dtype-dropping-op``) applied by ``repro lint``, keeping them safe
+    to run under a float32 backend.  Runtime cost is zero — the
+    decorator only sets ``__repro_hot_path__``.
+    """
+    func.__repro_hot_path__ = True  # type: ignore[attr-defined]
+    return func
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,278 @@
+"""Tests for whole-program loading and call-graph construction.
+
+Covers module-name derivation, import-table resolution (absolute,
+aliased, relative, re-exported), call-edge resolution through every
+supported mechanism (bare names, dotted imports, ``functools.partial``,
+lambda trampolines, ``self``/``cls`` methods, class constructors), and
+the SCC condensation the effect fixpoint consumes.
+"""
+
+import pytest
+
+from repro.analysis.callgraph import (
+    FunctionId,
+    Program,
+    module_name_for,
+    qualname_of_scope,
+)
+
+
+def edges_of(program, module, qualname):
+    """Set of callee FunctionIds of one function."""
+    info = program.functions[FunctionId(module=module, qualname=qualname)]
+    return {c.callee for c in info.calls}
+
+
+class TestModuleNameFor:
+    def test_package_walkup(self, tmp_path):
+        pkg = tmp_path / "mypkg" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "mypkg" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        mod = pkg / "algo.py"
+        mod.write_text("x = 1\n")
+        assert module_name_for(mod) == "mypkg.sub.algo"
+
+    def test_init_file_names_the_package(self, tmp_path):
+        pkg = tmp_path / "mypkg"
+        pkg.mkdir()
+        init = pkg / "__init__.py"
+        init.write_text("")
+        assert module_name_for(init) == "mypkg"
+
+    def test_bare_file_is_its_stem(self, tmp_path):
+        mod = tmp_path / "helper.py"
+        mod.write_text("x = 1\n")
+        assert module_name_for(mod) == "helper"
+
+
+class TestProgramLoading:
+    def test_functions_are_indexed_by_qualname(self):
+        program = Program.from_sources(
+            {
+                "pkg.mod": (
+                    "def top():\n"
+                    "    pass\n"
+                    "class C:\n"
+                    "    def method(self):\n"
+                    "        pass\n"
+                )
+            }
+        )
+        assert FunctionId("pkg.mod", "top") in program.functions
+        assert FunctionId("pkg.mod", "C.method") in program.functions
+
+    def test_lambda_qualname_carries_line(self):
+        program = Program.from_sources({"m": "f = lambda x: x + 1\n"})
+        names = {fid.qualname for fid in program.functions}
+        assert "<lambda>@1" in names
+
+    def test_syntax_error_file_is_skipped(self):
+        program = Program.load(
+            [("good.py", "def f():\n    pass\n"), ("bad.py", "def broken(:\n")]
+        )
+        assert "good" in program.modules
+        assert "bad" not in program.modules
+
+
+class TestCallResolution:
+    def test_direct_call_same_module(self):
+        program = Program.from_sources(
+            {"m": "def helper():\n    pass\n\ndef work():\n    helper()\n"}
+        )
+        assert edges_of(program, "m", "work") == {FunctionId("m", "helper")}
+
+    def test_dotted_call_through_import(self):
+        program = Program.from_sources(
+            {
+                "pkg.helpers": "def tool():\n    pass\n",
+                "pkg.main": "from pkg import helpers\n\ndef run():\n    helpers.tool()\n",
+            }
+        )
+        assert edges_of(program, "pkg.main", "run") == {
+            FunctionId("pkg.helpers", "tool")
+        }
+
+    def test_from_import_symbol(self):
+        program = Program.from_sources(
+            {
+                "pkg.helpers": "def tool():\n    pass\n",
+                "pkg.main": "from pkg.helpers import tool\n\ndef run():\n    tool()\n",
+            }
+        )
+        assert edges_of(program, "pkg.main", "run") == {
+            FunctionId("pkg.helpers", "tool")
+        }
+
+    def test_relative_import(self):
+        program = Program.from_sources(
+            {
+                "pkg.helpers": "def tool():\n    pass\n",
+                "pkg.main": "from .helpers import tool\n\ndef run():\n    tool()\n",
+            }
+        )
+        assert edges_of(program, "pkg.main", "run") == {
+            FunctionId("pkg.helpers", "tool")
+        }
+
+    def test_reexport_one_hop(self):
+        program = Program.from_sources(
+            {
+                "pkg.impl": "def tool():\n    pass\n",
+                "pkg": "from pkg.impl import tool\n",
+                "app": "from pkg import tool\n\ndef run():\n    tool()\n",
+            }
+        )
+        assert edges_of(program, "app", "run") == {FunctionId("pkg.impl", "tool")}
+
+    def test_partial_unwraps_to_target(self):
+        program = Program.from_sources(
+            {
+                "m": (
+                    "import functools\n"
+                    "def target(x):\n"
+                    "    pass\n"
+                    "def run():\n"
+                    "    functools.partial(target, 1)()\n"
+                )
+            }
+        )
+        assert FunctionId("m", "target") in edges_of(program, "m", "run")
+
+    def test_lambda_trampoline_resolves_inner_call(self):
+        program = Program.from_sources(
+            {
+                "m": (
+                    "def target(x):\n"
+                    "    pass\n"
+                    "def run(items):\n"
+                    "    fn = lambda x: target(x)\n"
+                )
+            }
+        )
+        info = program.functions[FunctionId("m", "run")]
+        # resolve_function_expr on the lambda lands on the trampolined target.
+        import ast
+
+        lam = next(
+            node for node in ast.walk(info.node) if isinstance(node, ast.Lambda)
+        )
+        resolved = program.resolve_function_expr(lam, info.scope, info.module)
+        assert resolved == FunctionId("m", "target")
+
+    def test_self_method_resolves_in_class(self):
+        program = Program.from_sources(
+            {
+                "m": (
+                    "class C:\n"
+                    "    def helper(self):\n"
+                    "        pass\n"
+                    "    def run(self):\n"
+                    "        self.helper()\n"
+                )
+            }
+        )
+        assert edges_of(program, "m", "C.run") == {FunctionId("m", "C.helper")}
+
+    def test_constructor_edge_to_init(self):
+        program = Program.from_sources(
+            {
+                "m": (
+                    "class C:\n"
+                    "    def __init__(self):\n"
+                    "        pass\n"
+                    "def run():\n"
+                    "    C()\n"
+                )
+            }
+        )
+        assert edges_of(program, "m", "run") == {FunctionId("m", "C.__init__")}
+
+    def test_local_shadow_blocks_import(self):
+        program = Program.from_sources(
+            {
+                "pkg.helpers": "def tool():\n    pass\n",
+                "pkg.main": (
+                    "from pkg.helpers import tool\n"
+                    "def run(tool):\n"
+                    "    tool()\n"
+                ),
+            }
+        )
+        assert edges_of(program, "pkg.main", "run") == set()
+
+    def test_unresolvable_receiver_yields_no_edge(self):
+        program = Program.from_sources(
+            {"m": "def run(obj):\n    obj.anything_at_all_unique()\n"}
+        )
+        assert edges_of(program, "m", "run") == set()
+
+
+class TestSccs:
+    def test_reverse_topological_order(self):
+        program = Program.from_sources(
+            {
+                "m": (
+                    "def leaf():\n"
+                    "    pass\n"
+                    "def mid():\n"
+                    "    leaf()\n"
+                    "def top():\n"
+                    "    mid()\n"
+                )
+            }
+        )
+        order = [c[0].qualname for c in program.sccs() if len(c) == 1]
+        assert order.index("leaf") < order.index("mid") < order.index("top")
+
+    def test_mutual_recursion_is_one_component(self):
+        program = Program.from_sources(
+            {
+                "m": (
+                    "def even(n):\n"
+                    "    return n == 0 or odd(n - 1)\n"
+                    "def odd(n):\n"
+                    "    return n != 0 and even(n - 1)\n"
+                )
+            }
+        )
+        comps = [
+            {fid.qualname for fid in comp}
+            for comp in program.sccs()
+            if len(comp) > 1
+        ]
+        assert {"even", "odd"} in comps
+
+    def test_self_recursion_single_component(self):
+        program = Program.from_sources(
+            {"m": "def fact(n):\n    return 1 if n <= 1 else n * fact(n - 1)\n"}
+        )
+        comps = program.sccs()
+        assert [FunctionId("m", "fact")] in comps
+
+    def test_deep_chain_no_recursion_error(self):
+        # 2000-deep call chain: the iterative Tarjan must not blow the
+        # interpreter stack the way a recursive implementation would.
+        lines = ["def f0():\n    pass\n"]
+        for i in range(1, 2000):
+            lines.append(f"def f{i}():\n    f{i - 1}()\n")
+        program = Program.from_sources({"m": "".join(lines)})
+        assert len(program.sccs()) == 2000
+
+
+class TestWorkers:
+    def test_cross_module_worker_resolved(self):
+        program = Program.from_sources(
+            {
+                "pkg.jobs": "def work(x):\n    return x\n",
+                "pkg.main": (
+                    "from concurrent.futures import ProcessPoolExecutor\n"
+                    "from pkg.jobs import work\n"
+                    "def run(items):\n"
+                    "    with ProcessPoolExecutor() as ex:\n"
+                    "        return [ex.submit(work, i) for i in items]\n"
+                ),
+            }
+        )
+        resolved = [fid for _, _, fid in program.workers()]
+        assert FunctionId("pkg.jobs", "work") in resolved

@@ -3,13 +3,20 @@
 # committed baseline) + verify-determinism smoke (always) + ruff + mypy
 # (when installed).
 #
-# Usage: tools/check.sh [--require-all]
+# Usage: tools/check.sh [--require-all] [--fast]
 #
 # repro_lint and the determinism harness are part of this package and
 # always run.  ruff and mypy are optional dev dependencies; when they
 # are not installed the step is skipped with a notice so the gate stays
 # runnable in minimal environments.  Pass --require-all (CI does) to
 # turn a missing tool into a failure instead of a skip.
+#
+# --fast scopes the lint to files changed vs origin/main (falling back
+# to a full run when that ref does not exist, e.g. a fresh clone with no
+# remote) and skips the determinism smoke.  The whole-program pass still
+# loads every file, so transitive findings against unchanged helpers are
+# not missed — only findings anchored in unchanged files are elided.
+# CI always does the full run.
 
 set -u -o pipefail
 
@@ -17,9 +24,17 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 require_all=0
-if [ "${1:-}" = "--require-all" ]; then
-    require_all=1
-fi
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+        --require-all) require_all=1 ;;
+        --fast) fast=1 ;;
+        *)
+            echo "usage: tools/check.sh [--require-all] [--fast]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 status=0
 
@@ -64,11 +79,21 @@ tracked_bytecode() {
 run_step "tracked-bytecode (no .pyc under version control)" \
     tracked_bytecode
 
-run_step "repro_lint (numerical-correctness + parallel-safety rules)" \
-    python -m repro.cli lint src/repro --baseline .lint-baseline.json
+if [ "$fast" = "1" ] && git rev-parse --verify --quiet origin/main >/dev/null; then
+    run_step "repro_lint (changed files vs origin/main)" \
+        python -m repro.cli lint src/repro --baseline .lint-baseline.json \
+        --changed --base origin/main
+else
+    run_step "repro_lint (numerical-correctness + parallel-safety rules)" \
+        python -m repro.cli lint src/repro --baseline .lint-baseline.json
+fi
 
-run_step "verify-determinism (serial == parallel, bit for bit)" \
-    python -m repro.cli verify-determinism --smoke
+if [ "$fast" = "1" ]; then
+    echo "==> verify-determinism: skipped (--fast)"
+else
+    run_step "verify-determinism (serial == parallel, bit for bit)" \
+        python -m repro.cli verify-determinism --smoke
+fi
 
 maybe_step "ruff (syntax + undefined names)" ruff \
     python -m ruff check src tests
