@@ -59,11 +59,11 @@ def test_smoke_profile_checks_baseline_equivalence(smoke_report):
 def test_payload_schema_roundtrips(smoke_report, tmp_path):
     out = smoke_report.write_json(tmp_path / "bench.json")
     payload = json.loads(out.read_text())
-    assert payload["schema"] == 2
+    assert payload["schema"] == 3
     assert payload["equivalence_tol"] == EQUIVALENCE_TOL
     assert payload["meta"]["smoke"] is True
     record = payload["records"][0]
-    assert {"case", "algorithm", "wall_s", "repeats"} <= set(record)
+    assert {"case", "algorithm", "wall_s", "repeats", "backend"} <= set(record)
 
 
 def test_render_mentions_speedup(smoke_report):

@@ -118,7 +118,14 @@ def _diff_arrays(name: str, serial: np.ndarray, parallel: np.ndarray) -> str:
 def check_completion(
     seed: int = 0, max_workers: Optional[int] = None, smoke: bool = False
 ) -> DeterminismCheck:
-    """Algorithm 1 restarts: serial vs thread-pool, bit for bit."""
+    """Algorithm 1 restarts: serial vs thread-pool, bit for bit.
+
+    Every *available* solver backend is double-run (workspace kernels
+    reuse buffers across sweeps, so this is exactly where a thread-race
+    would surface), plus the float32 path of the workspace backend —
+    reduced precision must still be bit-identical serial vs pool.
+    """
+    from repro.core.backends import available_backend_names
     from repro.core.completion import CompletionResult, CompressiveSensingCompleter
 
     started = time.perf_counter()
@@ -130,38 +137,54 @@ def check_completion(
     restarts = 4 if smoke else 6
     values, mask = _toy_problem(seed, shape)
 
-    def run(pool: Optional[int]) -> CompletionResult:
+    backend_runs: List[Tuple[str, Optional[str]]] = [
+        (name, None) for name in available_backend_names()
+    ]
+    if "numpy-ws" in available_backend_names():
+        backend_runs.append(("numpy-ws", "float32"))
+
+    def run(pool: Optional[int], backend: str, dtype: Optional[str]) -> CompletionResult:
         completer = CompressiveSensingCompleter(
             rank=3,
             lam=10.0,
             iterations=iterations,
             restarts=restarts,
+            backend=backend,
+            dtype=dtype,
             max_workers=pool,
             seed=seed,
         )
         return completer.complete(values, mask)
 
-    serial = run(None)
-    parallel = run(workers)
     problems: List[str] = []
-    detail = _diff_arrays("estimate", serial.estimate, parallel.estimate)
-    if detail:
-        problems.append(detail)
-    if serial.objective != parallel.objective:
-        problems.append(
-            f"objective {serial.objective!r} vs {parallel.objective!r}"
+    for backend, dtype in backend_runs:
+        label = backend if dtype is None else f"{backend}/{dtype}"
+        serial = run(None, backend, dtype)
+        parallel = run(workers, backend, dtype)
+        detail = _diff_arrays(
+            f"[{label}] estimate", serial.estimate, parallel.estimate
         )
-    if serial.best_restart != parallel.best_restart:
-        problems.append("winning restart index differs")
-    if serial.restart_histories != parallel.restart_histories:
-        problems.append("per-restart objective histories differ")
+        if detail:
+            problems.append(detail)
+        if serial.objective != parallel.objective:
+            problems.append(
+                f"[{label}] objective {serial.objective!r} "
+                f"vs {parallel.objective!r}"
+            )
+        if serial.best_restart != parallel.best_restart:
+            problems.append(f"[{label}] winning restart index differs")
+        if serial.restart_histories != parallel.restart_histories:
+            problems.append(f"[{label}] per-restart objective histories differ")
     ok = not problems
     return DeterminismCheck(
         name="completion",
         ok=ok,
         detail=(
             f"{restarts} restarts x {iterations} sweeps on {shape[0]}x{shape[1]}, "
-            f"1 vs {workers} workers"
+            f"1 vs {workers} workers, backends "
+            + ", ".join(
+                b if d is None else f"{b}/{d}" for b, d in backend_runs
+            )
             if ok
             else "; ".join(problems)
         ),

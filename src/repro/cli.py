@@ -18,8 +18,10 @@ Python:
 * ``verify-determinism`` — double-run the parallel entry points
   (serial vs worker pool) and fail unless the results are
   bit-identical (:mod:`repro.analysis.determinism`).
-* ``bench``        — time the hot paths (solvers, tuning, baselines)
-  and write a machine-readable ``BENCH_<date>.json``.
+* ``bench``        — time the hot paths (solvers, backends, tuning,
+  baselines) and write a machine-readable ``BENCH_<date>.json``.
+* ``backends``     — list the registered solver backends with their
+  availability, supported dtypes, and install extras.
 * ``trace``        — inspect run manifests: ``trace summarize`` prints
   the per-phase rollup and the top-N spans of a manifest
   (:mod:`repro.obs`).
@@ -107,6 +109,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         lam=args.lam,
         iterations=args.iterations,
         tuner=tuner,
+        backend=args.backend,
+        dtype=args.dtype,
         seed=args.seed,
     )
     output = estimator.estimate(measured)
@@ -418,6 +422,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         smoke=args.smoke,
         seed=args.seed,
         repeats=args.repeats,
+        backends=None if args.backends is None else tuple(args.backends),
         max_workers=args.max_workers,
         strict=not args.no_strict,
     )
@@ -454,6 +459,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(comparison.render())
         if not comparison.ok:
             return 1
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.core.backends import backend_names, get_backend
+
+    for name in backend_names():
+        backend = get_backend(name)
+        available = backend.is_available()
+        status = "available" if available else "unavailable"
+        dtypes = ", ".join(str(d) for d in backend.supported_dtypes)
+        line = f"{name:10s} {status:12s} dtypes: {dtypes}"
+        if backend.extra is not None:
+            line += f"  [extra: {backend.extra}]"
+        print(line)
+        if args.verbose:
+            print(f"  {backend.description}")
+            if not available:
+                print(f"  {backend.availability_hint()}")
     return 0
 
 
@@ -554,6 +578,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lam", type=float, default=10.0)
     p.add_argument("--iterations", type=int, default=100)
     p.add_argument("--auto-tune", action="store_true", dest="auto_tune")
+    p.add_argument(
+        "--backend",
+        default="numpy",
+        help="solver backend (see `repro backends` for the registry)",
+    )
+    p.add_argument(
+        "--dtype",
+        default=None,
+        choices=("float32", "float64"),
+        help="working dtype (default: honor float32 input, else float64)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_estimate)
 
@@ -730,6 +765,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON output path (default: BENCH_<date>.json)",
     )
     p.add_argument(
+        "--backends",
+        nargs="*",
+        default=None,
+        help="solver backends to bench (default: every available backend)",
+    )
+    p.add_argument(
         "--no-strict",
         action="store_true",
         dest="no_strict",
@@ -755,6 +796,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a run manifest here (enables observability for the run)",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "backends", help="list the registered solver backends"
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="include descriptions and install hints",
+    )
+    p.set_defaults(func=_cmd_backends)
 
     p = sub.add_parser("trace", help="inspect run manifests (observability)")
     trace_sub = p.add_subparsers(dest="trace_command", required=True)

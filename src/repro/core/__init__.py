@@ -7,6 +7,9 @@
   classification of Eq. 10.
 * :mod:`repro.core.completion` — Algorithm 1, the compressive-sensing
   matrix completion solver (Eq. 13-17).
+* :mod:`repro.core.backends` — pluggable solver-backend registry for
+  the Algorithm 1 hot path (preallocated float32/float64 workspace
+  kernels, optional numba-JIT and CuPy backends).
 * :mod:`repro.core.tuning` — Algorithm 2, the genetic hyper-parameter
   search for (rank bound r, tradeoff coefficient lambda).
 * :mod:`repro.core.estimator` — high-level facade tying it together.
@@ -30,6 +33,15 @@ from repro.core.eigenflows import (
     classify_eigenflow,
     has_spike,
     reconstruct_from_types,
+)
+from repro.core.backends import (
+    FLOAT32_RTOL,
+    BackendUnavailable,
+    SolverBackend,
+    available_backend_names,
+    backend_names,
+    get_backend,
+    register_backend,
 )
 from repro.core.completion import CompletionResult, CompressiveSensingCompleter
 from repro.core.tuning import FitnessCacheStats, GeneticTuner, TuningResult
@@ -65,6 +77,13 @@ __all__ = [
     "classify_eigenflow",
     "has_spike",
     "reconstruct_from_types",
+    "FLOAT32_RTOL",
+    "BackendUnavailable",
+    "SolverBackend",
+    "available_backend_names",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "CompletionResult",
     "CompressiveSensingCompleter",
     "FitnessCacheStats",

@@ -55,6 +55,12 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.backends import (
+    BackendUnavailable,
+    BoundKernel,
+    SolverBackend,
+    get_backend,
+)
 from repro.core.tcm import TrafficConditionMatrix
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -62,6 +68,8 @@ from repro.utils.contracts import effects, hot_path, shapes
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_matrix_pair
+
+DTypeLike = Union[str, type, np.dtype, None]
 
 PAPER_RANK = 2
 PAPER_LAMBDA = 100.0
@@ -71,9 +79,6 @@ SOLVERS = ("batched", "grouped", "loop")
 
 # (best objective, L, R, per-sweep objective history) of one ALS run.
 _RunOutcome = Tuple[float, np.ndarray, np.ndarray, List[float]]
-# Precomputed observed-cell coordinates (rows, cols, values) for the
-# gather-based objective, or None to evaluate densely.
-_ObservedCells = Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]
 
 
 @dataclass(frozen=True)
@@ -149,7 +154,22 @@ class CompressiveSensingCompleter:
     solver:
         Mask-aware implementation: ``"batched"`` (vectorized, default),
         ``"grouped"`` (per mask pattern), or ``"loop"`` (per-column
-        reference).  Ignored when ``mask_aware=False``.
+        reference).  Ignored when ``mask_aware=False``; only
+        ``"batched"`` combines with a non-default ``backend`` (the
+        backend's kernels replace the inner solver).
+    backend:
+        Solver backend from :mod:`repro.core.backends`: ``"numpy"``
+        (default, the legacy dispatch above), ``"numpy-ws"``
+        (preallocated-workspace kernels, float32-capable), or the
+        optional ``"numba"``/``"cupy"`` backends when their extras are
+        installed.  All backends minimize the same objective; see the
+        backends module for the numerical-equivalence contract.
+    dtype:
+        Working dtype policy.  ``None`` (default) honors the input:
+        a float32 measurement matrix is completed in float32, anything
+        else in float64.  Pass ``np.float32``/``np.float64`` to force a
+        dtype (the input is cast once on entry).  The returned factors
+        and estimate are in the working dtype.
     tol:
         Optional early-stop: halt when the objective improves by less
         than ``tol`` (relative) between sweeps.
@@ -184,6 +204,8 @@ class CompressiveSensingCompleter:
         iterations: int = PAPER_ITERATIONS,
         mask_aware: bool = True,
         solver: str = "batched",
+        backend: str = "numpy",
+        dtype: DTypeLike = None,
         tol: Optional[float] = None,
         clip_min: Optional[float] = None,
         clip_max: Optional[float] = None,
@@ -200,6 +222,33 @@ class CompressiveSensingCompleter:
             raise ValueError(f"iterations must be >= 1, got {iterations}")
         if solver not in SOLVERS:
             raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
+        backend_obj = get_backend(backend)
+        if backend_obj.name != "numpy":
+            if not backend_obj.is_available():
+                raise BackendUnavailable(
+                    f"backend {backend!r} {backend_obj.availability_hint()}"
+                )
+            if not mask_aware:
+                raise ValueError(
+                    f"backend {backend!r} implements the mask-aware solve; "
+                    "mask_aware=False requires backend='numpy'"
+                )
+            if solver != "batched":
+                raise ValueError(
+                    f"backend {backend!r} replaces the inner solver; "
+                    f"combine it with solver='batched', not {solver!r}"
+                )
+        requested_dtype: Optional[np.dtype] = (
+            None if dtype is None else np.dtype(dtype)
+        )
+        if requested_dtype is not None and requested_dtype not in (
+            backend_obj.supported_dtypes
+        ):
+            supported = ", ".join(str(d) for d in backend_obj.supported_dtypes)
+            raise ValueError(
+                f"backend {backend!r} does not support dtype "
+                f"{requested_dtype} (supported: {supported})"
+            )
         if tol is not None and tol <= 0:
             raise ValueError(f"tol must be positive, got {tol}")
         if clip_min is not None and clip_max is not None and clip_min > clip_max:
@@ -213,6 +262,9 @@ class CompressiveSensingCompleter:
         self.iterations = iterations
         self.mask_aware = mask_aware
         self.solver = solver
+        self.backend = backend
+        self.dtype = requested_dtype
+        self._backend: SolverBackend = backend_obj
         self.tol = tol
         self.clip_min = clip_min
         self.clip_max = clip_max
@@ -241,9 +293,13 @@ class CompressiveSensingCompleter:
         else:
             if mask is None:
                 raise ValueError("mask required when passing a raw array")
-            m_arr, b_arr = check_matrix_pair(measurements, mask)
+            m_arr, b_arr = check_matrix_pair(measurements, mask, dtype=None)
         if not b_arr.any():
             raise ValueError("measurement matrix has no observed entries")
+
+        work_dtype = self.work_dtype(m_arr.dtype)
+        if m_arr.dtype != work_dtype:
+            m_arr = m_arr.astype(work_dtype)
 
         rng = ensure_rng(self._seed)
         m, n = m_arr.shape
@@ -253,25 +309,37 @@ class CompressiveSensingCompleter:
         # read them, the literal solver's documented behavior is
         # "missing entries are zeros", and hoisting the masking out of
         # the sweep loop removes a full m x n `np.where` per solve.
+        # The masking stays in the working dtype, and when the caller
+        # already zeroed the unobserved cells (synthetic pipelines
+        # build M as `np.where(mask, truth, 0)`) the full-matrix copy
+        # is skipped entirely.
+        zero = work_dtype.type(0)
         offset = 0.0
         if self.center:
             offset = float(m_arr[b_arr].mean())
-            m_arr = np.where(b_arr, m_arr - offset, 0.0)
-        else:
-            m_arr = np.where(b_arr, m_arr, 0.0)
+            m_arr = np.where(b_arr, m_arr - offset, zero)
+        elif m_arr[~b_arr].any():
+            m_arr = np.where(b_arr, m_arr, zero)
 
         # Line 1 of the pseudocode, once per restart: random init of L,
         # scaled to the data's magnitude so the first R-solve starts in
         # the right ballpark.  All inits are drawn from the seed stream
         # up front so the restart runs are order-independent — serial
-        # and parallel execution produce bit-identical results.
+        # and parallel execution produce bit-identical results.  Draws
+        # happen in the generator's native float64 and are cast once,
+        # so the working dtype cannot perturb the random stream.
         observed_scale = float(np.abs(m_arr[b_arr]).mean())
         init_scale = np.sqrt(max(observed_scale, 1e-6) / r)
         inits = [
-            rng.standard_normal((m, r)) * init_scale for _ in range(self.restarts)
+            (rng.standard_normal((m, r)) * init_scale).astype(
+                work_dtype, copy=False
+            )
+            for _ in range(self.restarts)
         ]
 
-        observed = _gather_observed(m_arr, b_arr)
+        # Indicator in the working dtype for the objective's masked
+        # residual, cast once for all restarts (read-only across runs).
+        ind = b_arr.astype(work_dtype)
         # The mask never changes across sweeps or restarts, so the
         # grouped solver's pattern discovery is hoisted here — one
         # grouping per side for the whole call, not two per sweep.
@@ -287,7 +355,7 @@ class CompressiveSensingCompleter:
             restarts=self.restarts,
         ):
             runs: List[_RunOutcome] = parallel_map(
-                lambda init: self._run_als(m_arr, b_arr, init, observed, groupings),
+                lambda init: self._run_als(m_arr, b_arr, init, ind, groupings),
                 inits,
                 max_workers=self.max_workers,
                 backend="thread",
@@ -325,28 +393,33 @@ class CompressiveSensingCompleter:
         m_arr: np.ndarray,
         b_arr: np.ndarray,
         init: np.ndarray,
-        observed: _ObservedCells = None,
+        ind: Optional[np.ndarray] = None,
         groupings: Optional[Tuple["_MaskGroups", "_MaskGroups"]] = None,
     ) -> _RunOutcome:
         """One ALS run from the given init (pseudocode lines 2-9).
 
         Returns ``(best objective, L, R, per-iteration objectives)``.
-        Reads only; safe to run concurrently across restarts.
+        Reads only; safe to run concurrently across restarts.  Each run
+        binds its own backend kernel and owns its own objective residual
+        buffer: workspace kernels reuse scratch buffers across sweeps,
+        so neither must ever be shared between concurrently-running
+        restarts.
         """
         n = m_arr.shape[1]
         left = init
         best_obj = np.inf
-        best_left, best_right = left, np.zeros((n, left.shape[1]))
+        best_left, best_right = left, np.zeros((n, left.shape[1]), dtype=left.dtype)
         history: List[float] = []
         right_groups = groupings[0] if groupings is not None else None
         left_groups = groupings[1] if groupings is not None else None
+        kernel = self._bind_kernel(m_arr, b_arr, init.shape[1])
+        if ind is None:
+            ind = b_arr.astype(m_arr.dtype)
+        residual = np.empty_like(m_arr)
         for _ in range(self.iterations):
-            right = self._solve_right(left, m_arr, b_arr, right_groups)
-            left = self._solve_left(right, m_arr, b_arr, left_groups)
-            if observed is not None:
-                obj = self._objective_observed(left, right, observed)
-            else:
-                obj = self._objective(left, right, m_arr, b_arr)
+            right = self._solve_right(left, m_arr, b_arr, right_groups, kernel)
+            left = self._solve_left(right, m_arr, b_arr, left_groups, kernel)
+            obj = self._objective(left, right, m_arr, ind, residual)
             history.append(obj)
             if obj < best_obj:
                 improvement = (best_obj - obj) / max(best_obj, 1e-12)
@@ -371,14 +444,39 @@ class CompressiveSensingCompleter:
             return _ridge_by_column_grouped
         return _ridge_by_column
 
+    def work_dtype(self, input_dtype: np.dtype) -> np.dtype:
+        """Resolve the dtype the ALS sweep will run in.
+
+        Explicit ``dtype=`` wins; otherwise a float32 input is honored
+        and everything else runs in float64.  Exposed so streaming
+        callers can cast warm-start factors consistently.
+        """
+        return self._backend.resolve_dtype(self.dtype, input_dtype)
+
+    def _bind_kernel(
+        self, m_arr: np.ndarray, b_arr: np.ndarray, rank: int
+    ) -> Optional[BoundKernel]:
+        """Bind the configured backend's solve kernel to one ALS run.
+
+        Returns ``None`` for the default ``"numpy"`` backend, which
+        keeps the legacy ``solver=`` dispatch (batched/grouped/loop and
+        the non-mask-aware stacked solve) untouched.
+        """
+        if self._backend.name == "numpy":
+            return None
+        return self._backend.bind(m_arr, b_arr, self.lam, rank)
+
     def _solve_right(
         self,
         left: np.ndarray,
         m_arr: np.ndarray,
         b_arr: np.ndarray,
         groups: Optional["_MaskGroups"] = None,
+        kernel: Optional[BoundKernel] = None,
     ) -> np.ndarray:
         """R <- argmin of Eq. 16 with L fixed."""
+        if kernel is not None:
+            return kernel.solve_right(left)
         if self.mask_aware:
             if groups is not None:
                 return groups.apply(left, m_arr, b_arr, self.lam)
@@ -391,58 +489,46 @@ class CompressiveSensingCompleter:
         m_arr: np.ndarray,
         b_arr: np.ndarray,
         groups: Optional["_MaskGroups"] = None,
+        kernel: Optional[BoundKernel] = None,
     ) -> np.ndarray:
         """L <- argmin of Eq. 16 with R fixed (by transposition symmetry)."""
+        if kernel is not None:
+            return kernel.solve_left(right)
         if self.mask_aware:
             if groups is not None:
                 return groups.apply(right, m_arr.T, b_arr.T, self.lam)
             return self._masked_solver()(right, m_arr.T, b_arr.T, self.lam)
         return _stacked_solve(right, m_arr.T, self.lam).T
 
+    @effects("pure")
+    @hot_path
     def _objective(
         self,
         left: np.ndarray,
         right: np.ndarray,
         m_arr: np.ndarray,
-        b_arr: np.ndarray,
+        ind: np.ndarray,
+        residual: np.ndarray,
     ) -> float:
-        """Eq. 16: masked fit residual plus Frobenius regularization."""
-        residual = np.where(b_arr, left @ right.T - m_arr, 0.0)
-        fit = float(np.sum(residual**2))
-        reg = float(np.sum(left**2) + np.sum(right**2))
-        return fit + self.lam * reg
+        """Eq. 16: masked fit residual plus Frobenius regularization.
 
-    def _objective_observed(
-        self,
-        left: np.ndarray,
-        right: np.ndarray,
-        observed: Tuple[np.ndarray, np.ndarray, np.ndarray],
-    ) -> float:
-        """Eq. 16 evaluated on the observed cells only.
-
-        Re-forming the dense ``L @ R^T`` every sweep costs ``m * n * r``
-        flops just to throw the unobserved cells away; gathering the
-        factor rows of the observed coordinates costs ``|B| * r``.  At
-        the paper's 20% integrity that is a 5x smaller objective pass.
+        Runs entirely in the caller-owned ``residual`` buffer: one GEMM,
+        two element-wise passes, one BLAS dot.  The dense GEMM beats a
+        gather of the observed coordinates even at the paper's 20%
+        integrity — fancy indexing pays per-element overhead that the
+        contiguous kernels do not — and in float32 the whole pass moves
+        half the bytes, which is where the float32 backends earn their
+        wall-clock win (the solves alone are too small to dominate).
         """
-        rows, cols, vals = observed
-        fitted = np.einsum("ij,ij->i", left[rows], right[cols])
-        fit = float(np.sum((fitted - vals) ** 2))
+        # The residual buffer is caller-owned per ALS run; writing into
+        # it is the point (no fresh m x n temporaries per sweep).
+        np.matmul(left, right.T, out=residual)
+        np.subtract(residual, m_arr, out=residual)
+        np.multiply(residual, ind, out=residual)
+        flat = residual.reshape(-1)
+        fit = float(np.dot(flat, flat))
         reg = float(np.sum(left**2) + np.sum(right**2))
         return fit + self.lam * reg
-
-
-def _gather_observed(m_arr: np.ndarray, b_arr: np.ndarray) -> _ObservedCells:
-    """Observed-cell coordinates for the sparse objective, when cheap.
-
-    The gather pays off while the mask is sparse; on dense masks the
-    contiguous dense residual is faster than fancy indexing, so past
-    half coverage the dense objective path is kept (``None``).
-    """
-    rows, cols = np.nonzero(b_arr)
-    if 2 * rows.size > b_arr.size:
-        return None
-    return rows, cols, m_arr[rows, cols]
 
 
 @effects("pure")

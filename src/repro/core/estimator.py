@@ -19,6 +19,7 @@ from repro.core.completion import (
     PAPER_RANK,
     CompletionResult,
     CompressiveSensingCompleter,
+    DTypeLike,
 )
 from repro.core.tcm import TimeGrid, TrafficConditionMatrix
 from repro.core.tuning import GeneticTuner, TuningResult
@@ -79,6 +80,10 @@ class TrafficEstimator:
     solver:
         Algorithm 1 inner solver (``"batched"``/``"grouped"``/``"loop"``,
         see :class:`CompressiveSensingCompleter`).
+    backend, dtype:
+        Solver backend (``repro.core.backends``) and working dtype,
+        forwarded to the completer and, when the tuner is created here,
+        to Algorithm 2 fitness evaluation.
     max_workers:
         Worker-pool size forwarded to Algorithm 1 restarts and (when the
         tuner is created here) Algorithm 2 fitness evaluation.
@@ -99,6 +104,8 @@ class TrafficEstimator:
         mask_aware: bool = True,
         center: bool = True,
         solver: str = "batched",
+        backend: str = "numpy",
+        dtype: DTypeLike = None,
         max_workers: Optional[int] = None,
         seed: SeedLike = None,
     ) -> None:
@@ -113,6 +120,8 @@ class TrafficEstimator:
         self.mask_aware = mask_aware
         self.center = center
         self.solver = solver
+        self.backend = backend
+        self.dtype = dtype
         self.max_workers = max_workers
         self._seed = seed
         self.last_tuning: Optional[TuningResult] = None
@@ -148,7 +157,11 @@ class TrafficEstimator:
         tuning: Optional[TuningResult] = None
         if self.auto_tune:
             tuner = self._tuner or GeneticTuner(
-                solver=self.solver, max_workers=self.max_workers, seed=self._seed
+                solver=self.solver,
+                backend=self.backend,
+                dtype=self.dtype,
+                max_workers=self.max_workers,
+                seed=self._seed,
             )
             with obs_trace.span("estimate.tune"):
                 tuning = tuner.tune(measurements)
@@ -161,6 +174,8 @@ class TrafficEstimator:
             iterations=self.iterations,
             mask_aware=self.mask_aware,
             solver=self.solver,
+            backend=self.backend,
+            dtype=self.dtype,
             clip_min=0.0 if self.clip_speeds else None,
             clip_max=self.max_speed_kmh if self.clip_speeds else None,
             center=self.center,

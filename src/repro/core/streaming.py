@@ -27,7 +27,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.completion import CompressiveSensingCompleter, PAPER_LAMBDA, PAPER_RANK
+from repro.core.completion import (
+    CompressiveSensingCompleter,
+    DTypeLike,
+    PAPER_LAMBDA,
+    PAPER_RANK,
+)
 from repro.core.tcm import TimeGrid, TrafficConditionMatrix
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -75,6 +80,11 @@ class StreamingEstimator:
         ALS sweeps for warm-started updates vs the first (cold) solve.
     min_speed_kmh:
         Idle-report filter threshold, as in batch aggregation.
+    backend, dtype:
+        Solver backend and working dtype, forwarded to
+        :class:`CompressiveSensingCompleter`.  Warm-start factors are
+        kept in the backend's working dtype across windows, so a
+        float32 stream never silently re-promotes to float64.
     """
 
     def __init__(
@@ -88,6 +98,8 @@ class StreamingEstimator:
         warm_iterations: int = 8,
         cold_iterations: int = 60,
         min_speed_kmh: float = 2.0,
+        backend: str = "numpy",
+        dtype: DTypeLike = None,
         seed: SeedLike = None,
     ) -> None:
         check_positive(slot_s, "slot_s")
@@ -107,6 +119,14 @@ class StreamingEstimator:
         self.warm_iterations = warm_iterations
         self.cold_iterations = cold_iterations
         self.min_speed_kmh = min_speed_kmh
+        self.backend = backend
+        self.dtype = dtype
+        # Validate backend/dtype eagerly (same checks the completer
+        # applies) so a bad configuration fails at construction, not at
+        # the first slot close.
+        CompressiveSensingCompleter(
+            rank=rank, lam=lam, iterations=1, backend=backend, dtype=dtype
+        )
         self._rng = ensure_rng(seed)
 
     # mutable stream state ------------------------------------------------
@@ -215,6 +235,8 @@ class StreamingEstimator:
             rank=self.rank,
             lam=self.lam,
             iterations=iterations,
+            backend=self.backend,
+            dtype=self.dtype,
             seed=int(self._rng.integers(0, 2**63 - 1)),
         )
         if cold:
@@ -253,18 +275,28 @@ def _warm_complete(
     """Run ALS sweeps starting from a provided left factor.
 
     Mirrors :meth:`CompressiveSensingCompleter.complete` but replaces the
-    random initialization (pseudocode line 1) with ``warm_left``.
+    random initialization (pseudocode line 1) with ``warm_left``.  The
+    sweep runs in the completer's working dtype: measurements and the
+    warm factor are cast on entry, and the returned factors stay in
+    that dtype so the next window warm-starts without re-promotion.
     """
     from repro.core.completion import CompletionResult
 
-    left = warm_left.copy()
+    work_dtype = completer.work_dtype(m_arr.dtype)
+    m_arr = np.ascontiguousarray(m_arr, dtype=work_dtype)
+    left = warm_left.astype(work_dtype, copy=True)
+    kernel = completer._bind_kernel(m_arr, b_arr, left.shape[1])
+    ind = b_arr.astype(work_dtype)
+    residual = np.empty_like(m_arr)
     best_obj = np.inf
-    best_left, best_right = left, np.zeros((m_arr.shape[1], left.shape[1]))
+    best_left, best_right = left, np.zeros(
+        (m_arr.shape[1], left.shape[1]), dtype=work_dtype
+    )
     history = []
     for _ in range(completer.iterations):
-        right = completer._solve_right(left, m_arr, b_arr)
-        left = completer._solve_left(right, m_arr, b_arr)
-        obj = completer._objective(left, right, m_arr, b_arr)
+        right = completer._solve_right(left, m_arr, b_arr, kernel=kernel)
+        left = completer._solve_left(right, m_arr, b_arr, kernel=kernel)
+        obj = completer._objective(left, right, m_arr, ind, residual)
         history.append(obj)
         if obj < best_obj:
             best_obj, best_left, best_right = obj, left.copy(), right.copy()

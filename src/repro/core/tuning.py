@@ -42,7 +42,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.completion import CompressiveSensingCompleter
+from repro.core.completion import CompressiveSensingCompleter, DTypeLike
 from repro.core.tcm import TrafficConditionMatrix
 from repro.metrics.errors import nmae
 from repro.obs import metrics as obs_metrics
@@ -136,6 +136,8 @@ class _FitnessTask:
     iterations: int
     mask_aware: bool
     solver: str
+    backend: str = "numpy"
+    dtype: DTypeLike = None
 
 
 def _evaluate_fitness(task: _FitnessTask) -> float:
@@ -146,6 +148,8 @@ def _evaluate_fitness(task: _FitnessTask) -> float:
         iterations=task.iterations,
         mask_aware=task.mask_aware,
         solver=task.solver,
+        backend=task.backend,
+        dtype=task.dtype,
         seed=task.seed,
     )
     result = completer.complete(task.train_m, task.train_mask)
@@ -202,6 +206,10 @@ class GeneticTuner:
     solver:
         Inner solver handed to Algorithm 1 for fitness runs (see
         :class:`CompressiveSensingCompleter`).
+    backend, dtype:
+        Solver backend and working dtype for the fitness completions
+        (a float32 workspace backend makes tuning — population x
+        generations ALS runs — proportionally cheaper).
     max_workers:
         Evaluate each generation's genomes on a thread pool of this
         size (``None``/``1`` = serial; results identical either way).
@@ -222,6 +230,8 @@ class GeneticTuner:
         completer_iterations: int = 30,
         mask_aware: bool = True,
         solver: str = "batched",
+        backend: str = "numpy",
+        dtype: DTypeLike = None,
         max_workers: Optional[int] = None,
         seed: SeedLike = None,
     ) -> None:
@@ -257,6 +267,17 @@ class GeneticTuner:
         self.completer_iterations = completer_iterations
         self.mask_aware = mask_aware
         self.solver = solver
+        self.backend = backend
+        self.dtype = dtype
+        # Fail fast on unknown/unavailable backend or unsupported dtype.
+        CompressiveSensingCompleter(
+            rank=1,
+            lam=1.0,
+            iterations=1,
+            mask_aware=mask_aware,
+            backend=backend,
+            dtype=dtype,
+        )
         self.max_workers = max_workers
         self._seed = seed
 
@@ -383,6 +404,8 @@ class GeneticTuner:
                     iterations=self.completer_iterations,
                     mask_aware=self.mask_aware,
                     solver=self.solver,
+                    backend=self.backend,
+                    dtype=self.dtype,
                 )
         tasks = list(fresh.values())
         fitnesses = parallel_map(

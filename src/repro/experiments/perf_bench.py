@@ -2,12 +2,14 @@
 
 The ROADMAP's north star is a system that runs "as fast as the hardware
 allows"; this module is the measuring stick.  It times the hot paths —
-Algorithm 1 under each inner solver, Algorithm 2 tuning, the probe
-ingestion pipeline (map-matching + aggregation), and the baselines —
-across matrix sizes and integrities, verifies that every vectorized
-path agrees with its scalar reference to :data:`EQUIVALENCE_TOL`, and
-emits a machine-readable ``BENCH_*.json`` so speedups are *recorded*,
-not anecdotal.
+Algorithm 1 under each inner solver and each registered solver backend
+(float64 and float32), Algorithm 2 tuning, the probe ingestion pipeline
+(map-matching + aggregation), and the baselines — across matrix sizes
+and integrities, verifies that every vectorized path agrees with its
+scalar reference to :data:`EQUIVALENCE_TOL` (float32 backends to
+:data:`repro.core.backends.FLOAT32_RTOL` relative), and emits a
+machine-readable ``BENCH_*.json`` so speedups are *recorded*, not
+anecdotal.
 
 Two profiles:
 
@@ -54,6 +56,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.baselines import MSSA, CorrelationKNN, NaiveKNN
+from repro.core.backends import (
+    FLOAT32_RTOL,
+    BackendUnavailable,
+    available_backend_names,
+    get_backend,
+)
 from repro.core.completion import SOLVERS, CompressiveSensingCompleter
 from repro.core.tcm import TimeGrid
 from repro.core.tuning import GeneticTuner
@@ -114,6 +122,7 @@ class BenchRecord:
     sweeps: Optional[int] = None
     objective: Optional[float] = None
     nmae_missing: Optional[float] = None
+    backend: str = "numpy"
 
 
 @dataclass
@@ -129,11 +138,12 @@ class BenchReport:
         """JSON-serializable form (schema version included).
 
         Schema 2 added the ingestion suite and the scalar-reference
-        baseline records; the record shape is unchanged from schema 1,
-        so comparisons accept both.
+        baseline records.  Schema 3 adds the ``backend`` field to every
+        record (absent means ``"numpy"``), so comparisons accept
+        schema-2 baselines unchanged.
         """
         return {
-            "schema": 2,
+            "schema": 3,
             "meta": self.meta,
             "records": [asdict(r) for r in self.records],
             "speedups": self.speedups,
@@ -147,13 +157,21 @@ class BenchReport:
         return out
 
     def render(self) -> str:
-        headers = ["Case", "Algorithm", "Wall (s)", "Sweeps", "NMAE (missing)"]
+        headers = [
+            "Case",
+            "Algorithm",
+            "Backend",
+            "Wall (s)",
+            "Sweeps",
+            "NMAE (missing)",
+        ]
         rows = []
         for r in self.records:
             rows.append(
                 [
                     r.case,
                     r.algorithm,
+                    r.backend,
                     f"{r.wall_s:.4f}",
                     "-" if r.sweeps is None else str(r.sweeps),
                     "-" if r.nmae_missing is None else f"{r.nmae_missing:.4f}",
@@ -299,6 +317,107 @@ def _run_ingestion_suite(
         )
 
 
+def _run_backend_suite(
+    report: BenchReport,
+    case: BenchCase,
+    truth: np.ndarray,
+    measured: np.ndarray,
+    mask: np.ndarray,
+    backend_list: Sequence[str],
+    reference: np.ndarray,
+    reference_wall: Optional[float],
+    sweeps: int,
+    n_repeats: int,
+    max_workers: Optional[int],
+    seed: int,
+    strict: bool,
+) -> None:
+    """Time each solver backend at float64 and float32 on one case.
+
+    Every (backend, dtype) run is checked against the default batched
+    float64 estimate: float64 must agree to :data:`EQUIVALENCE_TOL`
+    absolute, float32 to :data:`FLOAT32_RTOL` relative to the reference
+    magnitude.  Speedups are recorded against the batched float64 wall
+    time under keys ``<case>/<backend>-f32`` etc.  JIT/GPU backends get
+    one untimed warmup call so compilation and upload costs never
+    pollute the timings.
+    """
+    missing = ~mask
+    ref_scale = float(np.abs(reference).max())
+    for backend_name in backend_list:
+        backend = get_backend(backend_name)
+        for dtype in (np.float64, np.float32):
+            if np.dtype(dtype) not in backend.supported_dtypes:
+                continue
+            tag = "f32" if dtype is np.float32 else "f64"
+            completer = CompressiveSensingCompleter(
+                rank=2,
+                lam=10.0,
+                iterations=sweeps,
+                backend=backend_name,
+                dtype=dtype,
+                max_workers=max_workers,
+                seed=seed,
+            )
+            if backend.requires_module is not None:
+                completer.complete(measured, mask)  # warmup: JIT / upload
+            wall, result = _time_best(
+                lambda: completer.complete(measured, mask), n_repeats
+            )
+            estimate = np.asarray(result.estimate, dtype=np.float64)  # type: ignore[union-attr]
+            diff = float(np.abs(estimate - reference).max())
+            key = f"{case.name}/{backend_name}-{tag}"
+            report.equivalence_max_abs_diff[key] = diff
+            if reference_wall is not None:
+                report.speedups[key] = reference_wall / wall
+            report.records.append(
+                BenchRecord(
+                    case=case.name,
+                    algorithm=f"cs-{tag}",
+                    wall_s=wall,
+                    repeats=n_repeats,
+                    sweeps=result.iterations_run,  # type: ignore[union-attr]
+                    objective=float(result.objective),  # type: ignore[union-attr]
+                    nmae_missing=nmae(truth, estimate, missing),
+                    backend=backend_name,
+                )
+            )
+            tol = EQUIVALENCE_TOL if tag == "f64" else FLOAT32_RTOL * ref_scale
+            if strict and diff > tol:
+                raise RuntimeError(
+                    f"backend {backend_name!r} ({tag}) deviates from the "
+                    f"batched float64 reference by {diff:.3e} (> {tol:.3e}) "
+                    f"on {case.name}"
+                )
+
+
+def resolve_bench_backends(
+    backends: Optional[Sequence[str]],
+) -> Tuple[str, ...]:
+    """Backends the bench should time beyond the default solver suite.
+
+    ``None`` selects every *available* registered backend except
+    ``"numpy"`` (already covered by the per-solver records), so a fresh
+    install without extras benches cleanly.  Explicitly requested
+    backends are validated: unknown names raise ``ValueError``,
+    known-but-missing ones raise :class:`BackendUnavailable`.
+    """
+    if backends is None:
+        return tuple(
+            name for name in available_backend_names() if name != "numpy"
+        )
+    resolved = []
+    for name in backends:
+        backend = get_backend(name)
+        if not backend.is_available():
+            raise BackendUnavailable(
+                f"backend {name!r} {backend.availability_hint()}"
+            )
+        if name != "numpy":
+            resolved.append(name)
+    return tuple(resolved)
+
+
 def run_perf_bench(
     cases: Optional[Sequence[BenchCase]] = None,
     smoke: bool = False,
@@ -306,6 +425,7 @@ def run_perf_bench(
     repeats: Optional[int] = None,
     iterations: Optional[int] = None,
     solvers: Sequence[str] = SOLVERS,
+    backends: Optional[Sequence[str]] = None,
     include_tune: bool = True,
     include_baselines: bool = True,
     include_ingestion: bool = True,
@@ -331,6 +451,10 @@ def run_perf_bench(
     solvers:
         Inner solvers to time; must include ``"loop"`` and ``"batched"``
         for the speedup/equivalence summaries to be computed.
+    backends:
+        Solver backends to time at float64 and float32 against the
+        batched float64 reference (see :func:`resolve_bench_backends`;
+        default: every available non-default backend).
     include_tune, include_baselines:
         Also time a small Algorithm 2 run and the baselines (the KNNs
         plus MSSA and the scalar references of the vectorized ones).
@@ -354,6 +478,7 @@ def run_perf_bench(
     for solver in solvers:
         if solver not in SOLVERS:
             raise ValueError(f"unknown solver {solver!r} (choose from {SOLVERS})")
+    backend_list = resolve_bench_backends(backends)
     case_list = list(cases) if cases is not None else default_cases(smoke)
     n_repeats = repeats if repeats is not None else (1 if smoke else 3)
     if n_repeats < 1:
@@ -370,6 +495,7 @@ def run_perf_bench(
             "seed": seed,
             "repeats": n_repeats,
             "iterations": sweeps,
+            "backends": ",".join(("numpy",) + backend_list),
         }
     )
 
@@ -422,6 +548,24 @@ def run_perf_bench(
                     )
             if "batched" in walls:
                 report.speedups[case.name] = walls["loop"] / walls["batched"]
+
+        if backend_list and estimates:
+            ref_solver = "batched" if "batched" in estimates else next(iter(estimates))
+            _run_backend_suite(
+                report,
+                case,
+                truth,
+                measured,
+                mask,
+                backend_list,
+                reference=estimates[ref_solver],
+                reference_wall=walls.get("batched"),
+                sweeps=sweeps,
+                n_repeats=n_repeats,
+                max_workers=max_workers,
+                seed=seed,
+                strict=strict,
+            )
 
         if include_baselines:
             baseline_estimates: Dict[str, np.ndarray] = {}
@@ -542,13 +686,26 @@ class BenchComparison:
         return "\n".join([header, *body])
 
 
-def _records_by_key(payload: Dict[str, object]) -> Dict[Tuple[str, str], float]:
+def _records_by_key(
+    payload: Dict[str, object],
+) -> Dict[Tuple[str, str, str], float]:
+    """Index records by (case, algorithm, backend).
+
+    Schema-2 payloads predate the ``backend`` field; their records all
+    ran the default backend, so the missing key reads as ``"numpy"``
+    and old committed baselines keep comparing cleanly.
+    """
     records = payload.get("records")
     if not isinstance(records, list):
         raise ValueError("bench payload has no 'records' list")
-    out: Dict[Tuple[str, str], float] = {}
+    out: Dict[Tuple[str, str, str], float] = {}
     for rec in records:
-        out[(str(rec["case"]), str(rec["algorithm"]))] = float(rec["wall_s"])
+        key = (
+            str(rec["case"]),
+            str(rec["algorithm"]),
+            str(rec.get("backend", "numpy")),
+        )
+        out[key] = float(rec["wall_s"])
     return out
 
 
@@ -559,10 +716,12 @@ def compare_payloads(
 ) -> BenchComparison:
     """Diff two bench payloads; flag wall-clock regressions.
 
-    Records are matched on (case, algorithm); records present in only
-    one payload are ignored (suites grow over time).  A match where
-    both wall times sit below :data:`MIN_COMPARE_WALL_S` is skipped —
-    at that scale the timer measures the scheduler, not the code.
+    Records are matched on (case, algorithm, backend) — schema-2
+    baselines without the backend field match as ``"numpy"``; records
+    present in only one payload are ignored (suites grow over time).  A
+    match where both wall times sit below :data:`MIN_COMPARE_WALL_S` is
+    skipped — at that scale the timer measures the scheduler, not the
+    code.
     """
     if threshold <= 1.0:
         raise ValueError(f"threshold must exceed 1.0, got {threshold}")
@@ -577,6 +736,8 @@ def compare_payloads(
             continue
         cur_wall, base_wall = cur[key], base[key]
         label = f"{key[0]}/{key[1]}"
+        if key[2] != "numpy":
+            label += f"[{key[2]}]"
         if cur_wall < MIN_COMPARE_WALL_S and base_wall < MIN_COMPARE_WALL_S:
             skipped += 1
             continue

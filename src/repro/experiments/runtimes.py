@@ -3,9 +3,11 @@
 Wall-clock run times of the four algorithms on the Shanghai matrix
 (221 segments, one week) at the three granularities.  Absolute numbers
 differ from the paper's 2007-era MatLab testbed; the relevant shape is
-the ordering — KNN variants fastest, compressive sensing comfortably
-sub-interactive, MSSA orders of magnitude slower (here run with the
-faithful full lag-covariance solver).
+compressive sensing comfortably sub-interactive and MSSA orders of
+magnitude slower (here run with the faithful full lag-covariance
+solver).  The paper's KNN-faster-than-CS leg does not survive the
+optimized ALS (workspace kernels, buffered objective) and is not part
+of the asserted shape.
 """
 
 from __future__ import annotations

@@ -364,15 +364,25 @@ def check_finite(array: np.ndarray, name: str) -> np.ndarray:
 
 
 def check_matrix_pair(
-    values: np.ndarray, mask: np.ndarray
+    values: np.ndarray,
+    mask: np.ndarray,
+    dtype: Optional[np.dtype] = np.dtype(np.float64),
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Validate a (measurement, indicator) matrix pair.
 
-    Returns float64 ``values`` and boolean ``mask`` of identical 2-D
+    Returns floating ``values`` and boolean ``mask`` of identical 2-D
     shape.  The indicator matrix ``B`` of the paper (Eq. 4) is accepted
-    as any array coercible to bool.
+    as any array coercible to bool.  By default ``values`` is coerced
+    to float64; pass ``dtype=None`` to preserve an existing floating
+    dtype (integer and other non-float inputs are still promoted to
+    float64 so downstream solves stay in floating point).
     """
-    values = np.asarray(values, dtype=np.float64)
+    if dtype is not None:
+        values = np.asarray(values, dtype=dtype)
+    else:
+        values = np.asarray(values)
+        if values.dtype.kind != "f":
+            values = values.astype(np.float64)
     mask = np.asarray(mask)
     if values.ndim != 2:
         raise ValueError(f"values must be 2-D, got shape {values.shape}")

@@ -37,19 +37,34 @@ def tiny_report():
 def test_tiny_case_checks_equivalence(tiny_report):
     assert tiny_report.equivalence_max_abs_diff["30x12@0.50"] <= EQUIVALENCE_TOL
     assert "30x12@0.50" in tiny_report.speedups
+    # Solver suite plus the workspace backend at both dtypes.
     assert {r.algorithm for r in tiny_report.records} == {
         "cs-batched",
         "cs-grouped",
         "cs-loop",
+        "cs-f64",
+        "cs-f32",
     }
+    assert {r.backend for r in tiny_report.records} == {"numpy", "numpy-ws"}
+
+
+def test_backend_suite_equivalence_and_speedup_keys(tiny_report):
+    case = "30x12@0.50"
+    assert tiny_report.equivalence_max_abs_diff[f"{case}/numpy-ws-f64"] <= (
+        EQUIVALENCE_TOL
+    )
+    assert f"{case}/numpy-ws-f32" in tiny_report.equivalence_max_abs_diff
+    assert tiny_report.speedups[f"{case}/numpy-ws-f64"] > 0.0
+    assert tiny_report.speedups[f"{case}/numpy-ws-f32"] > 0.0
 
 
 def test_json_payload_schema(tiny_report, tmp_path):
     out = tiny_report.write_json(tmp_path / "bench.json")
     payload = json.loads(out.read_text())
-    assert payload["schema"] == 2
+    assert payload["schema"] == 3
     assert payload["equivalence_tol"] == EQUIVALENCE_TOL
-    assert len(payload["records"]) == 3
+    assert len(payload["records"]) == 5
+    assert all("backend" in rec for rec in payload["records"])
 
 
 def test_ingestion_suite_records_and_equivalence():
@@ -131,6 +146,45 @@ def test_compare_ignores_unmatched_records():
     cur = _payload([("ingest-120k", "mapmatch-vectorized", 2.0)])
     result = compare_payloads(cur, base)
     assert result.ok and result.compared == 0
+
+
+def test_compare_accepts_schema2_baseline_as_numpy_backend():
+    # A schema-2 baseline has no backend field; its records must match
+    # schema-3 records carrying the default "numpy" backend.
+    base = _payload([("672x221@0.20", "cs-batched", 0.5)])
+    cur = {
+        "schema": 3,
+        "records": [
+            {
+                "case": "672x221@0.20",
+                "algorithm": "cs-batched",
+                "wall_s": 1.2,
+                "repeats": 1,
+                "backend": "numpy",
+            }
+        ],
+    }
+    result = compare_payloads(cur, base)
+    assert result.compared == 1 and not result.ok
+
+
+def test_compare_keys_on_backend():
+    # Same (case, algorithm) on different backends must NOT match.
+    base = _payload([("672x221@0.20", "cs-f32", 0.5)])  # implicit numpy
+    cur = {
+        "schema": 3,
+        "records": [
+            {
+                "case": "672x221@0.20",
+                "algorithm": "cs-f32",
+                "wall_s": 50.0,
+                "repeats": 1,
+                "backend": "numpy-ws",
+            }
+        ],
+    }
+    result = compare_payloads(cur, base)
+    assert result.compared == 0 and result.ok
 
 
 def test_compare_rejects_bad_threshold():
