@@ -29,6 +29,7 @@ def test_smoke_profile_times_all_algorithms(smoke_report):
     assert {"cs-batched", "cs-grouped", "cs-loop"} <= algorithms
     assert {"naive-knn", "correlation-knn", "ga-tune"} <= algorithms
     assert {"mapmatch-vectorized", "aggregate-bincount"} <= algorithms
+    assert {"cs-monolithic", "cs-sharded", "sharded-stream-ingest"} <= algorithms
     assert all(r.wall_s >= 0.0 for r in smoke_report.records)
 
 
@@ -59,7 +60,7 @@ def test_smoke_profile_checks_baseline_equivalence(smoke_report):
 def test_payload_schema_roundtrips(smoke_report, tmp_path):
     out = smoke_report.write_json(tmp_path / "bench.json")
     payload = json.loads(out.read_text())
-    assert payload["schema"] == 3
+    assert payload["schema"] == 4
     assert payload["equivalence_tol"] == EQUIVALENCE_TOL
     assert payload["meta"]["smoke"] is True
     record = payload["records"][0]

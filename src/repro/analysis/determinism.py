@@ -18,6 +18,11 @@ Checks:
 * ``tuning`` — Algorithm 2 GA search
   (:class:`repro.core.tuning.GeneticTuner`) with memoized fitness: the
   selected (rank, lambda), fitness, and full fitness history must match.
+* ``sharded`` — the sharded metropolitan completion
+  (:class:`repro.scale.sharded.ShardedCompleter`): the exact regime must
+  reproduce monolithic completion bit-for-bit (``shards=1`` and per
+  shard at ``halo=0``), and the multilevel regime must be bit-identical
+  serial vs pool and under shuffled shard input order.
 * ``run-all`` — the experiment battery
   (:func:`repro.experiments.runner.run_all`): every rendered block must
   be byte-identical, except the two studies whose *output* is measured
@@ -287,9 +292,138 @@ def check_run_all(
     )
 
 
+def check_sharded(
+    seed: int = 0, max_workers: Optional[int] = None, smoke: bool = False
+) -> DeterminismCheck:
+    """Sharded completion: serial vs pool, plus monolithic equivalence.
+
+    Three bit-level claims are pinned:
+
+    * a ``shards=1`` exact-regime sharded completion equals the
+      monolithic completer on the full matrix;
+    * a ``halo=0`` exact-regime run reproduces the monolithic completer
+      on every shard's sub-TCM;
+    * the multilevel (seed + warm) run is bit-identical serial vs
+      thread-pool and under shuffled shard input order.
+    """
+    from repro.core.completion import CompressiveSensingCompleter
+    from repro.core.tcm import TimeGrid, TrafficConditionMatrix
+    from repro.roadnet.generators import grid_city
+    from repro.scale import (
+        GridPartitioner,
+        ShardedCompleter,
+        SinglePartitioner,
+    )
+
+    started = time.perf_counter()
+    # At least 2 so the parallel leg really runs through a pool even
+    # on 1-CPU CI boxes (threads, so oversubscription is harmless).
+    workers = max_workers or max(2, min(4, available_workers()))
+    rows = 6 if smoke else 10
+    slots = 24 if smoke else 60
+    iterations = 8 if smoke else 25
+    network = grid_city(rows, rows, seed=seed)
+    ids = network.segment_ids
+    values, mask = _toy_problem(seed + 2, (slots, len(ids)))
+    tcm = TrafficConditionMatrix(
+        values * mask,
+        mask,
+        grid=TimeGrid(0.0, 600.0, slots),
+        segment_ids=ids,
+    )
+
+    problems: List[str] = []
+
+    def exact_completer() -> ShardedCompleter:
+        return ShardedCompleter(
+            rank=2,
+            lam=10.0,
+            iterations=iterations,
+            seed_iterations=0,
+            center=True,
+            clip_min=0.0,
+            clip_max=150.0,
+            seed=seed,
+        )
+
+    mono = CompressiveSensingCompleter(
+        rank=2,
+        lam=10.0,
+        iterations=iterations,
+        center=True,
+        clip_min=0.0,
+        clip_max=150.0,
+        seed=seed,
+    )
+    mono_est = mono.complete(tcm.values, tcm.mask).estimate
+
+    single = exact_completer().complete(
+        tcm, SinglePartitioner().partition(network)
+    )
+    detail = _diff_arrays("shards=1 vs monolithic", single.estimate, mono_est)
+    if detail:
+        problems.append(detail)
+
+    shards0 = GridPartitioner(4, halo=0).partition(network)
+    res0 = exact_completer().complete(tcm, shards0)
+    col_of = {sid: j for j, sid in enumerate(ids)}
+    for shard in shards0:
+        cols = np.array([col_of[sid] for sid in shard.all_ids])
+        sub = mono.complete(
+            np.ascontiguousarray(tcm.values[:, cols]),
+            np.ascontiguousarray(tcm.mask[:, cols]),
+        )
+        detail = _diff_arrays(
+            f"halo=0 shard {shard.shard_id} vs monolithic sub-TCM",
+            res0.estimate[:, cols],
+            sub.estimate,
+        )
+        if detail:
+            problems.append(detail)
+
+    def multilevel(pool: Optional[int], shard_list) -> np.ndarray:
+        completer = ShardedCompleter(
+            rank=2,
+            lam=10.0,
+            seed_iterations=3,
+            warm_iterations=4,
+            center=True,
+            clip_min=0.0,
+            clip_max=150.0,
+            max_workers=pool,
+            seed=seed,
+        )
+        return completer.complete(tcm, shard_list).estimate
+
+    shards1 = GridPartitioner(4, halo=1).partition(network)
+    serial = multilevel(None, shards1)
+    parallel = multilevel(workers, shards1)
+    detail = _diff_arrays("multilevel serial vs pool", serial, parallel)
+    if detail:
+        problems.append(detail)
+    shuffled = multilevel(None, list(reversed(shards1)))
+    detail = _diff_arrays("multilevel shard input order", serial, shuffled)
+    if detail:
+        problems.append(detail)
+
+    ok = not problems
+    return DeterminismCheck(
+        name="sharded",
+        ok=ok,
+        detail=(
+            f"{len(shards1)} shards on {slots}x{len(ids)}, exact + "
+            f"multilevel regimes, 1 vs {workers} workers"
+            if ok
+            else "; ".join(problems)
+        ),
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
 CHECKS: Dict[str, Callable[[int, Optional[int], bool], DeterminismCheck]] = {
     "completion": check_completion,
     "tuning": check_tuning,
+    "sharded": check_sharded,
     "run-all": check_run_all,
 }
 

@@ -57,12 +57,16 @@ class CongestionMonitor:
     """
 
     def __init__(self, network: RoadNetwork, tcm: TrafficConditionMatrix):
+        self.network = network
+        self.refresh(tcm)
+
+    def refresh(self, tcm: TrafficConditionMatrix) -> None:
+        """Swap in a newer estimate and recompute the congestion index."""
         if not tcm.is_complete:
             raise ValueError("congestion analytics need a complete TCM")
-        self.network = network
         self.tcm = tcm
         free_flow = np.array(
-            [network.segment(sid).free_flow_kmh for sid in tcm.segment_ids]
+            [self.network.segment(sid).free_flow_kmh for sid in tcm.segment_ids]
         )
         self._congestion = np.clip(1.0 - tcm.values / free_flow[None, :], 0.0, 1.0)
 

@@ -38,17 +38,26 @@ class TravelTimeService:
         tcm: TrafficConditionMatrix,
         min_speed_kmh: float = 3.0,
     ):
+        check_positive(min_speed_kmh, "min_speed_kmh")
+        self.network = network
+        self.min_speed_kmh = min_speed_kmh
+        self.refresh(tcm)
+
+    def refresh(self, tcm: TrafficConditionMatrix) -> None:
+        """Swap in a newer estimate (e.g. after a streaming update).
+
+        Revalidates the TCM exactly like construction and rebuilds the
+        cached speed matrix, so a long-lived service can follow a
+        continuously re-estimated metropolitan network.
+        """
         if not tcm.is_complete:
             raise ValueError("travel times need a complete (estimated) TCM")
-        check_positive(min_speed_kmh, "min_speed_kmh")
-        known = set(network.segment_ids)
+        known = set(self.network.segment_ids)
         missing = [sid for sid in tcm.segment_ids if sid not in known]
         if missing:
             raise ValueError(f"TCM segments not in network: {missing[:5]}")
-        self.network = network
         self.tcm = tcm
-        self.min_speed_kmh = min_speed_kmh
-        self._speeds = np.maximum(tcm.values, min_speed_kmh)
+        self._speeds = np.maximum(tcm.values, self.min_speed_kmh)
 
     # ------------------------------------------------------------------
     def speed_kmh(self, segment_id: int, time_s: float) -> float:

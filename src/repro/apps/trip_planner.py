@@ -66,6 +66,11 @@ class TripPlannerService:
         self.travel_time = TravelTimeService(network, tcm)
         self._covered = set(tcm.segment_ids)
 
+    def refresh(self, tcm: TrafficConditionMatrix) -> None:
+        """Swap in a newer estimate without rebuilding the planner."""
+        self.travel_time.refresh(tcm)
+        self._covered = set(tcm.segment_ids)
+
     def plan(
         self, origin: int, destination: int, depart_s: float
     ) -> Optional[TripPlan]:

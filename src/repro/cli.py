@@ -101,6 +101,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     from repro.datasets.loaders import load_tcm, save_tcm
 
     measured = load_tcm(args.input)
+    if args.shards > 1:
+        return _estimate_sharded(args, measured)
     tuner = None
     if args.auto_tune:
         tuner = GeneticTuner(seed=args.seed)
@@ -123,6 +125,80 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     print(
         f"completed {measured.shape} matrix "
         f"(integrity {measured.integrity:.1%}) -> {args.output}"
+    )
+    return 0
+
+
+def _estimate_sharded(args: argparse.Namespace, measured) -> int:
+    """``repro estimate --shards N``: the metropolitan sharded path."""
+    from repro.datasets.loaders import save_tcm
+    from repro.scale import ShardedEstimator, contiguous_shards
+    from repro.scale.sharded import ShardedCompleter
+
+    if args.auto_tune:
+        print(
+            "error: --auto-tune is not supported with --shards; tune once "
+            "monolithically, then pass --rank/--lam",
+            file=sys.stderr,
+        )
+        return 2
+    if args.network is not None:
+        from repro.roadnet.io import load_network
+
+        network = load_network(args.network)
+        estimator = ShardedEstimator(
+            network,
+            shards=args.shards,
+            halo=args.halo,
+            partitioner=args.partitioner,
+            rank=args.rank,
+            lam=args.lam,
+            iterations=args.iterations,
+            backend=args.backend,
+            dtype=args.dtype,
+            max_workers=args.max_workers,
+            seed=args.seed,
+        )
+        output = estimator.estimate(measured)
+        result = output.completion
+        estimate = output.estimate
+        realized = estimator.num_shards
+    else:
+        # No network geometry: fall back to contiguous column runs.
+        if args.partitioner == "grid":
+            print(
+                "note: --shards without --network uses the geometry-free "
+                "contiguous partitioner",
+                file=sys.stderr,
+            )
+        shards = contiguous_shards(measured.segment_ids, args.shards)
+        completer = ShardedCompleter(
+            rank=args.rank,
+            lam=args.lam,
+            iterations=args.iterations,
+            clip_min=0.0,
+            clip_max=150.0,
+            center=True,
+            backend=args.backend,
+            dtype=args.dtype,
+            max_workers=args.max_workers,
+            seed=args.seed,
+        )
+        result = completer.complete(measured, shards)
+        from repro.core.tcm import TrafficConditionMatrix
+
+        estimate = TrafficConditionMatrix(
+            result.estimate,
+            grid=measured.grid,
+            segment_ids=measured.segment_ids,
+        )
+        realized = len(shards)
+    save_tcm(estimate, args.output)
+    print(
+        f"completed {measured.shape} matrix "
+        f"(integrity {measured.integrity:.1%}) over {realized} shards "
+        f"({result.mode} regime, stitch {result.stitch_s * 1000.0:.1f} ms) "
+        f"-> {args.output}"
     )
     return 0
 
@@ -418,11 +494,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.obs import trace as obs_trace
 
         obs_trace.enable()
+    sharded_only = args.suite == "sharded"
     report = run_perf_bench(
+        cases=[] if sharded_only else None,
         smoke=args.smoke,
         seed=args.seed,
         repeats=args.repeats,
-        backends=None if args.backends is None else tuple(args.backends),
+        backends=() if sharded_only else (
+            None if args.backends is None else tuple(args.backends)
+        ),
+        include_tune=not sharded_only,
+        include_baselines=not sharded_only,
+        include_ingestion=not sharded_only,
         max_workers=args.max_workers,
         strict=not args.no_strict,
     )
@@ -590,6 +673,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="working dtype (default: honor float32 input, else float64)",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="complete per spatial shard and stitch (metropolitan scale); "
+        "1 = monolithic",
+    )
+    p.add_argument(
+        "--halo",
+        type=int,
+        default=1,
+        help="shard overlap depth in segment-adjacency hops (grid "
+        "partitioner only)",
+    )
+    p.add_argument(
+        "--partitioner",
+        default="grid",
+        choices=("grid", "single", "contiguous"),
+        help="spatial partitioner for --shards > 1",
+    )
+    p.add_argument(
+        "--network",
+        default=None,
+        help="network JSON from gen-network (enables the grid partitioner; "
+        "without it --shards falls back to contiguous column runs)",
+    )
+    p.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        dest="max_workers",
+        help="thread-pool width for per-shard solves (default: serial)",
+    )
     p.set_defaults(func=_cmd_estimate)
 
     p = sub.add_parser("evaluate", help="score an estimate against truth")
@@ -716,7 +832,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         metavar="CHECK",
-        help="subset to run: completion, tuning, run-all (default: all)",
+        help="subset to run: completion, tuning, sharded, run-all "
+        "(default: all)",
     )
     p.add_argument(
         "--smoke",
@@ -746,6 +863,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds-fast CI profile (small matrices, few sweeps)",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--suite",
+        default="all",
+        choices=("all", "sharded"),
+        help="'sharded' runs only the metropolitan sharded suite "
+        "(the nightly million-report leg)",
+    )
     p.add_argument(
         "--repeats",
         type=int,

@@ -22,6 +22,17 @@ Two profiles:
   few sweeps, a small ingestion case, same record schema and the same
   equivalence assertions.
 
+The ``sharded`` suite (schema 4) benchmarks the metropolitan path: a
+monolithic Algorithm 1 solve of the full shanghai-inner-like matrix
+(672 x 5,812 at 20% integrity) against
+:class:`repro.scale.ShardedCompleter`'s multilevel tiled solve, plus a
+million-report columnar ingestion run through
+:class:`repro.scale.ShardedStreamingEstimator`.  Its headline numbers —
+sharded-vs-monolithic speedup and NMAE delta — are recorded under the
+payload's top-level ``sharded`` key and gated by
+``benchmarks/perf/test_bench_sharded.py`` against the committed
+baseline.
+
 A committed baseline can gate regressions: :func:`compare_payloads`
 diffs two reports record by record and flags any tracked case whose
 wall time regressed beyond :data:`REGRESSION_THRESHOLD`; the CLI's
@@ -133,6 +144,7 @@ class BenchReport:
     speedups: Dict[str, float] = field(default_factory=dict)
     equivalence_max_abs_diff: Dict[str, float] = field(default_factory=dict)
     meta: Dict[str, Union[str, int, float, bool]] = field(default_factory=dict)
+    sharded: Dict[str, object] = field(default_factory=dict)
 
     def to_payload(self) -> Dict[str, object]:
         """JSON-serializable form (schema version included).
@@ -140,21 +152,47 @@ class BenchReport:
         Schema 2 added the ingestion suite and the scalar-reference
         baseline records.  Schema 3 adds the ``backend`` field to every
         record (absent means ``"numpy"``), so comparisons accept
-        schema-2 baselines unchanged.
+        schema-2 baselines unchanged.  Schema 4 adds the top-level
+        ``sharded`` summary (metropolitan sharded-vs-monolithic speedup,
+        accuracy delta, and streaming ingestion throughput) alongside
+        the suite's ``cs-monolithic`` / ``cs-sharded`` records; older
+        baselines simply lack the key.
         """
         return {
-            "schema": 3,
+            "schema": 4,
             "meta": self.meta,
             "records": [asdict(r) for r in self.records],
             "speedups": self.speedups,
             "equivalence_max_abs_diff": self.equivalence_max_abs_diff,
             "equivalence_tol": EQUIVALENCE_TOL,
+            "sharded": self.sharded,
         }
 
     def write_json(self, path: Union[str, Path]) -> Path:
         out = Path(path)
         out.write_text(json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n")
         return out
+
+    def render_sharded(self) -> List[str]:
+        """Human-readable lines for the ``sharded`` summary (if run)."""
+        if not self.sharded:
+            return []
+        lines = [
+            f"sharded: {self.sharded['case']} over "
+            f"{self.sharded['shards']} shards (halo "
+            f"{self.sharded['halo']}): {self.sharded['speedup']:.2f}x vs "
+            f"monolithic, NMAE delta {self.sharded['nmae_delta']:.4f}"
+        ]
+        ingest = self.sharded.get("ingestion")
+        if isinstance(ingest, dict):
+            lines.append(
+                f"sharded ingestion: {ingest['reports']:,} reports in "
+                f"{ingest['wall_s']:.2f}s "
+                f"({ingest['reports_per_s']:,.0f}/s), "
+                f"{ingest['recompletions']} re-completions, "
+                f"{ingest['recompletions_skipped']} skipped"
+            )
+        return lines
 
     def render(self) -> str:
         headers = [
@@ -180,11 +218,14 @@ class BenchReport:
         table = format_table(headers, rows, title="Performance benchmark")
         lines = [table, ""]
         for key, speedup in self.speedups.items():
+            if key.startswith("sharded-"):
+                continue  # render_sharded() owns these lines
             diff = self.equivalence_max_abs_diff.get(key)
             suffix = "" if diff is None else f" (max abs output diff {diff:.2e})"
             lines.append(
                 f"{key}: vectorized vs reference speedup {speedup:.1f}x{suffix}"
             )
+        lines.extend(self.render_sharded())
         return "\n".join(lines)
 
 
@@ -317,6 +358,192 @@ def _run_ingestion_suite(
         )
 
 
+def default_sharded_reports(smoke: bool = False) -> int:
+    """Report count of the sharded streaming-ingestion case."""
+    return 20_000 if smoke else 1_000_000
+
+
+def _run_sharded_suite(
+    report: BenchReport,
+    smoke: bool,
+    seed: int,
+    max_workers: Optional[int],
+    num_reports: int,
+    rng: np.random.Generator,
+) -> None:
+    """Benchmark the metropolitan sharded path against the monolith.
+
+    Full profile: the shanghai-inner-like network (5,812 segments), a
+    one-week 15-minute truth matrix at 20% integrity, a 16-tile grid
+    partition with a 1-hop halo, and a million-report columnar stream.
+    Smoke swaps in the 221-segment downtown network with the same
+    record/summary schema.  Each side is timed once — the monolithic
+    metro solve is far too slow to repeat, and at these wall times
+    scheduler noise is negligible.
+
+    The monolithic reference runs the paper's full
+    :data:`~repro.core.completion.PAPER_ITERATIONS` sweep budget —
+    exactly what ``TrafficEstimator`` / ``repro estimate`` spend on this
+    matrix by default — while the sharded side spends its multilevel
+    budget (5 city-wide seed sweeps + 8 warm per-shard sweeps).  The
+    speedup is therefore the end-to-end estimator replacement ratio,
+    not a per-sweep kernel comparison; the accuracy cost of the smaller
+    budget is exactly what ``nmae_delta`` records.
+
+    No equivalence assertion here: the multilevel regime trades a
+    bounded accuracy delta for wall clock by design.  The delta is
+    *recorded* (``sharded.nmae_delta``) and gated from the committed
+    baseline by ``benchmarks/perf/test_bench_sharded.py``.
+    """
+    from repro.core.completion import PAPER_ITERATIONS
+    from repro.core.tcm import TrafficConditionMatrix
+    from repro.roadnet.generators import shanghai_downtown_like, shanghai_inner_like
+    from repro.scale import GridPartitioner, ShardedCompleter, ShardedStreamingEstimator
+
+    network = shanghai_downtown_like() if smoke else shanghai_inner_like()
+    slots = 96 if smoke else 672
+    num_shards = 4 if smoke else 16
+    halo = 1
+    sweeps = 20 if smoke else PAPER_ITERATIONS
+    n = network.num_segments
+    case = f"sharded-{slots}x{n}@{HEADLINE_INTEGRITY:.2f}"
+
+    truth = _make_truth(slots, n, rng)
+    mask = random_integrity_mask((slots, n), HEADLINE_INTEGRITY, seed=rng)
+    measured = np.where(mask, truth, 0.0)
+    missing = ~mask
+    tcm = TrafficConditionMatrix(
+        measured,
+        mask,
+        grid=TimeGrid(0.0, 900.0, slots),
+        segment_ids=network.segment_ids,
+    )
+
+    mono = CompressiveSensingCompleter(
+        rank=2,
+        lam=10.0,
+        iterations=sweeps,
+        center=True,
+        clip_min=0.0,
+        clip_max=150.0,
+        max_workers=max_workers,
+        seed=seed,
+    )
+    mono_wall, mono_result = _time_best(
+        lambda: mono.complete(measured, mask), 1
+    )
+    mono_nmae = nmae(truth, mono_result.estimate, missing)  # type: ignore[union-attr]
+    report.records.append(
+        BenchRecord(
+            case=case,
+            algorithm="cs-monolithic",
+            wall_s=mono_wall,
+            repeats=1,
+            sweeps=mono_result.iterations_run,  # type: ignore[union-attr]
+            objective=float(mono_result.objective),  # type: ignore[union-attr]
+            nmae_missing=mono_nmae,
+        )
+    )
+
+    shards = GridPartitioner(num_shards, halo=halo).partition(network)
+    completer = ShardedCompleter(
+        rank=2,
+        lam=10.0,
+        iterations=sweeps,
+        seed_iterations=5,
+        warm_iterations=8,
+        center=True,
+        clip_min=0.0,
+        clip_max=150.0,
+        max_workers=max_workers,
+        seed=seed,
+    )
+    sharded_wall, sharded_result = _time_best(
+        lambda: completer.complete(tcm, shards), 1
+    )
+    sharded_nmae = nmae(truth, sharded_result.estimate, missing)  # type: ignore[union-attr]
+    report.records.append(
+        BenchRecord(
+            case=case,
+            algorithm="cs-sharded",
+            wall_s=sharded_wall,
+            repeats=1,
+            sweeps=5 + 8,  # multilevel budget: seed + warm sweeps
+            nmae_missing=sharded_nmae,
+        )
+    )
+
+    speedup = mono_wall / sharded_wall
+    report.speedups[case] = speedup
+    report.sharded = {
+        "case": case,
+        "segments": n,
+        "slots": slots,
+        "integrity": HEADLINE_INTEGRITY,
+        "shards": len(shards),
+        "halo": halo,
+        "mode": sharded_result.mode,  # type: ignore[union-attr]
+        "wall_monolithic_s": mono_wall,
+        "wall_sharded_s": sharded_wall,
+        "stitch_s": sharded_result.stitch_s,  # type: ignore[union-attr]
+        "speedup": speedup,
+        "nmae_monolithic": mono_nmae,
+        "nmae_sharded": sharded_nmae,
+        "nmae_delta": abs(sharded_nmae - mono_nmae),
+    }
+
+    # ------------------------------------------------------------------
+    # Columnar streaming ingestion: num_reports probe reports, already
+    # map-matched (segment ids attached), pushed through the sharded
+    # sliding-window estimator in one batch.
+    day_s = 86_400.0
+    times = np.sort(rng.uniform(0.0, day_s, num_reports))
+    segs = np.asarray(network.segment_ids, dtype=np.int64)[
+        rng.integers(0, n, num_reports)
+    ]
+    batch = ReportBatch.from_columns(
+        rng.integers(0, max(1, num_reports // 50), num_reports),
+        times,
+        np.zeros(num_reports),
+        np.zeros(num_reports),
+        rng.uniform(5.0, 70.0, num_reports),
+        segment_ids=segs,
+        assume_sorted=True,
+    )
+    streamer = ShardedStreamingEstimator(
+        network,
+        shards=num_shards,
+        halo=0,
+        slot_s=900.0,
+        window_slots=24,
+        warm_iterations=4,
+        cold_iterations=8,
+        seed=seed,
+    )
+    start = time.perf_counter()
+    streamer.ingest_batch(batch)
+    streamer.flush()
+    ingest_wall = time.perf_counter() - start
+    ingest_case = f"sharded-ingest-{num_reports // 1000}k"
+    report.records.append(
+        BenchRecord(
+            case=ingest_case,
+            algorithm="sharded-stream-ingest",
+            wall_s=ingest_wall,
+            repeats=1,
+        )
+    )
+    report.sharded["ingestion"] = {
+        "reports": num_reports,
+        "wall_s": ingest_wall,
+        "reports_per_s": num_reports / ingest_wall,
+        "slots_closed": len(streamer.estimates),
+        "recompletions": streamer.recompletions,
+        "recompletions_skipped": streamer.recompletions_skipped,
+        "shards": streamer.num_shards,
+    }
+
+
 def _run_backend_suite(
     report: BenchReport,
     case: BenchCase,
@@ -430,6 +657,8 @@ def run_perf_bench(
     include_baselines: bool = True,
     include_ingestion: bool = True,
     ingestion_reports: Optional[int] = None,
+    include_sharded: bool = True,
+    sharded_reports: Optional[int] = None,
     max_workers: Optional[int] = None,
     strict: bool = True,
 ) -> BenchReport:
@@ -462,6 +691,11 @@ def run_perf_bench(
         Also time the probe ingestion pipeline (vectorized vs scalar
         map-matching and aggregation) on ``ingestion_reports`` reports
         (default :func:`default_ingestion_reports` for the profile).
+    include_sharded, sharded_reports:
+        Also run the metropolitan sharded suite: monolithic vs tiled
+        completion of the metro-scale matrix plus a ``sharded_reports``
+        columnar stream through the sharded sliding-window estimator
+        (default :func:`default_sharded_reports` for the profile).
     max_workers:
         Forwarded to the completer/tuner (restart + fitness pools).
     strict:
@@ -642,6 +876,20 @@ def run_perf_bench(
             else default_ingestion_reports(smoke)
         )
         _run_ingestion_suite(report, num_reports, n_repeats, rng, strict)
+
+    if include_sharded:
+        _run_sharded_suite(
+            report,
+            smoke=smoke,
+            seed=seed,
+            max_workers=max_workers,
+            num_reports=(
+                sharded_reports
+                if sharded_reports is not None
+                else default_sharded_reports(smoke)
+            ),
+            rng=rng,
+        )
 
     return report
 

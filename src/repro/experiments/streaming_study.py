@@ -104,15 +104,9 @@ def _run_stream(
         seed=config.seed,
     )
     if not warm:
-        # Disable warm starting by clearing the carried factor each
-        # update; every solve then pays the cold iteration budget.
-        original = streamer._recomplete
-
-        def cold_recomplete(values, mask):
-            streamer._warm_left = None
-            return original(values, mask)
-
-        streamer._recomplete = cold_recomplete
+        # Disable warm starting; every solve then pays the cold
+        # iteration budget.
+        streamer._window.warm_start = False
     streamer.ingest_many(list(reports))
     streamer.flush()
     return streamer.estimates

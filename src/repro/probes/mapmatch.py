@@ -104,34 +104,109 @@ def _numba_match_factory() -> object:  # pragma: no cover - requires numba
     return score_group
 
 
+def derive_cell_m(
+    network: RoadNetwork, pad_m: float = 60.0, segments_per_cell: float = 8.0
+) -> float:
+    """Pick a grid cell size from the network's segment density.
+
+    Sizes the cell so an average cell holds about ``segments_per_cell``
+    segments: dense downtowns get small cells (short candidate lists),
+    sparse metros get large ones (few empty cells).  Clamped to
+    ``[max(100, 2 * pad_m), 1600]`` metres so neither a degenerate
+    bounding box nor extreme density produces a pathological grid;
+    correctness never depends on the value because ``pad_m`` registers
+    every segment in all cells within the matching radius.
+    """
+    min_x, min_y, max_x, max_y = network.bounding_box()
+    area = (max_x - min_x) * (max_y - min_y)
+    lo = max(100.0, 2.0 * pad_m)
+    if area <= 0.0:
+        return lo
+    cell = math.sqrt(segments_per_cell * area / network.num_segments)
+    return float(min(1600.0, max(lo, cell)))
+
+
 class GridIndex:
     """Uniform-grid spatial index over road segments.
 
     Each segment is registered in every cell its bounding box overlaps
     (padded by ``pad_m``), so a nearest-segment query only inspects the
     cells around the query point.
+
+    ``cell_m=None`` (the default) derives the cell size from segment
+    density via :func:`derive_cell_m`.  Construction is array-based:
+    per-segment cell ranges are computed vectorized and bulk-grouped
+    into cells with one stable sort, so indexing a metropolitan network
+    does no per-segment Python work.  Cell membership lists stay in
+    segment-id order — the first-wins tie-breaking of the matchers
+    depends on it.
     """
 
-    def __init__(self, network: RoadNetwork, cell_m: float = 400.0, pad_m: float = 60.0):
-        check_positive(cell_m, "cell_m")
+    def __init__(
+        self,
+        network: RoadNetwork,
+        cell_m: Optional[float] = None,
+        pad_m: float = 60.0,
+    ):
         if pad_m < 0:
             raise ValueError(f"pad_m must be >= 0, got {pad_m}")
+        if cell_m is None:
+            cell_m = derive_cell_m(network, pad_m)
+        check_positive(cell_m, "cell_m")
         self.network = network
         self.cell_m = cell_m
         self.pad_m = pad_m
-        self._cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
-        for seg in network.segments():
-            min_x = min(seg.start_point.x, seg.end_point.x) - pad_m
-            max_x = max(seg.start_point.x, seg.end_point.x) + pad_m
-            min_y = min(seg.start_point.y, seg.end_point.y) - pad_m
-            max_y = max(seg.start_point.y, seg.end_point.y) + pad_m
-            for cx in range(self._coord(min_x), self._coord(max_x) + 1):
-                for cy in range(self._coord(min_y), self._coord(max_y) + 1):
-                    self._cells[(cx, cy)].append(seg.segment_id)
+        self._cells: Dict[Tuple[int, int], List[int]] = self._build_cells()
         # (cx, cy, rings) -> candidate segment ids as an int64 array, in
         # exactly the order candidates() yields them (first-wins ties in
         # the vectorized matcher then agree with the scalar loop).
         self._array_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
+
+    def _build_cells(self) -> Dict[Tuple[int, int], List[int]]:
+        """Bulk-assign every segment to the cells its padded bbox overlaps."""
+        segments = self.network.segments()
+        seg_ids = np.fromiter(
+            (s.segment_id for s in segments), np.int64, len(segments)
+        )
+        sx = np.fromiter((s.start_point.x for s in segments), np.float64, len(segments))
+        sy = np.fromiter((s.start_point.y for s in segments), np.float64, len(segments))
+        ex = np.fromiter((s.end_point.x for s in segments), np.float64, len(segments))
+        ey = np.fromiter((s.end_point.y for s in segments), np.float64, len(segments))
+        pad, cell = self.pad_m, self.cell_m
+        cx0 = np.floor((np.minimum(sx, ex) - pad) / cell).astype(np.int64)
+        cx1 = np.floor((np.maximum(sx, ex) + pad) / cell).astype(np.int64)
+        cy0 = np.floor((np.minimum(sy, ey) - pad) / cell).astype(np.int64)
+        cy1 = np.floor((np.maximum(sy, ey) + pad) / cell).astype(np.int64)
+
+        # Expand each segment to one row per overlapped cell.
+        nx = cx1 - cx0 + 1
+        ny = cy1 - cy0 + 1
+        counts = nx * ny
+        total = int(counts.sum())
+        rows = np.repeat(np.arange(seg_ids.size), counts)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        k = np.arange(total) - np.repeat(starts, counts)
+        cxs = cx0[rows] + k // ny[rows]
+        cys = cy0[rows] + k % ny[rows]
+
+        # Group rows by cell.  The expansion above emits segments in id
+        # order, so a stable sort keeps each cell's membership list in
+        # id order — the invariant the first-wins matchers rely on.
+        height = int(cys.max() - cys.min()) + 1 if total else 1
+        key = (cxs - (cxs.min() if total else 0)) * height + (
+            cys - (cys.min() if total else 0)
+        )
+        order = np.argsort(key, kind="stable")
+        skey = key[order]
+        sseg = seg_ids[rows[order]]
+        scx = cxs[order]
+        scy = cys[order]
+        cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        bounds = np.flatnonzero(np.r_[True, skey[1:] != skey[:-1]])
+        ends = np.r_[bounds[1:], skey.size]
+        for lo, hi in zip(bounds, ends):
+            cells[(int(scx[lo]), int(scy[lo]))] = sseg[lo:hi].tolist()
+        return cells
 
     def _coord(self, v: float) -> int:
         return int(math.floor(v / self.cell_m))
@@ -185,7 +260,8 @@ class MapMatcher:
     max_distance_m:
         Fixes farther than this from every segment are rejected (-1).
     cell_m:
-        Spatial index cell size; should exceed ``max_distance_m``.
+        Spatial index cell size; ``None`` (default) derives it from the
+        network's segment density (:func:`derive_cell_m`).
     heading_penalty_m:
         Distance-equivalent penalty at full heading disagreement.
     """
@@ -203,11 +279,10 @@ class MapMatcher:
         self.network = network
         self.max_distance_m = max_distance_m
         self.heading_penalty_m = heading_penalty_m
-        self.index = GridIndex(
-            network,
-            cell_m=cell_m if cell_m is not None else max(200.0, 4 * max_distance_m),
-            pad_m=max_distance_m,
-        )
+        # cell_m=None lets the index derive the cell size from segment
+        # density; pad_m=max_distance_m guarantees ring-1 correctness
+        # regardless of the derived value.
+        self.index = GridIndex(network, cell_m=cell_m, pad_m=max_distance_m)
         self._courses: Dict[int, float] = {
             seg.segment_id: heading_deg(seg.start_point, seg.end_point)
             for seg in network.segments()

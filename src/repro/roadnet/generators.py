@@ -216,12 +216,29 @@ def _trim_to_segment_count(network: RoadNetwork, target: int) -> RoadNetwork:
             f"cannot trim to {target} segments; network has {len(segs)}"
         )
 
-    def midpoint_radius(seg: RoadSegment) -> float:
-        mx = (seg.start_point.x + seg.end_point.x) / 2
-        my = (seg.start_point.y + seg.end_point.y) / 2
-        return math.hypot(mx, my)
+    # One vectorized (radius, id) lexsort replaces the two Python sorts
+    # the per-segment key functions used to drive: ``segs`` is already in
+    # id order, so a stable sort by radius tie-breaks by id — exactly the
+    # (midpoint_radius, segment_id) renumbering order.
+    count = len(segs)
+    # math.hypot, not np.hypot: they differ in the last ulp on some
+    # inputs, and the trim boundary must not move from the original
+    # per-segment implementation.
+    radii = np.fromiter(
+        (
+            math.hypot(
+                (s.start_point.x + s.end_point.x) / 2,
+                (s.start_point.y + s.end_point.y) / 2,
+            )
+            for s in segs
+        ),
+        np.float64,
+        count,
+    )
+    seg_ids = np.fromiter((s.segment_id for s in segs), np.int64, count)
+    order = np.lexsort((seg_ids, radii))[:target]
 
-    kept = sorted(segs, key=midpoint_radius)[:target]
+    kept = [segs[i] for i in order]
     kept_nodes = set()
     for seg in kept:
         kept_nodes.add(seg.start)
@@ -239,9 +256,7 @@ def _trim_to_segment_count(network: RoadNetwork, target: int) -> RoadNetwork:
             free_flow_kmh=seg.free_flow_kmh,
             canyon_factor=seg.canyon_factor,
         )
-        for i, seg in enumerate(
-            sorted(kept, key=lambda s: (midpoint_radius(s), s.segment_id))
-        )
+        for i, seg in enumerate(kept)
     ]
     return RoadNetwork(intersections, renumbered, name=network.name)
 

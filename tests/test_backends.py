@@ -281,8 +281,9 @@ class TestStreamingDtype:
             est.ingest(_probe(t + 5, 0, 30.0))
             est.ingest(_probe(t + 10, 1, 30.0))
         est.flush()
-        assert est._warm_left is not None
-        assert est._warm_left.dtype == np.float32
+        warm_left = est._window._warm_left
+        assert warm_left is not None
+        assert warm_left.dtype == np.float32
         assert est.estimates and np.isfinite(est.estimates[-1].speeds_kmh).all()
 
     def test_bad_backend_fails_at_construction(self):

@@ -78,6 +78,57 @@ class TestPipeline:
         out = capsys.readouterr().out
         assert "NMAE" in out
 
+    def test_sharded_estimate_with_network(self, network_path, tmp_path, capsys):
+        prefix = tmp_path / "data"
+        main([
+            "gen-dataset", str(network_path), str(prefix),
+            "--days", "0.25", "--vehicles", "40", "--slot-s", "900",
+        ])
+        measured = tmp_path / "data-measured.npz"
+        estimate = tmp_path / "sharded.npz"
+        rc = main([
+            "estimate", str(measured), str(estimate),
+            "--shards", "4", "--halo", "1", "--network", str(network_path),
+            "--iterations", "20", "--lam", "10",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shards" in out and "multilevel" in out
+        assert load_tcm(estimate).is_complete
+
+    def test_sharded_estimate_without_network_uses_contiguous(
+        self, network_path, tmp_path, capsys
+    ):
+        prefix = tmp_path / "d2"
+        main([
+            "gen-dataset", str(network_path), str(prefix),
+            "--days", "0.25", "--vehicles", "40", "--slot-s", "900",
+        ])
+        estimate = tmp_path / "sharded2.npz"
+        rc = main([
+            "estimate", str(tmp_path / "d2-measured.npz"), str(estimate),
+            "--shards", "3", "--partitioner", "contiguous",
+            "--iterations", "20", "--lam", "10",
+        ])
+        assert rc == 0
+        assert load_tcm(estimate).is_complete
+        capsys.readouterr()
+
+    def test_sharded_estimate_rejects_auto_tune(self, tmp_path, capsys):
+        from repro.core.tcm import TrafficConditionMatrix
+
+        rng = np.random.default_rng(0)
+        values = rng.uniform(10.0, 60.0, (6, 8))
+        mask = rng.random((6, 8)) < 0.5
+        src = tmp_path / "m.npz"
+        save_tcm(TrafficConditionMatrix(np.where(mask, values, 0.0)), src)
+        rc = main([
+            "estimate", str(src), str(tmp_path / "o.npz"),
+            "--shards", "2", "--auto-tune",
+        ])
+        assert rc == 2
+        assert "auto-tune" in capsys.readouterr().err
+
     def test_integrity_report(self, network_path, tmp_path, capsys):
         prefix = tmp_path / "d"
         main([

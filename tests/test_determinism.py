@@ -8,6 +8,7 @@ from repro.analysis.determinism import (
     DeterminismReport,
     WALL_CLOCK_JOBS,
     check_completion,
+    check_sharded,
     check_tuning,
     run_determinism_suite,
 )
@@ -29,7 +30,7 @@ class TestReportShape:
             run_determinism_suite(checks=["nope"], smoke=True)
 
     def test_check_names(self):
-        assert set(CHECKS) == {"completion", "tuning", "run-all"}
+        assert set(CHECKS) == {"completion", "tuning", "sharded", "run-all"}
         assert set(WALL_CLOCK_JOBS) == {"runtimes", "streaming"}
 
 
@@ -42,6 +43,11 @@ class TestSmokeChecks:
     def test_tuning_bit_identical(self):
         check = check_tuning(seed=0, max_workers=2, smoke=True)
         assert check.ok, check.detail
+
+    def test_sharded_bit_identical(self):
+        check = check_sharded(seed=0, max_workers=2, smoke=True)
+        assert check.ok, check.detail
+        assert "exact + multilevel" in check.detail
 
     def test_suite_subset(self):
         report = run_determinism_suite(

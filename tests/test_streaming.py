@@ -152,8 +152,8 @@ class TestEstimation:
             est.ingest(report(k * 60.0 + 5, 0, 30.0))
             est.ingest(report(k * 60.0 + 15, 1, 35.0))
         est.flush()
-        assert est._warm_left is not None
-        assert est._warm_left.shape[0] == 3
+        assert est._window._warm_left is not None
+        assert est._window._warm_left.shape[0] == 3
 
 
 class TestEdgeCases:
@@ -179,8 +179,8 @@ class TestEdgeCases:
         assert result.speeds_kmh[0] == pytest.approx(30.0)
         assert np.all(np.isfinite(result.speeds_kmh))
         assert np.all(result.speeds_kmh >= 0.0)
-        assert est._warm_left is not None
-        assert est._warm_left.shape[0] == 1
+        assert est._window._warm_left is not None
+        assert est._window._warm_left.shape[0] == 1
 
     def test_empty_slot_between_observed_slots(self):
         # A fully unobserved slot inside an observed stream still gets a
