@@ -183,21 +183,29 @@ class Program:
     # ------------------------------------------------------------------
     @classmethod
     def load(
-        cls, files: Sequence[Tuple[str, str]], names: Optional[Sequence[str]] = None
+        cls,
+        files: Sequence[Tuple[str, str]],
+        names: Optional[Sequence[str]] = None,
+        trees: Optional[Sequence[Optional[ast.Module]]] = None,
     ) -> "Program":
         """Build a program from ``(path, source)`` pairs.
 
         ``names`` overrides the derived module names positionally (used
-        by tests to build multi-module programs from strings).  Files
-        that do not parse are skipped — the per-file lint pass already
+        by tests to build multi-module programs from strings).
+        ``trees`` supplies pre-parsed ASTs positionally so callers that
+        already parsed the sources (the lint runner) pay for parsing
+        once; a ``None`` entry falls back to parsing here.  Files that
+        do not parse are skipped — the per-file lint pass already
         reports the ``SyntaxError``.
         """
         program = cls()
         for i, (path, source) in enumerate(files):
-            try:
-                tree = ast.parse(source, filename=path)
-            except SyntaxError:
-                continue
+            tree = trees[i] if trees is not None else None
+            if tree is None:
+                try:
+                    tree = ast.parse(source, filename=path)
+                except SyntaxError:
+                    continue
             name = names[i] if names is not None else module_name_for(path)
             program._add_module(name, path, tree, source.splitlines())
         program._resolve_all_calls()

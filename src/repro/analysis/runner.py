@@ -18,10 +18,14 @@ The run has three passes:
 2. **Whole-program pass** — all files are loaded into one
    :class:`~repro.analysis.callgraph.Program`, the effect fixpoint is
    computed (:mod:`repro.analysis.effects`), and the transitive
-   parallel-safety checks plus ``@effects`` contract verification run
+   parallel-safety checks, ``@effects`` contract verification, and the
+   static shape/dtype verifier (:mod:`repro.analysis.shapecheck`) run
    over the call graph.  Program findings carry provenance chains on
    ``Finding.trace`` and are suppressed by the same inline comments,
-   keyed on the file and line they anchor to.
+   keyed on the file and line they anchor to.  Where the semantic
+   ``dtype-policy-violation`` fires inside a ``@hot_path``, the
+   syntactic dtype-drift findings on the same line are superseded
+   (dropped) — the proof subsumes the heuristic.
 3. **Suppression audit** — when the full registry ran, every
    ``# repro-lint: disable[-next-line]=...`` comment that silenced
    nothing is itself reported as ``unused-suppression`` (so stale
@@ -43,6 +47,7 @@ from repro.analysis.effects import contract_findings, infer_effects
 from repro.analysis.findings import Finding
 from repro.analysis.parallel_rules import transitive_worker_findings
 from repro.analysis.rules import REGISTRY, FileContext, Rule, all_rules
+from repro.analysis.shapecheck import shape_findings
 
 __all__ = [
     "PROGRAM_RULE_NAMES",
@@ -57,7 +62,22 @@ __all__ = [
 #: them via ``--rules`` keeps the program pass running; selecting none
 #: skips it entirely.
 PROGRAM_RULE_NAMES = frozenset(
-    {"worker-shared-state", "fork-unsafe-rng", "unordered-iteration", "effect-contract"}
+    {
+        "worker-shared-state",
+        "fork-unsafe-rng",
+        "unordered-iteration",
+        "effect-contract",
+        "shape-mismatch",
+        "rank-mismatch",
+        "static-contract-violation",
+        "dtype-policy-violation",
+    }
+)
+
+#: Syntactic dtype-drift rules superseded (per line) by a semantic
+#: ``dtype-policy-violation`` proof from the shape verifier.
+_SYNTACTIC_DTYPE_RULES = frozenset(
+    {"dtype-upcast-in-hot-path", "implicit-float64-literal", "dtype-dropping-op"}
 )
 
 _SUPPRESS_RE = re.compile(
@@ -173,12 +193,17 @@ def _unused_suppression_findings(
     return out
 
 
-def _program_findings(files: Sequence[Tuple[str, str]]) -> List[Finding]:
-    """Whole-program pass: transitive worker checks + @effects contracts."""
-    program = Program.load(files)
+def _parse_module(path: str, source: str) -> ast.Module:
+    """Parse one source file (kept separate so tests can count parses)."""
+    return ast.parse(source, filename=path)
+
+
+def _program_findings(program: Program) -> List[Finding]:
+    """Whole-program pass: worker checks + @effects + shape contracts."""
     effects = infer_effects(program)
     findings = transitive_worker_findings(program, effects)
     findings.extend(contract_findings(program, effects))
+    findings.extend(shape_findings(program))
     return findings
 
 
@@ -208,10 +233,38 @@ def lint_sources(
     suppressed_by_path: Dict[str, List[Finding]] = {}
     lines_by_path: Dict[str, Sequence[str]] = {}
 
+    # Parse each source exactly once: the per-file rules, the program
+    # pass, and the audit all share these trees.  Without the program
+    # pass only the reported-on files need parsing at all.
+    trees: Dict[str, ast.Module] = {}
+    parse_errors: Dict[str, SyntaxError] = {}
+    for path, source in files:
+        if not run_program and changed is not None and path not in changed:
+            continue
+        try:
+            trees[path] = _parse_module(path, source)
+        except SyntaxError as exc:
+            parse_errors[path] = exc
+
+    # The program pass runs first so its semantic dtype proofs can
+    # supersede the per-file syntactic dtype pack on the same lines.
+    program_findings: List[Finding] = []
+    if run_program:
+        loaded = [(path, source) for path, source in files if path in trees]
+        program = Program.load(loaded, trees=[trees[path] for path, _ in loaded])
+        program_findings = _program_findings(program)
+    superseded_lines = {
+        (f.path, f.line)
+        for f in program_findings
+        if f.rule == "dtype-policy-violation"
+    }
+
     for path, source in files:
         if changed is not None and path not in changed:
             continue
-        tree = ast.parse(source, filename=path)
+        if path in parse_errors:
+            raise parse_errors[path]
+        tree = trees[path]
         source_lines = source.splitlines()
         ctx = FileContext(path=path, source_lines=source_lines)
         suppressions = _parse_suppressions(source)
@@ -220,23 +273,27 @@ def lint_sources(
         lines_by_path[path] = source_lines
         for rule in selected:
             for finding in rule.check(tree, ctx):
+                if (
+                    finding.rule in _SYNTACTIC_DTYPE_RULES
+                    and (finding.path, finding.line) in superseded_lines
+                ):
+                    continue  # the semantic proof subsumes the heuristic
                 if _is_suppressed(finding, suppressions):
                     suppressed.append(finding)
                     suppressed_by_path[path].append(finding)
                 else:
                     active.append(finding)
 
-    if run_program:
-        for finding in _program_findings(files):
-            if finding.path not in suppression_maps:
-                continue  # anchored outside the reported-on set
-            if not full_registry and finding.rule not in selected_names:
-                continue
-            if _is_suppressed(finding, suppression_maps[finding.path]):
-                suppressed.append(finding)
-                suppressed_by_path[finding.path].append(finding)
-            else:
-                active.append(finding)
+    for finding in program_findings:
+        if finding.path not in suppression_maps:
+            continue  # anchored outside the reported-on set
+        if not full_registry and finding.rule not in selected_names:
+            continue
+        if _is_suppressed(finding, suppression_maps[finding.path]):
+            suppressed.append(finding)
+            suppressed_by_path[finding.path].append(finding)
+        else:
+            active.append(finding)
 
     if full_registry:
         for path in suppression_maps:

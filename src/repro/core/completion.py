@@ -466,6 +466,7 @@ class CompressiveSensingCompleter:
             return None
         return self._backend.bind(m_arr, b_arr, self.lam, rank)
 
+    @shapes("m r", "m n", "m n:bool")
     def _solve_right(
         self,
         left: np.ndarray,
@@ -483,6 +484,7 @@ class CompressiveSensingCompleter:
             return self._masked_solver()(left, m_arr, b_arr, self.lam)
         return _stacked_solve(left, m_arr, self.lam).T
 
+    @shapes("n r", "m n", "m n:bool")
     def _solve_left(
         self,
         right: np.ndarray,
@@ -502,6 +504,7 @@ class CompressiveSensingCompleter:
 
     @effects("pure")
     @hot_path
+    @shapes("m r", "n r", "m n", "m n", "m n")
     def _objective(
         self,
         left: np.ndarray,

@@ -47,6 +47,7 @@ from repro.core.tcm import TimeGrid, TrafficConditionMatrix
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.probes.report import ProbeReport
+from repro.utils.contracts import shapes
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive
 
@@ -406,6 +407,7 @@ class StreamingEstimator:
         )
 
 
+@shapes(None, "m n", "m n:bool", "m r")
 def _warm_complete(
     completer: CompressiveSensingCompleter,
     m_arr: np.ndarray,

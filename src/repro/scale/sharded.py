@@ -61,6 +61,7 @@ from repro.probes.aggregation import AggregationConfig, aggregate_reports
 from repro.probes.report import ReportBatch
 from repro.roadnet.network import RoadNetwork
 from repro.scale.partition import Shard, make_partitioner, validate_shards
+from repro.utils.contracts import shapes
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import SeedLike
 
@@ -215,6 +216,7 @@ class ShardedCompleter:
             seed=self._seed,
         )
 
+    @shapes(TrafficConditionMatrix)
     def complete(
         self,
         measurements: TrafficConditionMatrix,
@@ -289,6 +291,7 @@ class ShardedCompleter:
         )
 
     # ------------------------------------------------------------------
+    @shapes("m n", "m n:bool")
     def _solve_seed(
         self, values: np.ndarray, mask: np.ndarray
     ) -> CompletionResult:
@@ -299,6 +302,7 @@ class ShardedCompleter:
         with obs_trace.span("scale.seed_solve", sweeps=self.seed_iterations):
             return completer.complete(values, mask)
 
+    @shapes("m n", "m n:bool")
     def _solve_exact(
         self,
         values: np.ndarray,
@@ -328,6 +332,7 @@ class ShardedCompleter:
             span_name="scale.shard_solve",
         )
 
+    @shapes("m n", "m n:bool", None, "m r", "m n")
     def _solve_warm(
         self,
         values: np.ndarray,
@@ -393,6 +398,7 @@ class ShardedCompleter:
         return _Tracker()
 
 
+@shapes(None, "m n:bool")
 def _stitch(
     shape: Tuple[int, int],
     mask: np.ndarray,
@@ -559,6 +565,7 @@ class ShardedEstimator:
         return len(self.shards)
 
     # ------------------------------------------------------------------
+    @shapes(ReportBatch, TimeGrid)
     def aggregate(
         self, reports: ReportBatch, grid: TimeGrid
     ) -> TrafficConditionMatrix:
@@ -567,6 +574,7 @@ class ShardedEstimator:
             reports, grid, self.network.segment_ids, self.aggregation
         )
 
+    @shapes(ReportBatch, TimeGrid)
     def estimate_from_reports(
         self, reports: ReportBatch, grid: TimeGrid
     ) -> ShardedEstimationOutput:
@@ -577,6 +585,7 @@ class ShardedEstimator:
             measurements = self.aggregate(reports, grid)
             return self.estimate(measurements)
 
+    @shapes(TrafficConditionMatrix)
     def estimate(
         self, measurements: TrafficConditionMatrix
     ) -> ShardedEstimationOutput:

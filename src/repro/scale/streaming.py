@@ -32,6 +32,7 @@ from repro.probes.aggregation import _column_lookup, _columns_of
 from repro.probes.report import ProbeReport, ReportBatch
 from repro.roadnet.network import RoadNetwork
 from repro.scale.partition import Shard, make_partitioner, validate_shards
+from repro.utils.contracts import shapes
 from repro.utils.rng import SeedLike, spawn_rngs
 from repro.utils.validation import check_positive
 
@@ -133,6 +134,7 @@ class ShardedStreamingEstimator:
         return len(self.shards)
 
     # ------------------------------------------------------------------
+    @shapes(ProbeReport)
     def ingest(self, report: ProbeReport) -> List[SlotEstimate]:
         """Feed one report; returns estimates for any slots that closed."""
         slot = int((report.time_s - self.start_s) // self.slot_s)
@@ -153,6 +155,7 @@ class ShardedStreamingEstimator:
         return closed
 
     @obs_trace.traced("scale.ingest_batch")
+    @shapes(ReportBatch)
     def ingest_batch(self, batch: ReportBatch) -> List[SlotEstimate]:
         """Feed a columnar report batch (the million-report path).
 

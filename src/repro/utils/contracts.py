@@ -52,15 +52,14 @@ from typing import (
 
 import numpy as np
 
+from repro.utils.shapespec import DTYPE_FAMILIES, ShapeSpec, parse_shape_spec
+
 F = TypeVar("F", bound=Callable[..., Any])
 
 _TRUTHY = frozenset(("1", "true", "yes", "on"))
-_DTYPE_FAMILIES: Dict[str, str] = {
-    # Spec suffix -> accepted numpy dtype kinds.
-    "float": "fiu",  # real numeric (ints promote losslessly)
-    "bool": "biu",  # indicator matrices are commonly int 0/1
-    "int": "iub",
-}
+#: Backward-compatible alias; the grammar lives in :mod:`repro.utils.shapespec`
+#: so the static verifier parses the exact same spec language.
+_DTYPE_FAMILIES: Dict[str, str] = DTYPE_FAMILIES
 
 _forced: Optional[bool] = None
 
@@ -86,34 +85,15 @@ def set_enabled(flag: Optional[bool]) -> None:
 # Spec parsing
 # ----------------------------------------------------------------------
 class _ArraySpec:
-    """One parsed ``"m n:bool"`` style spec."""
+    """One parsed ``"m n:bool"`` style spec (grammar: :mod:`~repro.utils.shapespec`)."""
 
-    __slots__ = ("dims", "kinds", "raw")
+    __slots__ = ("dims", "kinds", "raw", "spec")
 
     def __init__(self, raw: str):
         self.raw = raw
-        spec, _, dtype = raw.partition(":")
-        dtype = dtype.strip()
-        if dtype and dtype not in _DTYPE_FAMILIES:
-            families = ", ".join(sorted(_DTYPE_FAMILIES))
-            raise ValueError(f"unknown dtype family {dtype!r} (known: {families})")
-        self.kinds = _DTYPE_FAMILIES.get(dtype, "")
-        self.dims: List[Union[str, int]] = []
-        tokens = spec.split()
-        if not tokens:
-            raise ValueError(f"empty shape spec in {raw!r}")
-        for token in tokens:
-            if token == "*":
-                self.dims.append("*")
-            elif token.lstrip("-").isdigit():
-                size = int(token)
-                if size < 0:
-                    raise ValueError(f"negative dim {token!r} in spec {raw!r}")
-                self.dims.append(size)
-            elif token.isidentifier():
-                self.dims.append(token)
-            else:
-                raise ValueError(f"bad dim token {token!r} in spec {raw!r}")
+        self.spec: ShapeSpec = parse_shape_spec(raw)
+        self.dims: List[Union[str, int]] = list(self.spec.dims)
+        self.kinds = self.spec.kinds
 
     def check(
         self, name: str, value: np.ndarray, bindings: Dict[str, int], where: str

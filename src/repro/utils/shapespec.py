@@ -1,0 +1,91 @@
+"""Shared grammar for ``@shapes`` array specs.
+
+One spec string describes one array argument::
+
+    "m n"        two symbolic dims, bound consistently across arguments
+    "m n:bool"   same, constrained to the boolean-like dtype family
+    "3 *"        exact leading size, any trailing size
+
+Tokens are symbolic dims (identifiers), exact sizes (non-negative
+integers), or ``*`` (any size); an optional ``:float`` / ``:bool`` /
+``:int`` suffix constrains the dtype *family*.  The grammar is owned
+here so the runtime checker (:mod:`repro.utils.contracts`) and the
+static verifier (:mod:`repro.analysis.shapecheck`) can never disagree
+on what a spec means: both parse through :func:`parse_shape_spec` and a
+parsed :class:`ShapeSpec` renders back to a canonical spec string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+__all__ = [
+    "DTYPE_FAMILIES",
+    "DimToken",
+    "ShapeSpec",
+    "parse_shape_spec",
+]
+
+#: Spec suffix -> accepted numpy dtype kinds.
+DTYPE_FAMILIES: Dict[str, str] = {
+    "float": "fiu",  # real numeric (ints promote losslessly)
+    "bool": "biu",  # indicator matrices are commonly int 0/1
+    "int": "iub",
+}
+
+#: One dim of a spec: a symbolic name, an exact size, or the ``"*"`` wildcard.
+DimToken = Union[str, int]
+
+
+@dataclass(frozen=True)
+class ShapeSpec:
+    """One parsed ``"m n:bool"`` style spec."""
+
+    #: Dim tokens in axis order (``"*"`` is the literal wildcard string).
+    dims: Tuple[DimToken, ...]
+    #: Dtype family name (``""`` when the spec does not constrain dtype).
+    family: str = ""
+
+    @property
+    def rank(self) -> int:
+        """Required array rank (``ndim``)."""
+        return len(self.dims)
+
+    @property
+    def kinds(self) -> str:
+        """Accepted numpy dtype kinds (``""`` accepts every kind)."""
+        return DTYPE_FAMILIES.get(self.family, "")
+
+    def render(self) -> str:
+        """Canonical spec string; ``parse_shape_spec`` round-trips it."""
+        text = " ".join(str(dim) for dim in self.dims)
+        if self.family:
+            text += f":{self.family}"
+        return text
+
+
+def parse_shape_spec(raw: str) -> ShapeSpec:
+    """Parse a spec string; raises ``ValueError`` on bad grammar."""
+    spec, _, family = raw.partition(":")
+    family = family.strip()
+    if family and family not in DTYPE_FAMILIES:
+        families = ", ".join(sorted(DTYPE_FAMILIES))
+        raise ValueError(f"unknown dtype family {family!r} (known: {families})")
+    tokens = spec.split()
+    if not tokens:
+        raise ValueError(f"empty shape spec in {raw!r}")
+    dims: Tuple[DimToken, ...] = ()
+    for token in tokens:
+        if token == "*":
+            dims += ("*",)
+        elif token.lstrip("-").isdigit():
+            size = int(token)
+            if size < 0:
+                raise ValueError(f"negative dim {token!r} in spec {raw!r}")
+            dims += (size,)
+        elif token.isidentifier():
+            dims += (token,)
+        else:
+            raise ValueError(f"bad dim token {token!r} in spec {raw!r}")
+    return ShapeSpec(dims=dims, family=family)

@@ -1,0 +1,98 @@
+"""Tests for the shared ``@shapes`` spec grammar (``repro.utils.shapespec``).
+
+The grammar is owned by one parser used by both the runtime checker
+(:mod:`repro.utils.contracts`) and the static verifier
+(:mod:`repro.analysis.shapecheck`); these tests pin the round-trip
+property that keeps the two in agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.utils import contracts
+from repro.utils.shapespec import DTYPE_FAMILIES, ShapeSpec, parse_shape_spec
+
+
+class TestParse:
+    def test_symbolic_dims(self):
+        spec = parse_shape_spec("m n")
+        assert spec.dims == ("m", "n")
+        assert spec.rank == 2
+        assert spec.family == ""
+        assert spec.kinds == ""
+
+    def test_exact_ints_and_wildcard(self):
+        spec = parse_shape_spec("3 * k")
+        assert spec.dims == (3, "*", "k")
+        assert spec.rank == 3
+
+    def test_zero_is_a_valid_exact_size(self):
+        assert parse_shape_spec("0").dims == (0,)
+
+    def test_family_suffixes(self):
+        for family, kinds in DTYPE_FAMILIES.items():
+            spec = parse_shape_spec(f"m n:{family}")
+            assert spec.family == family
+            assert spec.kinds == kinds
+
+    def test_family_whitespace_tolerated(self):
+        assert parse_shape_spec("m n: bool").family == "bool"
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown dtype family"):
+            parse_shape_spec("m n:complex")
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError, match="negative dim"):
+            parse_shape_spec("m -3")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty shape spec"):
+            parse_shape_spec(":float")
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(ValueError, match="bad dim token"):
+            parse_shape_spec("m n?")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "raw",
+        ["m", "m n", "m n:bool", "3 *", "* * k:float", "0 1 2:int", "batch seq d"],
+    )
+    def test_render_parses_back_identically(self, raw):
+        spec = parse_shape_spec(raw)
+        assert parse_shape_spec(spec.render()) == spec
+
+    def test_canonical_form_is_stable(self):
+        assert ShapeSpec(dims=("m", 3, "*"), family="float").render() == "m 3 *:float"
+
+
+class TestRuntimeCheckerUsesSharedGrammar:
+    """``contracts._ArraySpec`` must delegate to the shared parser."""
+
+    def test_array_spec_carries_parsed_spec(self):
+        spec = contracts._ArraySpec("m 3 *:float")
+        assert spec.spec == parse_shape_spec("m 3 *:float")
+        assert spec.dims == ["m", 3, "*"]
+        assert spec.kinds == DTYPE_FAMILIES["float"]
+
+    def test_runtime_check_still_enforces_the_grammar(self):
+        @contracts.shapes("m n", "n:bool")
+        def masked_rows(values, keep):
+            return values[:, keep]
+
+        contracts.set_enabled(True)
+        try:
+            values = np.zeros((2, 3))
+            masked_rows(values, np.array([True, False, True]))
+            with pytest.raises(contracts.ContractError):
+                masked_rows(values, np.array([True, False]))  # n mismatch
+            with pytest.raises(contracts.ContractError):
+                masked_rows(values, np.array([0.5, 0.5, 0.5]))  # float mask
+        finally:
+            contracts.set_enabled(None)
+
+    def test_bad_grammar_rejected_at_decoration_time(self):
+        with pytest.raises(ValueError):
+            contracts.shapes("m n:complex")(lambda values: values)

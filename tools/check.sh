@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Static-analysis gate: tracked-bytecode guard + repro_lint (with the
-# committed baseline) + verify-determinism smoke (always) + ruff + mypy
-# (when installed).
+# committed baseline) + the static @shapes contract proof + verify-
+# determinism smoke (always) + ruff + mypy (when installed).
 #
 # Usage: tools/check.sh [--require-all] [--fast]
 #
@@ -86,6 +86,16 @@ if [ "$fast" = "1" ] && git rev-parse --verify --quiet origin/main >/dev/null; t
 else
     run_step "repro_lint (numerical-correctness + parallel-safety rules)" \
         python -m repro.cli lint src/repro --baseline .lint-baseline.json
+fi
+
+if [ "$fast" = "1" ]; then
+    # The changed-files lint above already runs the shape rules (any
+    # program rule keeps the whole-program pass on).
+    echo "==> repro_shapecheck: skipped (--fast; covered by the changed-files lint)"
+else
+    run_step "repro_shapecheck (prove @shapes contracts statically)" \
+        python -m repro.cli lint src/repro --rules \
+        shape-mismatch,rank-mismatch,static-contract-violation,dtype-policy-violation
 fi
 
 if [ "$fast" = "1" ]; then
