@@ -27,6 +27,10 @@ Python:
   (:mod:`repro.obs`).
 * ``obs``          — export a manifest's spans (JSONL) or metrics
   (JSONL / Prometheus text) for external tooling.
+* ``store``        — inspect the persistent artifact store backing
+  incremental ``experiments --store`` runs: ``store ls`` lists entries,
+  ``store gc --max-bytes N`` evicts least-recently-used entries past a
+  size cap, ``store clear`` empties it.
 
 ``experiments``, ``verify-determinism``, and ``bench`` accept
 ``--manifest PATH`` to write a run manifest (enabling observability for
@@ -249,6 +253,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         argv += ["--max-workers", str(args.max_workers)]
     if args.manifest:
         argv += ["--manifest", args.manifest]
+    if args.store:
+        argv += ["--store"]
+    if args.store_dir:
+        argv += ["--store-dir", args.store_dir]
     return runner_main(argv)
 
 
@@ -495,17 +503,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
         obs_trace.enable()
     sharded_only = args.suite == "sharded"
+    serving_only = args.suite == "serving"
+    suite_only = sharded_only or serving_only
+    store = None
+    if args.store:
+        from repro.experiments.store import ArtifactStore, default_store_root
+
+        store = ArtifactStore(root=args.store_dir or default_store_root())
     report = run_perf_bench(
-        cases=[] if sharded_only else None,
+        cases=[] if suite_only else None,
         smoke=args.smoke,
         seed=args.seed,
         repeats=args.repeats,
-        backends=() if sharded_only else (
+        backends=() if suite_only else (
             None if args.backends is None else tuple(args.backends)
         ),
-        include_tune=not sharded_only,
-        include_baselines=not sharded_only,
-        include_ingestion=not sharded_only,
+        include_tune=not suite_only,
+        include_baselines=not suite_only,
+        include_ingestion=not suite_only,
+        include_sharded=not serving_only,
+        include_serving=not sharded_only,
+        serving_store=store,
         max_workers=args.max_workers,
         strict=not args.no_strict,
     )
@@ -542,6 +560,51 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(comparison.render())
         if not comparison.ok:
             return 1
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.experiments.store import (
+        ArtifactStore,
+        default_store_root,
+        format_size,
+        render_entries,
+    )
+
+    store = ArtifactStore(root=args.store_dir or default_store_root())
+    if args.store_command == "ls":
+        entries = store.entries()
+        if args.json:
+            import json
+
+            print(
+                json.dumps(
+                    [
+                        {
+                            "key": e.key,
+                            "step": e.step,
+                            "size_bytes": e.size_bytes,
+                            "created_utc": e.created_utc,
+                        }
+                        for e in entries
+                    ],
+                    indent=2,
+                )
+            )
+        else:
+            print(render_entries(entries))
+        return 0
+    if args.store_command == "gc":
+        evicted = store.gc(args.max_bytes)
+        freed = sum(e.size_bytes for e in evicted)
+        print(
+            f"evicted {len(evicted)} entr"
+            f"{'y' if len(evicted) == 1 else 'ies'} ({format_size(freed)}); "
+            f"store now {format_size(store.total_bytes())}"
+        )
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} file(s) from {store.version_dir}")
     return 0
 
 
@@ -737,6 +800,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a run manifest here (enables observability for the run)",
     )
+    p.add_argument(
+        "--store",
+        action="store_true",
+        default=False,
+        help="persist and reuse step outputs through the on-disk artifact "
+        "store; unchanged cells are loaded instead of re-run",
+    )
+    p.add_argument(
+        "--no-store",
+        dest="store",
+        action="store_false",
+        help="force a from-scratch run even when a store directory exists",
+    )
+    p.add_argument(
+        "--store-dir",
+        default=None,
+        dest="store_dir",
+        metavar="DIR",
+        help="artifact store directory (default: $REPRO_STORE_DIR or "
+        ".repro-store)",
+    )
     p.set_defaults(func=_cmd_experiments)
 
     p = sub.add_parser("report", help="write the battery as a Markdown report")
@@ -866,9 +950,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--suite",
         default="all",
-        choices=("all", "sharded"),
-        help="'sharded' runs only the metropolitan sharded suite "
-        "(the nightly million-report leg)",
+        choices=("all", "sharded", "serving"),
+        help="'sharded' runs only the metropolitan sharded suite (the "
+        "nightly million-report leg); 'serving' runs only the apps/ "
+        "query-layer load suite (p50/p95 latency + throughput)",
     )
     p.add_argument(
         "--repeats",
@@ -919,7 +1004,68 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a run manifest here (enables observability for the run)",
     )
+    p.add_argument(
+        "--store",
+        action="store_true",
+        default=False,
+        help="load/persist the serving-suite world through the artifact "
+        "store so warm runs measure queries, not estimation",
+    )
+    p.add_argument(
+        "--store-dir",
+        default=None,
+        dest="store_dir",
+        metavar="DIR",
+        help="artifact store directory (default: $REPRO_STORE_DIR or "
+        ".repro-store)",
+    )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "store", help="inspect the persistent experiment artifact store"
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    pl = store_sub.add_parser("ls", help="list the store's entries")
+    pl.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    pl.add_argument(
+        "--store-dir",
+        default=None,
+        dest="store_dir",
+        metavar="DIR",
+        help="store directory (default: $REPRO_STORE_DIR or .repro-store)",
+    )
+    pl.set_defaults(func=_cmd_store)
+    pg = store_sub.add_parser(
+        "gc", help="evict least-recently-used entries past a size cap"
+    )
+    pg.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        dest="max_bytes",
+        help="evict oldest entries until the store fits this many bytes",
+    )
+    pg.add_argument(
+        "--store-dir",
+        default=None,
+        dest="store_dir",
+        metavar="DIR",
+        help="store directory (default: $REPRO_STORE_DIR or .repro-store)",
+    )
+    pg.set_defaults(func=_cmd_store)
+    pc = store_sub.add_parser(
+        "clear", help="remove every entry of the current schema"
+    )
+    pc.add_argument(
+        "--store-dir",
+        default=None,
+        dest="store_dir",
+        metavar="DIR",
+        help="store directory (default: $REPRO_STORE_DIR or .repro-store)",
+    )
+    pc.set_defaults(func=_cmd_store)
 
     p = sub.add_parser(
         "backends", help="list the registered solver backends"

@@ -9,6 +9,7 @@ footer — the artifact a reproduction run hands to a reviewer.
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Union
 
@@ -156,8 +157,20 @@ def default_bench_path() -> Optional[Path]:
 
 
 def default_manifest_path() -> Optional[Path]:
-    """The newest committed ``MANIFEST_*.json`` in the working tree, if any."""
-    candidates = sorted(Path.cwd().glob("MANIFEST_*.json"))
+    """The newest committed ``MANIFEST_*.json`` in the working tree, if any.
+
+    "Newest" means the latest embedded ``_<YYYY-MM-DD>`` date stamp, so
+    a freshly regenerated manifest wins regardless of how its kind
+    prefix sorts; undated names rank oldest.  Ties break on the full
+    name for determinism.
+    """
+    candidates = sorted(
+        Path.cwd().glob("MANIFEST_*.json"),
+        key=lambda p: (
+            (m.group(1) if (m := re.search(r"_(\d{4}-\d{2}-\d{2})\.json$", p.name)) else ""),
+            p.name,
+        ),
+    )
     return candidates[-1] if candidates else None
 
 

@@ -25,15 +25,24 @@ builder in this repository derives its output deterministically from
 the keyed configuration, which makes a cache hit bit-identical to a
 cold build by construction (and tested in
 ``tests/test_scenario_cache.py``).
+
+Persistence: the experiment runner can attach a
+:class:`repro.experiments.store.ArtifactStore` via
+:func:`set_persistent_store`; the cache then checks memory first, the
+on-disk store second, and only builds on a double miss (persisting the
+fresh build for the next process).  :func:`record_scenario_accesses`
+lets the runner audit which scenario keys a battery job actually read,
+enforcing that every job declares its store inputs.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import threading
-from typing import Any, Callable, Dict, Mapping, Tuple, TypeVar
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple, TypeVar
 
 import numpy as np
 
@@ -81,8 +90,53 @@ def scenario_key(fields: Mapping[str, Any]) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+# Thread-local stack of scenario-access recorders.  The experiment
+# runner pushes a recorder around each store-backed battery job so it
+# can verify the job's declared store inputs cover every scenario the
+# job actually read (see ``record_scenario_accesses``).
+_ACCESS_RECORDERS = threading.local()
+
+
+@contextlib.contextmanager
+@effects(allow={"mutates-nonlocal", "mutates-global"})
+def record_scenario_accesses() -> Iterator[List[Dict[str, Any]]]:
+    """Record every scenario access on this thread inside the block.
+
+    Yields a list that accumulates one ``{"key", "fields"}`` dict per
+    :meth:`ScenarioCache.get_or_build` call (hit or miss alike) made by
+    the current thread while the context is active.  Recorders nest:
+    an inner context does not hide accesses from an outer one.
+    """
+    stack = getattr(_ACCESS_RECORDERS, "stack", None)
+    if stack is None:
+        stack = []
+        _ACCESS_RECORDERS.stack = stack
+    accesses: List[Dict[str, Any]] = []
+    stack.append(accesses)
+    try:
+        yield accesses
+    finally:
+        stack.remove(accesses)
+
+
+def _record_access(key: str, fields: Mapping[str, Any]) -> None:
+    stack = getattr(_ACCESS_RECORDERS, "stack", None)
+    if not stack:
+        return
+    entry = {"key": key, "fields": canonical_fields(fields)}
+    for accesses in stack:
+        accesses.append(entry)
+
+
 class ScenarioCache:
-    """Thread-safe content-addressed memoization of built scenarios."""
+    """Thread-safe content-addressed memoization of built scenarios.
+
+    Optionally backed by a persistent
+    :class:`repro.experiments.store.ArtifactStore` (see
+    :meth:`set_persistent_store`): on a memory miss the cache consults
+    the store before building, and persists fresh builds so the *next
+    process* hits too.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -90,8 +144,20 @@ class ScenarioCache:
         self._entries: Dict[str, Any] = {}
         self._hits = 0
         self._misses = 0
+        self._store: Optional[Any] = None
 
     @effects(allow={"mutates-nonlocal"})
+    def set_persistent_store(self, store: Optional[Any]) -> None:
+        """Attach (or with ``None`` detach) a persistent artifact store."""
+        with self._lock:
+            self._store = store
+
+    @property
+    def persistent_store(self) -> Optional[Any]:
+        with self._lock:
+            return self._store
+
+    @effects(allow={"mutates-nonlocal", "mutates-global", "io"})
     def get_or_build(
         self, fields: Mapping[str, Any], builder: Callable[[], T]
     ) -> T:
@@ -100,10 +166,13 @@ class ScenarioCache:
         Concurrent requests for the same key serialize on a per-key
         lock: one thread runs ``builder``, the others receive the
         finished object.  Requests for different keys never block each
-        other on the build.
+        other on the build.  With a persistent store attached, the miss
+        path tries the store before building and persists fresh builds.
         """
         key = scenario_key(fields)
+        _record_access(key, fields)
         with self._lock:
+            store = self._store
             if key in self._entries:
                 self._hits += 1
                 obs_metrics.inc("scenario_cache.hits")
@@ -115,8 +184,18 @@ class ScenarioCache:
                     self._hits += 1
                     obs_metrics.inc("scenario_cache.hits")
                     return self._entries[key]  # type: ignore[no-any-return]
+            if store is not None:
+                store_key = store.step_key("scenario", fields)
+                hit, value = store.get(store_key)
+                if hit:
+                    with self._lock:
+                        self._entries[key] = value
+                    obs_metrics.inc("scenario_cache.store_hits")
+                    return value  # type: ignore[no-any-return]
             with obs_trace.span("scenario.build", key=key[:12]):
                 value = builder()
+            if store is not None:
+                store.put(store_key, value, step="scenario")
             with self._lock:
                 self._entries[key] = value
                 self._misses += 1

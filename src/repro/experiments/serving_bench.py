@@ -1,0 +1,269 @@
+"""Serving-load benchmark: the ``apps/`` query layer under concurrency.
+
+The ROADMAP's north star claims a service that "serves heavy traffic";
+this module turns the claim into numbers.  A synthetic request
+generator drives each query application — link/route travel times
+(:class:`~repro.apps.travel_time.TravelTimeService`), time-dependent
+trip planning (:class:`~repro.apps.trip_planner.TripPlannerService`),
+and congestion analytics
+(:class:`~repro.apps.congestion.CongestionMonitor`) — against one
+completed estimate at increasing thread-pool concurrency, recording
+per-request p50/p95 latency and sustained throughput per level.
+
+The serving world (network + mask + Algorithm 1 estimate) is itself a
+content-addressed step: with an
+:class:`~repro.experiments.store.ArtifactStore` attached it is built
+once and reloaded on every later bench run, so the suite measures
+*query* cost, not estimation cost.  Every request stream is derived
+deterministically from the config seed, and each worker returns its own
+latency measurements (no shared mutable state), so the recorded
+latencies are a pure function of config and machine.
+
+Results land in :class:`~repro.experiments.perf_bench.BenchReport`
+records (schema 5: ``p50_ms``/``p95_ms``/``throughput_rps`` fields) and
+are gated by ``repro bench --compare`` in CI like every other suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.congestion import CongestionMonitor
+from repro.apps.travel_time import TravelTimeService
+from repro.apps.trip_planner import TripPlannerService
+from repro.core.completion import CompressiveSensingCompleter
+from repro.core.tcm import TimeGrid, TrafficConditionMatrix
+from repro.datasets.masks import random_integrity_mask
+from repro.roadnet.generators import grid_city
+from repro.roadnet.network import RoadNetwork
+from repro.traffic.groundtruth import GroundTruthTraffic
+from repro.utils.parallel import parallel_map
+from repro.utils.rng import ensure_rng
+
+#: The three applications the suite drives, in record order.
+SERVING_APPS = ("travel_time", "trip_planner", "congestion")
+
+
+@dataclass(frozen=True)
+class ServingBenchConfig:
+    """Workload of one serving-bench run (fully seeds the request streams)."""
+
+    rows: int = 6
+    cols: int = 6
+    days: float = 1.0
+    slot_s: float = 900.0
+    integrity: float = 0.3
+    rank: int = 2
+    lam: float = 10.0
+    iterations: int = 20
+    concurrency_levels: Tuple[int, ...] = (1, 4, 16)
+    requests_per_level: int = 200
+    seed: int = 0
+
+
+def default_serving_config(smoke: bool = False, seed: int = 0) -> ServingBenchConfig:
+    """The profile's workload: smaller streams under ``smoke``."""
+    if smoke:
+        return ServingBenchConfig(
+            days=0.5,
+            concurrency_levels=(1, 2, 4),
+            requests_per_level=60,
+            seed=seed,
+        )
+    return ServingBenchConfig(seed=seed)
+
+
+@dataclass(frozen=True)
+class ServingLevelResult:
+    """Latency/throughput of one (app, concurrency) measurement."""
+
+    app: str
+    concurrency: int
+    requests: int
+    wall_s: float
+    p50_ms: float
+    p95_ms: float
+    throughput_rps: float
+
+
+def build_serving_world(
+    config: ServingBenchConfig,
+) -> Tuple[RoadNetwork, TrafficConditionMatrix]:
+    """(network, completed estimate) the applications serve from.
+
+    A grid city's synthetic ground truth is masked to the configured
+    integrity and completed with Algorithm 1 — the same artifact the
+    production path would cache — so queries run against an *estimate*,
+    not against truth.
+    """
+    network = grid_city(config.rows, config.cols, seed=config.seed)
+    grid = TimeGrid.over_days(config.days, config.slot_s)
+    truth = GroundTruthTraffic.synthesize(network, grid, seed=config.seed)
+    mask = random_integrity_mask(
+        truth.tcm.shape, config.integrity, seed=config.seed + 1
+    )
+    measured = np.where(mask, truth.tcm.values, 0.0)
+    completer = CompressiveSensingCompleter(
+        rank=config.rank,
+        lam=config.lam,
+        iterations=config.iterations,
+        clip_min=0.0,
+        clip_max=150.0,
+        seed=config.seed,
+    )
+    estimate = completer.complete(measured, mask).estimate
+    tcm = TrafficConditionMatrix(
+        estimate, grid=grid, segment_ids=truth.tcm.segment_ids
+    )
+    return network, tcm
+
+
+def _travel_time_requests(
+    network: RoadNetwork, tcm: TrafficConditionMatrix, config: ServingBenchConfig
+) -> List[Tuple[List[int], float]]:
+    """Route-time queries: short random segment routes + depart times."""
+    rng = ensure_rng(config.seed + 10)
+    segment_ids = np.asarray(network.segment_ids)
+    horizon_s = tcm.grid.slot_s * tcm.num_slots
+    out = []
+    for _ in range(config.requests_per_level):
+        length = int(rng.integers(3, 9))
+        route = segment_ids[rng.integers(0, len(segment_ids), length)]
+        out.append(([int(s) for s in route], float(rng.uniform(0.0, horizon_s))))
+    return out
+
+
+def _trip_planner_requests(
+    network: RoadNetwork, tcm: TrafficConditionMatrix, config: ServingBenchConfig
+) -> List[Tuple[int, int, float]]:
+    """Plan queries: random origin/destination intersections."""
+    rng = ensure_rng(config.seed + 11)
+    nodes = [node.node_id for node in network.intersections()]
+    horizon_s = tcm.grid.slot_s * tcm.num_slots
+    out = []
+    for _ in range(config.requests_per_level):
+        origin, destination = rng.choice(len(nodes), size=2, replace=False)
+        out.append(
+            (
+                nodes[int(origin)],
+                nodes[int(destination)],
+                float(rng.uniform(0.0, horizon_s)),
+            )
+        )
+    return out
+
+
+def _congestion_requests(
+    network: RoadNetwork, tcm: TrafficConditionMatrix, config: ServingBenchConfig
+) -> List[Tuple[str, int, int]]:
+    """Analytics queries: alternating rankings over ranges and hotspots."""
+    rng = ensure_rng(config.seed + 12)
+    num_slots = tcm.num_slots
+    out: List[Tuple[str, int, int]] = []
+    for i in range(config.requests_per_level):
+        if i % 2 == 0:
+            lo = int(rng.integers(0, max(1, num_slots - 1)))
+            hi = int(rng.integers(lo + 1, num_slots + 1))
+            out.append(("ranking", lo, hi))
+        else:
+            out.append(("hotspots", int(rng.integers(0, num_slots)), 0))
+    return out
+
+
+def _serving_handlers(
+    network: RoadNetwork, tcm: TrafficConditionMatrix, config: ServingBenchConfig
+) -> Dict[str, Tuple[Callable[[Any], object], Sequence[Any]]]:
+    """Per-app (handler, requests): services built once, shared read-only.
+
+    Every service is constructed before the pool starts and only *read*
+    by the workers — the apps are thread-safe after construction — so
+    concurrent levels measure contention on the query path alone.
+    """
+    travel = TravelTimeService(network, tcm)
+    planner = TripPlannerService(network, tcm)
+    monitor = CongestionMonitor(network, tcm)
+
+    def handle_travel_time(request: Tuple[List[int], float]) -> object:
+        route, depart_s = request
+        return travel.route_time_s(route, depart_s)
+
+    def handle_trip_planner(request: Tuple[int, int, float]) -> object:
+        origin, destination, depart_s = request
+        return planner.plan(origin, destination, depart_s)
+
+    def handle_congestion(request: Tuple[str, int, int]) -> object:
+        kind, a, b = request
+        if kind == "ranking":
+            return monitor.segment_ranking((a, b))
+        return monitor.hotspots(a)
+
+    return {
+        "travel_time": (handle_travel_time, _travel_time_requests(network, tcm, config)),
+        "trip_planner": (handle_trip_planner, _trip_planner_requests(network, tcm, config)),
+        "congestion": (handle_congestion, _congestion_requests(network, tcm, config)),
+    }
+
+
+def _timed_request(
+    item: Tuple[Callable[[Any], object], Any]
+) -> float:
+    """One request's latency in seconds (returned, never shared)."""
+    handler, request = item
+    start = time.perf_counter()
+    handler(request)
+    return time.perf_counter() - start
+
+
+def run_serving_bench(
+    config: Optional[ServingBenchConfig] = None,
+    world: Optional[Tuple[RoadNetwork, TrafficConditionMatrix]] = None,
+) -> List[ServingLevelResult]:
+    """Drive all three apps at each concurrency level; one result each.
+
+    ``world`` short-circuits the build — the bench harness passes a
+    store-cached (network, estimate) pair so repeated runs measure only
+    the query layer.
+    """
+    config = config or default_serving_config()
+    if not config.concurrency_levels:
+        raise ValueError("need at least one concurrency level")
+    if min(config.concurrency_levels) < 1:
+        raise ValueError(
+            f"concurrency levels must be >= 1, got {config.concurrency_levels}"
+        )
+    network, tcm = world if world is not None else build_serving_world(config)
+    handlers = _serving_handlers(network, tcm, config)
+    results: List[ServingLevelResult] = []
+    for app in SERVING_APPS:
+        handler, requests = handlers[app]
+        items = [(handler, request) for request in requests]
+        # Untimed warmup pass: touch every code path once so the first
+        # timed level is not paying lazy-allocation costs.
+        _timed_request(items[0])
+        for level in config.concurrency_levels:
+            start = time.perf_counter()
+            latencies = parallel_map(
+                _timed_request,
+                items,
+                max_workers=level,
+                backend="thread",
+                span_name="serving.request",
+            )
+            wall = time.perf_counter() - start
+            lat_ms = np.asarray(latencies) * 1e3
+            results.append(
+                ServingLevelResult(
+                    app=app,
+                    concurrency=level,
+                    requests=len(items),
+                    wall_s=wall,
+                    p50_ms=float(np.percentile(lat_ms, 50)),
+                    p95_ms=float(np.percentile(lat_ms, 95)),
+                    throughput_rps=len(items) / wall,
+                )
+            )
+    return results

@@ -1,0 +1,433 @@
+"""Persistent content-addressed artifact store for the experiment fabric.
+
+The experiment battery is a DAG of deterministic steps — scenario
+builds, aggregations, completions, whole studies, rendered report
+fragments — and every invocation used to rebuild all of them from
+scratch.  This module gives each step a durable home: outputs are
+persisted on disk under a key derived from the step's configuration and
+the keys of its inputs, so an unchanged step is *loaded*, not re-run —
+locally across invocations and, via ``actions/cache`` in CI, across
+workflow runs.
+
+Keying
+------
+A step key is the SHA-256 of the canonical JSON encoding of::
+
+    {"step": <name>, "config": <canonical config>,
+     "inputs": [<upstream step keys>], "store_schema": N}
+
+``config`` goes through :func:`repro.experiments.scenario_cache.canonical_fields`
+(the same machinery the in-memory scenario cache and
+``repro.obs.manifest`` already use), so dataclass configs, tuples, and
+NumPy scalars all hash stably across processes and platforms.  Putting
+the *input keys* into the key makes the store a DAG: when an upstream
+step's config changes, every downstream key changes with it and the
+whole affected subgraph rebuilds.
+
+Durability and integrity
+------------------------
+Entries are written atomically (temp file in the same directory, then
+``os.replace``), each with a JSON sidecar carrying the SHA-256 checksum
+of the payload bytes.  A read validates the checksum before unpickling;
+a corrupted, truncated, or half-written entry is deleted and reported
+as a miss, so the worst case of any on-disk damage is a transparent
+rebuild, never a crash or a wrong result.  The on-disk layout is
+versioned (``<root>/v<N>/``): bumping :data:`STORE_SCHEMA_VERSION`
+orphans every old entry at once.
+
+What the key does NOT cover
+---------------------------
+The key hashes configuration, not code.  A code change that alters a
+step's output without touching any config field will serve stale
+artifacts until the store is cleared (``repro store clear``) or the
+schema version is bumped.  CI therefore scopes its cache key by the
+store schema version plus the dependency manifest, and run manifests
+record per-step hit/miss so provenance stays auditable (see
+EXPERIMENTS.md).
+
+Concurrency
+-----------
+Thread-safe via the same double-checked per-key locking as the
+in-memory scenario cache; cross-process safe because writes are atomic
+renames of deterministic content — two racing writers produce the same
+bytes and the last rename wins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import threading
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+from repro.experiments.scenario_cache import canonical_fields, scenario_key
+
+T = TypeVar("T")
+
+#: On-disk layout version.  Entries live under ``<root>/v<N>/``; bump
+#: this whenever the payload encoding or keying scheme changes so every
+#: stale entry is orphaned at once (CI cache keys include it too).
+STORE_SCHEMA_VERSION = 1
+
+#: Default store location (repo-relative so ``actions/cache`` can
+#: persist it); override with the ``REPRO_STORE_DIR`` environment
+#: variable or an explicit ``ArtifactStore(root=...)``.
+DEFAULT_STORE_DIR = ".repro-store"
+
+#: Pickle protocol pinned so the same value produces the same bytes on
+#: every supported interpreter (protocol 4 covers Python >= 3.4).
+_PICKLE_PROTOCOL = 4
+
+
+def default_store_root() -> Path:
+    """The store root: ``$REPRO_STORE_DIR`` or :data:`DEFAULT_STORE_DIR`."""
+    return Path(os.environ.get("REPRO_STORE_DIR", DEFAULT_STORE_DIR))
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One persisted step output (metadata only; the value stays on disk)."""
+
+    key: str
+    step: str
+    size_bytes: int
+    created_utc: str
+    path: Path
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of :meth:`ArtifactStore.get_or_build`."""
+
+    value: Any
+    key: str
+    hit: bool
+
+
+class ArtifactStore:
+    """Persistent content-addressed store of experiment step outputs.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created lazily on first write).  Defaults to
+        ``$REPRO_STORE_DIR`` or ``.repro-store``.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else default_store_root()
+        self._lock = threading.Lock()
+        self._key_locks: Dict[str, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+        self._corrupt = 0
+        self._bytes_read = 0
+        self._bytes_written = 0
+
+    # -- keying --------------------------------------------------------
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{STORE_SCHEMA_VERSION}"
+
+    def step_key(
+        self,
+        step: str,
+        config: Any,
+        inputs: Sequence[str] = (),
+    ) -> str:
+        """Content key of a step: config plus upstream step keys.
+
+        ``inputs`` are the keys of the steps this one consumes, in a
+        stable order chosen by the caller — part of the key, so a
+        changed upstream invalidates the downstream transitively.
+        """
+        if not step:
+            raise ValueError("step name must be non-empty")
+        return scenario_key(
+            {
+                "step": step,
+                "config": canonical_fields(config),
+                "inputs": list(inputs),
+                "store_schema": STORE_SCHEMA_VERSION,
+            }
+        )
+
+    def _payload_path(self, key: str) -> Path:
+        return self.version_dir / key[:2] / f"{key}.pkl"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.version_dir / key[:2] / f"{key}.json"
+
+    # -- reads ---------------------------------------------------------
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)``; any damaged entry is evicted and misses.
+
+        Counts one hit or one miss; a checksum/unpickle failure also
+        counts a corruption (``store.corrupt`` metric) and removes both
+        files so the next build rewrites the entry cleanly.
+        """
+        payload_path = self._payload_path(key)
+        meta_path = self._meta_path(key)
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            raw = payload_path.read_bytes()
+        except (OSError, ValueError):
+            # Meta or payload absent/unreadable: a plain miss unless one
+            # half exists (a torn write) — then evict the remains.
+            if payload_path.exists() or meta_path.exists():
+                self._evict_corrupt(key)
+            self._count_miss()
+            return False, None
+        digest = hashlib.sha256(raw).hexdigest()
+        if meta.get("checksum") != digest:
+            self._evict_corrupt(key)
+            self._count_miss()
+            return False, None
+        try:
+            value = pickle.loads(raw)
+        except Exception:  # noqa: BLE001 - any unpickle failure means "rebuild"
+            self._evict_corrupt(key)
+            self._count_miss()
+            return False, None
+        with self._lock:
+            self._hits += 1
+            self._bytes_read += len(raw)
+        obs_metrics.inc("store.hits")
+        try:
+            # Refresh mtime so gc's LRU eviction tracks actual use.
+            os.utime(payload_path)
+        except OSError:
+            pass
+        return True, value
+
+    def _count_miss(self) -> None:
+        with self._lock:
+            self._misses += 1
+        obs_metrics.inc("store.misses")
+
+    def _evict_corrupt(self, key: str) -> None:
+        with self._lock:
+            self._corrupt += 1
+        obs_metrics.inc("store.corrupt")
+        for path in (self._payload_path(key), self._meta_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # -- writes --------------------------------------------------------
+    def put(self, key: str, value: Any, step: str = "") -> Path:
+        """Persist one step output atomically; returns the payload path.
+
+        Payload first, sidecar second — a crash between the two leaves
+        a payload without metadata, which :meth:`get` treats as a torn
+        write and evicts.
+        """
+        raw = pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
+        payload_path = self._payload_path(key)
+        payload_path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "checksum": hashlib.sha256(raw).hexdigest(),
+            "size_bytes": len(raw),
+            "step": step,
+            "created_utc": datetime.now(timezone.utc).isoformat(),
+            "store_schema": STORE_SCHEMA_VERSION,
+        }
+        self._atomic_write(payload_path, raw)
+        self._atomic_write(
+            self._meta_path(key),
+            (json.dumps(meta, sort_keys=True) + "\n").encode("utf-8"),
+        )
+        with self._lock:
+            self._bytes_written += len(raw)
+        return payload_path
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    # -- build-through -------------------------------------------------
+    def get_or_build(
+        self,
+        step: str,
+        config: Any,
+        builder: Callable[[], T],
+        inputs: Sequence[str] = (),
+    ) -> StepResult:
+        """Load the step's output, or build and persist it exactly once.
+
+        Concurrent requests for the same key serialize on a per-key
+        lock (same discipline as the in-memory scenario cache), so a
+        thread-pooled battery never builds a shared step twice.
+        """
+        key = self.step_key(step, config, inputs)
+        with self._lock:
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            hit, value = self.get(key)
+            if hit:
+                return StepResult(value=value, key=key, hit=True)
+            with obs_trace.span("store.build", step=step, key=key[:12]):
+                value = builder()
+            self.put(key, value, step=step)
+        return StepResult(value=value, key=key, hit=False)
+
+    # -- inventory -----------------------------------------------------
+    def entries(self) -> List[StoreEntry]:
+        """Every intact entry, oldest payload first (gc's eviction order)."""
+        out: List[StoreEntry] = []
+        if not self.version_dir.is_dir():
+            return out
+        for meta_path in sorted(self.version_dir.glob("*/*.json")):
+            key = meta_path.stem
+            payload_path = meta_path.with_suffix(".pkl")
+            if not payload_path.exists():
+                continue
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            out.append(
+                StoreEntry(
+                    key=key,
+                    step=str(meta.get("step", "")),
+                    size_bytes=int(meta.get("size_bytes", 0)),
+                    created_utc=str(meta.get("created_utc", "")),
+                    path=payload_path,
+                )
+            )
+        out.sort(key=lambda e: (e.path.stat().st_mtime, e.key))
+        return out
+
+    def total_bytes(self) -> int:
+        return sum(e.size_bytes for e in self.entries())
+
+    def gc(self, max_bytes: int) -> List[StoreEntry]:
+        """Evict least-recently-used entries until the store fits.
+
+        Returns the evicted entries.  ``max_bytes=0`` empties the
+        store (but keeps the directory; see :meth:`clear`).
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = self.entries()
+        total = sum(e.size_bytes for e in entries)
+        evicted: List[StoreEntry] = []
+        for entry in entries:  # oldest first
+            if total <= max_bytes:
+                break
+            for path in (entry.path, entry.path.with_suffix(".json")):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            total -= entry.size_bytes
+            evicted.append(entry)
+        return evicted
+
+    def clear(self) -> int:
+        """Remove every entry of the current schema; returns the count.
+
+        Only touches ``<root>/v<N>`` — other schema versions and any
+        foreign files in the root are left alone.
+        """
+        removed = 0
+        if not self.version_dir.is_dir():
+            return removed
+        for shard in sorted(self.version_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.iterdir()):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        try:
+            self.version_dir.rmdir()
+        except OSError:
+            pass
+        return removed
+
+    # -- accounting ----------------------------------------------------
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Process-local counters since construction."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "corrupt": self._corrupt,
+                "bytes_read": self._bytes_read,
+                "bytes_written": self._bytes_written,
+            }
+
+    def render_stats(self) -> str:
+        """One-line summary, ``store: H hits, M misses, ...``."""
+        s = self.stats
+        return (
+            f"store: {s['hits']} hit(s), {s['misses']} miss(es), "
+            f"{s['corrupt']} corrupt, "
+            f"{s['bytes_read']:,} B read, {s['bytes_written']:,} B written "
+            f"({self.root})"
+        )
+
+
+def format_size(num_bytes: int) -> str:
+    """Human-readable size (``repro store ls``)."""
+    size = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB"):
+        if size < 1024.0 or unit == "GB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{size:.1f} GB"
+
+
+def render_entries(entries: Sequence[StoreEntry]) -> str:
+    """Plain-text inventory table plus a totals line."""
+    lines = [f"{'step':<24} {'key':<12} {'size':>10}  created"]
+    total = 0
+    for entry in entries:
+        total += entry.size_bytes
+        lines.append(
+            f"{entry.step or '-':<24} {entry.key[:12]:<12} "
+            f"{format_size(entry.size_bytes):>10}  {entry.created_utc}"
+        )
+    lines.append(
+        f"total: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+        f"{format_size(total)}"
+    )
+    return "\n".join(lines)

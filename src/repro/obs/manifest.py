@@ -125,7 +125,10 @@ def jobs_from_spans(
 
     The experiment runner opens one ``job.<name>`` span per battery
     cell; a span that recorded an ``error`` attribute (the tracer sets
-    it when the body raises) becomes ``status: "error"``.
+    it when the body raises) becomes ``status: "error"``.  Store-backed
+    runs tag each job span with ``store=hit|miss``; the tag is carried
+    into the entry's ``detail`` so a manifest records exactly which
+    steps were rebuilt and which were served from the artifact store.
     """
     jobs: List[Dict[str, Any]] = []
     for s in spans:
@@ -138,6 +141,8 @@ def jobs_from_spans(
         }
         if "error" in s.attrs:
             entry["detail"] = str(s.attrs["error"])
+        elif "store" in s.attrs:
+            entry["detail"] = f"store={s.attrs['store']}"
         jobs.append(entry)
     return jobs
 

@@ -1,0 +1,314 @@
+"""The persistent content-addressed artifact store.
+
+Holds the incremental-fabric guarantees: keys are stable across
+processes and sensitive to config and inputs, damaged entries rebuild
+transparently, concurrent builders deduplicate, gc evicts by size, and
+a warm ``run_all`` is bit-identical to a cold one with every step
+served from disk.
+"""
+
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.experiments.runner import BatteryJob, _run_store_job, run_all
+from repro.experiments.scenario_cache import (
+    GLOBAL_SCENARIO_CACHE,
+    ScenarioCache,
+    scenario_key,
+)
+from repro.experiments.store import (
+    STORE_SCHEMA_VERSION,
+    ArtifactStore,
+    format_size,
+    render_entries,
+)
+from repro.obs.manifest import jobs_from_spans
+from repro.obs.trace import Span
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(root=tmp_path / "store")
+
+
+# ----------------------------------------------------------------------
+# Keying
+# ----------------------------------------------------------------------
+def test_step_key_stable_across_processes(store):
+    config = {"name": "sweep", "days": 3.0, "seed": 0}
+    local = store.step_key("job", config, inputs=("abc123",))
+    script = (
+        "from repro.experiments.store import ArtifactStore;"
+        "print(ArtifactStore().step_key('job',"
+        " {'name': 'sweep', 'days': 3.0, 'seed': 0}, inputs=('abc123',)))"
+    )
+    remote = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout.strip()
+    assert remote == local
+
+
+def test_step_key_changes_with_config_and_inputs(store):
+    base = store.step_key("job", {"seed": 0})
+    assert store.step_key("job", {"seed": 1}) != base
+    assert store.step_key("other", {"seed": 0}) != base
+    assert store.step_key("job", {"seed": 0}, inputs=("k",)) != base
+    # The DAG property: a changed upstream key changes the downstream key.
+    up_a = store.step_key("scenario", {"city": "shanghai"})
+    up_b = store.step_key("scenario", {"city": "shenzhen"})
+    assert store.step_key("job", {"seed": 0}, inputs=(up_a,)) != store.step_key(
+        "job", {"seed": 0}, inputs=(up_b,)
+    )
+
+
+def test_step_key_rejects_empty_step(store):
+    with pytest.raises(ValueError, match="non-empty"):
+        store.step_key("", {})
+
+
+# ----------------------------------------------------------------------
+# Round trips and durability
+# ----------------------------------------------------------------------
+def test_put_get_round_trip(store):
+    key = store.step_key("job", {"seed": 0})
+    value = {"fig11": "rendered text", "n": 3}
+    store.put(key, value, step="job.sweep")
+    hit, loaded = store.get(key)
+    assert hit and loaded == value
+    stats = store.stats
+    assert stats["hits"] == 1 and stats["misses"] == 0
+    assert stats["bytes_written"] > 0 and stats["bytes_read"] > 0
+
+
+def test_missing_key_is_a_plain_miss(store):
+    hit, value = store.get(store.step_key("job", {"seed": 99}))
+    assert not hit and value is None
+    assert store.stats["misses"] == 1 and store.stats["corrupt"] == 0
+
+
+def test_corrupted_payload_evicts_and_misses(store):
+    key = store.step_key("job", {"seed": 0})
+    path = store.put(key, {"a": 1}, step="job.x")
+    raw = bytearray(path.read_bytes())
+    raw[0] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    hit, value = store.get(key)
+    assert not hit and value is None
+    assert store.stats["corrupt"] == 1
+    assert not path.exists()
+    assert not path.with_suffix(".json").exists()
+    # The next build-through rewrites the entry cleanly.
+    result = store.get_or_build("job", {"seed": 0}, lambda: {"a": 1})
+    assert not result.hit and result.value == {"a": 1}
+    assert store.get(key) == (True, {"a": 1})
+
+
+def test_torn_write_payload_without_sidecar_evicts(store):
+    key = store.step_key("job", {"seed": 0})
+    path = store.put(key, {"a": 1})
+    path.with_suffix(".json").unlink()
+    hit, _ = store.get(key)
+    assert not hit
+    assert store.stats["corrupt"] == 1
+    assert not path.exists()
+
+
+def test_get_or_build_builds_exactly_once_under_threads(store):
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return {"built": True}
+
+    results = []
+
+    def worker():
+        results.append(store.get_or_build("job", {"seed": 0}, builder))
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(calls) == 1
+    assert sum(1 for r in results if not r.hit) == 1
+    assert all(r.value == {"built": True} for r in results)
+
+
+def test_racing_writers_from_separate_stores_agree(store, tmp_path):
+    # Two store instances on the same root (two processes, in effect):
+    # both write the same deterministic bytes; the entry stays intact.
+    other = ArtifactStore(root=store.root)
+    key = store.step_key("job", {"seed": 0})
+    store.put(key, {"a": 1})
+    other.put(key, {"a": 1})
+    assert store.get(key) == (True, {"a": 1})
+    assert other.get(key) == (True, {"a": 1})
+
+
+# ----------------------------------------------------------------------
+# Inventory, gc, clear
+# ----------------------------------------------------------------------
+def test_entries_and_render(store):
+    store.put(store.step_key("a", {"i": 1}), list(range(100)), step="a")
+    store.put(store.step_key("b", {"i": 2}), list(range(200)), step="b")
+    entries = store.entries()
+    assert len(entries) == 2
+    assert {e.step for e in entries} == {"a", "b"}
+    assert store.total_bytes() == sum(e.size_bytes for e in entries)
+    text = render_entries(entries)
+    assert "total: 2 entries" in text
+
+
+def test_gc_evicts_oldest_first_until_under_cap(store):
+    import os
+    import time
+
+    keys = [store.step_key("a", {"i": i}) for i in range(3)]
+    paths = [store.put(key, b"x" * 1000, step=f"a{i}") for i, key in enumerate(keys)]
+    # Pin distinct mtimes so LRU order is deterministic.
+    now = time.time()
+    for i, path in enumerate(paths):
+        os.utime(path, (now + i, now + i))
+    total = store.total_bytes()
+    per_entry = total // 3
+    evicted = store.gc(max_bytes=total - per_entry)
+    assert [e.key for e in evicted] == [keys[0]]
+    assert not paths[0].exists() and paths[1].exists() and paths[2].exists()
+    assert store.gc(max_bytes=0) and store.total_bytes() == 0
+    with pytest.raises(ValueError, match="max_bytes"):
+        store.gc(max_bytes=-1)
+
+
+def test_clear_removes_only_current_schema(store):
+    store.put(store.step_key("a", {"i": 1}), 1)
+    foreign = store.root / "README"
+    foreign.write_text("not an entry")
+    old = store.root / f"v{STORE_SCHEMA_VERSION - 1}" / "aa"
+    old.mkdir(parents=True)
+    (old / "old.pkl").write_bytes(b"stale")
+    assert store.clear() == 2  # payload + sidecar
+    assert foreign.exists() and (old / "old.pkl").exists()
+    assert not store.version_dir.exists()
+
+
+def test_format_size():
+    assert format_size(512) == "512 B"
+    assert format_size(2048) == "2.0 KB"
+    assert format_size(3 * 1024 * 1024) == "3.0 MB"
+
+
+# ----------------------------------------------------------------------
+# Scenario-cache persistence
+# ----------------------------------------------------------------------
+def test_scenario_cache_persists_through_store(store):
+    cache = ScenarioCache()
+    cache.set_persistent_store(store)
+    fields = {"kind": "demo", "seed": 0}
+    builds = []
+
+    def builder():
+        builds.append(1)
+        return {"world": 42}
+
+    assert cache.get_or_build(fields, builder) == {"world": 42}
+    assert len(builds) == 1
+    # A fresh cache (fresh process, in effect) hits the store, not the builder.
+    cold = ScenarioCache()
+    cold.set_persistent_store(store)
+    assert cold.get_or_build(fields, builder) == {"world": 42}
+    assert len(builds) == 1
+    assert cold.stats == (0, 0)  # store hit is neither a memory hit nor a build
+
+
+# ----------------------------------------------------------------------
+# Store-backed battery jobs
+# ----------------------------------------------------------------------
+def test_run_store_job_rejects_undeclared_scenario_reads(store):
+    cache = ScenarioCache()
+    fields = {"kind": "city_truth", "city": "atlantis", "days": 1.0, "seed": 0}
+
+    def sneaky():
+        cache.get_or_build(fields, lambda: "world")
+        return {"fig": "text"}
+
+    job = BatteryJob(name="sneaky", config={"seed": 0}, run=sneaky)
+    with pytest.raises(RuntimeError, match="does not declare"):
+        _run_store_job("sneaky", job, store)
+    # Declaring the input makes the same job legal.
+    declared = BatteryJob(
+        name="sneaky", config={"seed": 0}, run=sneaky, scenarios=(fields,)
+    )
+    assert _run_store_job("sneaky", declared, store) == {"fig": "text"}
+
+
+def test_battery_job_scenario_keys():
+    fields = {"kind": "city_truth", "city": "shanghai", "days": 0.5, "seed": 0}
+    job = BatteryJob(
+        name="j", config={"seed": 0}, run=lambda: {}, scenarios=(fields,)
+    )
+    assert job.scenario_keys() == (scenario_key(fields),)
+    assert job() == {}
+
+
+def test_warm_run_all_is_bit_identical_and_all_hits(tmp_path):
+    only = ("sweep_shanghai", "cdf_shanghai")
+    GLOBAL_SCENARIO_CACHE.clear()
+    cold_store = ArtifactStore(root=tmp_path / "store")
+    cold = run_all(profile="smoke", seed=0, only=only, store=cold_store)
+    assert cold_store.stats["misses"] > 0  # everything was built
+    # Fresh process, in effect: empty memory cache, fresh store handle.
+    GLOBAL_SCENARIO_CACHE.clear()
+    warm_store = ArtifactStore(root=tmp_path / "store")
+    warm = run_all(profile="smoke", seed=0, only=only, store=warm_store)
+    stats = warm_store.stats
+    assert stats["misses"] == 0, "warm run rebuilt steps it should have loaded"
+    assert stats["hits"] == len(only)
+    assert warm == cold  # bit-identical rendered blocks
+    # The store must detach from the scenario cache after the run.
+    assert GLOBAL_SCENARIO_CACHE.persistent_store is None
+
+
+def test_config_change_invalidates_only_affected_jobs(tmp_path):
+    only = ("sweep_shanghai",)
+    GLOBAL_SCENARIO_CACHE.clear()
+    store = ArtifactStore(root=tmp_path / "store")
+    run_all(profile="smoke", seed=0, only=only, store=store)
+    GLOBAL_SCENARIO_CACHE.clear()
+    reseeded = ArtifactStore(root=tmp_path / "store")
+    run_all(profile="smoke", seed=1, only=only, store=reseeded)
+    assert reseeded.stats["misses"] > 0  # new seed, new keys, fresh builds
+
+
+def test_manifest_jobs_carry_store_detail():
+    def span(name, attrs):
+        return Span(
+            name=name,
+            span_id=1,
+            parent_id=None,
+            start_s=0.0,
+            end_s=1.0,
+            thread="t",
+            pid=1,
+            attrs=attrs,
+        )
+
+    jobs = jobs_from_spans(
+        [
+            span("job.sweep", {"store": "hit"}),
+            span("job.cdf", {"store": "miss"}),
+            span("job.plain", {}),
+        ]
+    )
+    details = {j["name"]: j.get("detail") for j in jobs}
+    assert details == {
+        "sweep": "store=hit",
+        "cdf": "store=miss",
+        "plain": None,
+    }

@@ -32,6 +32,7 @@ def tiny_report():
         include_baselines=False,
         include_ingestion=False,
         include_sharded=False,
+        include_serving=False,
     )
 
 
@@ -62,7 +63,7 @@ def test_backend_suite_equivalence_and_speedup_keys(tiny_report):
 def test_json_payload_schema(tiny_report, tmp_path):
     out = tiny_report.write_json(tmp_path / "bench.json")
     payload = json.loads(out.read_text())
-    assert payload["schema"] == 4
+    assert payload["schema"] == 5
     assert payload["equivalence_tol"] == EQUIVALENCE_TOL
     assert len(payload["records"]) == 5
     assert all("backend" in rec for rec in payload["records"])

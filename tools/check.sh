@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Static-analysis gate: tracked-bytecode guard + repro_lint (with the
 # committed baseline) + the static @shapes contract proof + verify-
-# determinism smoke (always) + ruff + mypy (when installed).
+# determinism smoke + store-smoke (cold build, warm all-hit reuse) +
+# ruff + mypy (when installed).
 #
 # Usage: tools/check.sh [--require-all] [--fast]
 #
@@ -103,6 +104,13 @@ if [ "$fast" = "1" ]; then
 else
     run_step "verify-determinism (serial == parallel, bit for bit)" \
         python -m repro.cli verify-determinism --smoke
+fi
+
+if [ "$fast" = "1" ]; then
+    echo "==> store-smoke: skipped (--fast)"
+else
+    run_step "store-smoke (cold build, then warm all-hit reuse)" \
+        python tools/store_smoke.py
 fi
 
 maybe_step "ruff (syntax + undefined names)" ruff \

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Cold-then-warm smoke battery through the artifact store.
+
+The incremental fabric's contract, asserted end to end on a throwaway
+store: a cold ``run_all`` (smoke profile) builds and persists every
+step, and an immediately repeated run — empty in-memory caches, fresh
+store handle, same store directory — loads every step (zero rebuilt),
+returns bit-identical rendered blocks, and finishes at least 5x faster.
+``tools/check.sh`` runs this as its store-smoke step (skipped under
+``--fast``); CI runs it via ``--require-all``.
+"""
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.runner import run_all
+from repro.experiments.scenario_cache import GLOBAL_SCENARIO_CACHE
+from repro.experiments.store import ArtifactStore
+
+MIN_WARM_SPEEDUP = 5.0
+
+
+def main() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-store-smoke-") as tmp:
+        root = Path(tmp) / "store"
+
+        GLOBAL_SCENARIO_CACHE.clear()
+        cold_store = ArtifactStore(root=root)
+        started = time.perf_counter()
+        cold = run_all(profile="smoke", seed=0, store=cold_store)
+        cold_s = time.perf_counter() - started
+        cold_stats = cold_store.stats
+
+        # A fresh process, in effect: empty memory caches, new handle.
+        GLOBAL_SCENARIO_CACHE.clear()
+        warm_store = ArtifactStore(root=root)
+        started = time.perf_counter()
+        warm = run_all(profile="smoke", seed=0, store=warm_store)
+        warm_s = time.perf_counter() - started
+        warm_stats = warm_store.stats
+
+    speedup = cold_s / max(warm_s, 1e-9)
+    print(
+        f"    cold: {cold_s:.2f}s, {cold_stats['misses']} step(s) built, "
+        f"{cold_stats['bytes_written']:,} B written"
+    )
+    print(
+        f"    warm: {warm_s:.2f}s, {warm_stats['hits']} hit(s), "
+        f"{warm_stats['misses']} rebuilt ({speedup:.0f}x faster)"
+    )
+
+    if cold_stats["misses"] == 0:
+        failures.append("cold run built nothing (store was not empty?)")
+    if warm_stats["misses"] != 0:
+        failures.append(
+            f"warm run rebuilt {warm_stats['misses']} step(s); expected 0"
+        )
+    if warm != cold:
+        changed = sorted(
+            k for k in set(cold) | set(warm) if cold.get(k) != warm.get(k)
+        )
+        failures.append(f"warm blocks differ from cold: {changed}")
+    if speedup < MIN_WARM_SPEEDUP:
+        failures.append(
+            f"warm run only {speedup:.1f}x faster "
+            f"(floor {MIN_WARM_SPEEDUP:.0f}x)"
+        )
+
+    for failure in failures:
+        print(f"    store-smoke: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
