@@ -55,7 +55,9 @@ __all__ = [
 
 #: Battery jobs whose rendered output *is* a wall-clock measurement;
 #: they differ between any two runs by nature and are excluded from the
-#: run-all bit-diff (see repro.experiments.runner's module docstring).
+#: run-all bit-diff.  Kept in lockstep with the ``wall_clock=True``
+#: cells in ``repro.experiments.runner._battery_jobs`` (asserted by
+#: tests/test_experiments_runner.py).
 WALL_CLOCK_JOBS = ("runtimes", "streaming")
 
 

@@ -116,7 +116,14 @@ def record_scenario_accesses() -> Iterator[List[Dict[str, Any]]]:
     try:
         yield accesses
     finally:
-        stack.remove(accesses)
+        # Remove by identity, not ``stack.remove`` (equality): nested
+        # recorder lists can compare equal (e.g. an outer recorder with
+        # no pre-inner accesses), and removing the wrong one would leave
+        # the exited recorder live and drop the outer one.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is accesses:
+                del stack[i]
+                break
 
 
 def _record_access(key: str, fields: Mapping[str, Any]) -> None:

@@ -41,9 +41,30 @@ The key hashes configuration, not code.  A code change that alters a
 step's output without touching any config field will serve stale
 artifacts until the store is cleared (``repro store clear``) or the
 schema version is bumped.  CI therefore scopes its cache key by the
-store schema version plus the dependency manifest, and run manifests
+store schema version, the dependency manifest, *and* a hash of the
+``src/`` tree — any source change starts a fresh cache lineage, so a
+PR never loads artifacts built by different code — and run manifests
 record per-step hit/miss so provenance stays auditable (see
 EXPERIMENTS.md).
+
+Steps whose output embeds a *measurement* rather than a pure function
+of the config (wall-clock runtimes, latencies) are a special case: a
+cached measurement is a stale number from some past run and machine.
+The battery marks those cells ``wall_clock=True`` (see
+``repro.experiments.runner.BatteryJob``) and a store hit annotates
+their rendered blocks with the recording timestamp, so a cached timing
+is never presented as the current run's output.
+
+Trust boundary
+--------------
+Payloads are pickles, and ``get`` unpickles them: loading an entry is
+code execution, so the store directory must be trusted exactly like
+the repository's own code.  The sidecar checksum defends against
+*corruption* (torn writes, bit rot), not *tampering* — whoever can
+write the payload can write a matching checksum.  Never point
+``REPRO_STORE_DIR`` at a world-writable or shared location, and in CI
+keep the ``actions/cache`` lineage branch-scoped (the GitHub default:
+a PR can read base-branch caches but cannot poison them).
 
 Concurrency
 -----------
@@ -219,6 +240,18 @@ class ArtifactStore:
             pass
         return True, value
 
+    def meta(self, key: str) -> Optional[Dict[str, Any]]:
+        """The entry's sidecar metadata, or ``None`` if absent/unreadable.
+
+        Counts nothing — pair with :meth:`get` when provenance (e.g.
+        ``created_utc`` of a cached measurement) matters.
+        """
+        try:
+            loaded = json.loads(self._meta_path(key).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return loaded if isinstance(loaded, dict) else None
+
     def _count_miss(self) -> None:
         with self._lock:
             self._misses += 1
@@ -307,15 +340,19 @@ class ArtifactStore:
         out: List[StoreEntry] = []
         if not self.version_dir.is_dir():
             return out
+        mtimes: Dict[str, float] = {}
         for meta_path in sorted(self.version_dir.glob("*/*.json")):
             key = meta_path.stem
             payload_path = meta_path.with_suffix(".pkl")
-            if not payload_path.exists():
-                continue
             try:
+                # One stat serves both the existence check and the sort
+                # key; a concurrent gc/clear deleting the payload between
+                # listing and stat just skips the entry.
+                mtime = payload_path.stat().st_mtime
                 meta = json.loads(meta_path.read_text(encoding="utf-8"))
             except (OSError, ValueError):
                 continue
+            mtimes[key] = mtime
             out.append(
                 StoreEntry(
                     key=key,
@@ -325,7 +362,7 @@ class ArtifactStore:
                     path=payload_path,
                 )
             )
-        out.sort(key=lambda e: (e.path.stat().st_mtime, e.key))
+        out.sort(key=lambda e: (mtimes[e.key], e.key))
         return out
 
     def total_bytes(self) -> int:

@@ -42,6 +42,19 @@ class TestBatteryJobs:
         assert all(callable(job) for job in jobs.values())
         assert list(jobs) == list(runner.job_names("quick"))
 
+    def test_wall_clock_jobs_match_determinism_exclusions(self):
+        # The cells the determinism harness excludes from the bit-diff
+        # are exactly the cells the store must annotate on a hit.
+        from repro.analysis.determinism import WALL_CLOCK_JOBS
+
+        jobs = runner._battery_jobs("quick", seed=0)
+        marked = tuple(
+            name
+            for name, job in jobs.items()
+            if isinstance(job, runner.BatteryJob) and job.wall_clock
+        )
+        assert marked == WALL_CLOCK_JOBS
+
     def test_job_names_stable_across_profiles(self):
         names = runner.job_names("quick")
         assert names == runner.job_names("smoke") == runner.job_names("paper")

@@ -13,7 +13,12 @@ import threading
 
 import pytest
 
-from repro.experiments.runner import BatteryJob, _run_store_job, run_all
+from repro.experiments.runner import (
+    CACHED_TIMING_MARKER,
+    BatteryJob,
+    _run_store_job,
+    run_all,
+)
 from repro.experiments.scenario_cache import (
     GLOBAL_SCENARIO_CACHE,
     ScenarioCache,
@@ -255,6 +260,44 @@ def test_battery_job_scenario_keys():
     )
     assert job.scenario_keys() == (scenario_key(fields),)
     assert job() == {}
+
+
+def test_wall_clock_job_hit_is_annotated_as_cached(store):
+    job = BatteryJob(
+        name="runtimes",
+        config={"seed": 0},
+        run=lambda: {"table2": "algo a: 1.23s"},
+        wall_clock=True,
+    )
+    cold = _run_store_job("runtimes", job, store)
+    assert cold == {"table2": "algo a: 1.23s"}  # fresh measurement, bare
+    warm = _run_store_job("runtimes", job, store)
+    note, _, rest = warm["table2"].partition("\n")
+    assert note.startswith(CACHED_TIMING_MARKER)
+    assert "recorded" in note and "--no-store" in note
+    assert rest == "algo a: 1.23s"  # the cached block itself, intact
+    # Deterministic cells are served bare — no annotation.
+    det = BatteryJob(name="det", config={"seed": 0}, run=lambda: {"fig": "x"})
+    _run_store_job("det", det, store)
+    assert _run_store_job("det", det, store) == {"fig": "x"}
+
+
+def test_meta_returns_sidecar_and_none_when_absent(store):
+    key = store.step_key("job", {"seed": 0})
+    assert store.meta(key) is None
+    store.put(key, {"a": 1}, step="job.x")
+    meta = store.meta(key)
+    assert meta["step"] == "job.x" and meta["created_utc"]
+
+
+def test_entries_skips_entry_whose_payload_vanished(store):
+    keep = store.step_key("a", {"i": 1})
+    store.put(keep, 1, step="a")
+    gone = store.step_key("b", {"i": 2})
+    store.put(gone, 2, step="b")
+    # A concurrent gc/clear deleting the payload mid-listing, in effect.
+    store._payload_path(gone).unlink()
+    assert [e.key for e in store.entries()] == [keep]
 
 
 def test_warm_run_all_is_bit_identical_and_all_hits(tmp_path):

@@ -11,6 +11,7 @@ from repro.experiments.scenario_cache import (
     GLOBAL_SCENARIO_CACHE,
     ScenarioCache,
     canonical_fields,
+    record_scenario_accesses,
     scenario_key,
 )
 
@@ -111,6 +112,28 @@ class TestScenarioCache:
         for t in threads:
             t.join()
         assert built == [1]
+
+
+class TestAccessRecorder:
+    def test_nested_recorders_both_see_inner_accesses(self):
+        cache = ScenarioCache()
+        with record_scenario_accesses() as outer:
+            with record_scenario_accesses() as inner:
+                cache.get_or_build({"k": "a"}, lambda: "x")
+            assert len(inner) == 1
+            # Exiting the inner recorder must deregister *it*, not the
+            # equal-comparing outer one: accesses made after the inner
+            # exit still land on the outer recorder and not the inner.
+            cache.get_or_build({"k": "b"}, lambda: "y")
+        assert [a["fields"]["k"] for a in outer] == ["a", "b"]
+        assert len(inner) == 1
+
+    def test_accesses_record_hits_and_misses_alike(self):
+        cache = ScenarioCache()
+        cache.get_or_build({"k": "warm"}, lambda: "x")
+        with record_scenario_accesses() as accesses:
+            cache.get_or_build({"k": "warm"}, lambda: "x")  # memory hit
+        assert [a["key"] for a in accesses] == [scenario_key({"k": "warm"})]
 
 
 class TestCityTruthCaching:
